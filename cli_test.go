@@ -1,0 +1,110 @@
+// Integration tests: build the three binaries and drive them end to
+// end on the testdata programs.
+package vbuscluster
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinaries compiles the cmd/ tree once per test binary run.
+func buildBinaries(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"vbcc", "vbrun", "vbbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "./cmd/"+name)
+		cmd.Env = os.Environ()
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	bins := buildBinaries(t)
+
+	t.Run("vbcc-explain", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "vbcc"), "-explain", "-grain", "coarse", "testdata/jacobi.f")
+		if !strings.Contains(out, "parallel=true") {
+			t.Fatalf("no parallel loops reported:\n%s", out)
+		}
+		if !strings.Contains(out, "SPMD program") {
+			t.Fatalf("no translation report:\n%s", out)
+		}
+	})
+
+	t.Run("vbcc-spmd-listing", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "vbcc"), "-spmd", "testdata/dotprod.f")
+		for _, want := range []string{"CALL MPI_INIT", "MPI_ALLREDUCE", "CALL MPI_BARRIER"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("SPMD listing missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("vbcc-emit-reparses", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "vbcc"), "-emit", "testdata/tridiag.f")
+		if !strings.Contains(out, "PROGRAM TRI") {
+			t.Fatalf("emit output:\n%s", out)
+		}
+	})
+
+	t.Run("vbrun-seq-vs-par", func(t *testing.T) {
+		vbrun := filepath.Join(bins, "vbrun")
+		seq := run(t, vbrun, "-seq", "testdata/dotprod.f")
+		par := run(t, vbrun, "-procs", "4", "-grain", "coarse", "testdata/dotprod.f")
+		seqLine := strings.SplitN(seq, "\n", 2)[0]
+		parLine := strings.SplitN(par, "\n", 2)[0]
+		if !strings.HasPrefix(seqLine, "DOT") || !strings.HasPrefix(parLine, "DOT") {
+			t.Fatalf("program output missing: %q vs %q", seqLine, parLine)
+		}
+		// The dot product involves a reduction: values agree to FP
+		// reassociation; compare a common prefix.
+		n := 10
+		if len(seqLine) < n || len(parLine) < n {
+			n = min(len(seqLine), len(parLine))
+		}
+		if seqLine[:n] != parLine[:n] {
+			t.Fatalf("outputs diverge: %q vs %q", seqLine, parLine)
+		}
+	})
+
+	t.Run("vbrun-profile", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "vbrun"), "-profile", "testdata/jacobi.f")
+		if !strings.Contains(out, "per-region profile") || !strings.Contains(out, "DO I") {
+			t.Fatalf("profile missing:\n%s", out)
+		}
+	})
+
+	t.Run("vbrun-auto-grain", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "vbrun"), "-grain", "auto", "testdata/fig4.f")
+		if !strings.Contains(out, "auto-grain selected:") {
+			t.Fatalf("auto grain not reported:\n%s", out)
+		}
+	})
+
+	t.Run("vbbench-quick", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "vbbench"), "-table", "2", "-quick")
+		if !strings.Contains(out, "Table 2") || !strings.Contains(out, "CFFT2INIT") {
+			t.Fatalf("bench output:\n%s", out)
+		}
+	})
+}

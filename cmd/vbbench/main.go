@@ -1,0 +1,132 @@
+// Command vbbench regenerates the paper's evaluation: Table 1 (MM
+// speedups), Table 2 (communication time by granularity for MM, SWIM
+// and CFFT2INIT) and the §2 card microbenchmarks.
+//
+// Usage:
+//
+//	vbbench -table 1            # MM speedups, paper sizes (256..1024)
+//	vbbench -table 2            # comm time by granularity, paper sizes
+//	vbbench -micro              # §2 SKWP / latency / broadcast claims
+//	vbbench -all -quick         # everything at reduced sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vbuscluster/internal/bench"
+	"vbuscluster/internal/core"
+	"vbuscluster/internal/lmad"
+)
+
+func main() {
+	table := flag.Int("table", 0, "which table to regenerate (1 or 2); 0 with -all/-micro")
+	micro := flag.Bool("micro", false, "run the §2 card microbenchmarks")
+	crossover := flag.Bool("crossover", false, "sweep write stride to locate the fine/middle/coarse crossover (extension experiment)")
+	extra := flag.Bool("extra", false, "supplementary speedup table for SWIM and CFFT2INIT (extension experiment)")
+	all := flag.Bool("all", false, "run everything")
+	quick := flag.Bool("quick", false, "reduced problem sizes (fast)")
+	procs := flag.Int("procs", 4, "processor count for table 2")
+	flag.Parse()
+
+	runT1 := *table == 1 || *all
+	runT2 := *table == 2 || *all
+	runMicro := *micro || *all
+	runCross := *crossover || *all
+	runExtra := *extra || *all
+	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra or -all")
+		os.Exit(2)
+	}
+
+	if runT1 {
+		sizes := []int{256, 512, 1024}
+		if *quick {
+			sizes = []int{64, 128, 256}
+		}
+		rows, err := bench.Table1(sizes, []int{1, 2, 4}, lmad.Fine)
+		check(err)
+		fmt.Println(bench.FormatTable1(rows))
+		fmt.Println("raw cells:")
+		for _, r := range rows {
+			fmt.Printf("  MM %4d*%-4d procs=%d seq=%v par=%v speedup=%.3f\n",
+				r.Size, r.Size, r.Procs, r.Seq, r.Par, r.Speedup)
+		}
+		fmt.Println()
+	}
+
+	if runT2 {
+		mmN, swimN, cfftM := 1024, 512, 11
+		if *quick {
+			mmN, swimN, cfftM = 128, 128, 9
+		}
+		rows, err := bench.Table2(bench.Table2Benchmarks(mmN, swimN, cfftM), *procs)
+		check(err)
+		fmt.Println(bench.FormatTable2(rows))
+		fmt.Println("raw cells:")
+		for _, r := range rows {
+			fmt.Printf("  %-22s %-6v comm=%-12v elapsed=%-12v msgs=%-6d bytes=%d\n",
+				r.Benchmark, r.Grain, r.CommTime, r.Elapsed, r.Messages, r.Bytes)
+		}
+		fmt.Println()
+	}
+
+	if runMicro {
+		res, err := bench.RunMicro()
+		check(err)
+		fmt.Println(res)
+	}
+
+	if runExtra {
+		swimN, cfftM := 512, 11
+		if *quick {
+			swimN, cfftM = 128, 9
+		}
+		fmt.Println("Supplementary speedups (coarse grain, best of Table 2):")
+		fmt.Println("benchmark\tprocs\tspeedup")
+		for name, src := range bench.Table2Benchmarks(0, swimN, cfftM) {
+			if name[:2] == "MM" {
+				continue // Table 1 covers MM
+			}
+			for _, p := range []int{1, 2, 4} {
+				c, err := core.Compile(src, core.Options{NumProcs: p, Grain: lmad.Coarse})
+				check(err)
+				s, err := c.Speedup()
+				check(err)
+				fmt.Printf("%s\t%d\t%.3f\n", name, p, s)
+			}
+		}
+		fmt.Println("MM scalability beyond the paper's 4 nodes (1024*1024, fine grain):")
+		fmt.Println("procs\tspeedup")
+		mmN := 1024
+		if *quick {
+			mmN = 128
+		}
+		for _, p := range []int{1, 2, 4, 8, 16} {
+			c, err := core.Compile(bench.MMSource(mmN), core.Options{NumProcs: p})
+			check(err)
+			s, err := c.Speedup()
+			check(err)
+			fmt.Printf("%d\t%.3f\n", p, s)
+		}
+		fmt.Println()
+	}
+
+	if runCross {
+		n := 1 << 15
+		if *quick {
+			n = 1 << 12
+		}
+		points, err := bench.Crossover(n, []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}, *procs)
+		check(err)
+		fmt.Println(bench.FormatCrossover(points))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbbench:", err)
+		os.Exit(1)
+	}
+}

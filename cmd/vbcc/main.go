@@ -1,0 +1,105 @@
+// Command vbcc is the compiler driver: it runs the Polaris-style front
+// end and the MPI-2 postpass over a Fortran 77 source file and reports
+// what the compiler found and generated.
+//
+// Usage:
+//
+//	vbcc [-procs N] [-grain fine|middle|coarse] [-explain] [-avpg] file.f
+//
+// With no file, source is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vbuscluster/internal/analysis"
+	"vbuscluster/internal/core"
+	"vbuscluster/internal/f77"
+	"vbuscluster/internal/lmad"
+	"vbuscluster/internal/postpass"
+)
+
+func main() {
+	procs := flag.Int("procs", 4, "SPMD process count")
+	grainName := flag.String("grain", "fine", "communication granularity: fine, middle, coarse or auto")
+	explain := flag.Bool("explain", false, "print per-loop analysis annotations")
+	avpgDump := flag.Bool("avpg", false, "print the array-value-propagation graph")
+	emit := flag.Bool("emit", false, "print the transformed program (inlined, loops annotated) as Fortran source")
+	spmd := flag.Bool("spmd", false, "print the generated SPMD program (Fortran 77 with MPI-2 calls)")
+	diagram := flag.Bool("diagram", false, "print access-movement diagrams for each communicated region (the paper's Fig. 2-4 pictures)")
+	flag.Parse()
+
+	auto := *grainName == "auto"
+	var grain lmad.Grain
+	if !auto {
+		var err error
+		grain, err = lmad.ParseGrain(*grainName)
+		check(err)
+	}
+
+	var src []byte
+	var err error
+	if flag.NArg() >= 1 {
+		src, err = os.ReadFile(flag.Arg(0))
+		check(err)
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+		check(err)
+	}
+
+	c, err := core.Compile(string(src), core.Options{NumProcs: *procs, Grain: grain, AutoGrain: auto})
+	check(err)
+	if auto {
+		fmt.Fprintf(os.Stderr, "auto-grain selected: %v\n", c.Grain())
+	}
+
+	if *explain {
+		fmt.Println("loop analysis:")
+		f77.WalkStmts(c.Prog.Main().Body, func(s f77.Stmt) bool {
+			if loop, ok := s.(*f77.DoLoop); ok {
+				fmt.Printf("  line %d: %s\n", loop.Line(), analysis.Explain(loop))
+			}
+			return true
+		})
+		fmt.Println()
+	}
+	if *emit {
+		fmt.Print(f77.Format(c.Prog))
+		fmt.Println()
+	}
+	if *spmd {
+		fmt.Print(postpass.EmitSPMD(c.SPMD))
+		fmt.Println()
+	}
+	fmt.Print(c.Report())
+	if *diagram {
+		fmt.Println("\naccess diagrams (first 72 cells):")
+		for _, r := range c.SPMD.Regions {
+			if r.Par == nil {
+				continue
+			}
+			ops := append(append([]*postpass.CommOp{}, r.Par.Scatters...), r.Par.Collects...)
+			for _, op := range ops {
+				cells := int(op.Acc.L.High()) + 1
+				if cells > 72 {
+					cells = 72
+				}
+				fmt.Print(op.Acc.L.Diagram(cells))
+			}
+		}
+	}
+	if *avpgDump {
+		fmt.Println("\nAVPG (array-value-propagation graph):")
+		fmt.Print(c.SPMD.Graph.String())
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbcc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,88 @@
+// Command vbrun compiles a Fortran 77 program and executes it on the
+// simulated V-Bus PC-cluster, printing the program's output and a
+// virtual-time report.
+//
+// Usage:
+//
+//	vbrun [-procs N] [-grain g] [-seq] [-mode full|timing] file.f
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vbuscluster/internal/core"
+	"vbuscluster/internal/interp"
+	"vbuscluster/internal/lmad"
+)
+
+func main() {
+	procs := flag.Int("procs", 4, "SPMD process count (ignored with -seq)")
+	grainName := flag.String("grain", "fine", "communication granularity: fine, middle, coarse or auto")
+	seq := flag.Bool("seq", false, "run the sequential baseline instead of the SPMD program")
+	profile := flag.Bool("profile", false, "print the per-region virtual-time profile")
+	modeName := flag.String("mode", "full", "execution mode: full or timing")
+	flag.Parse()
+
+	auto := *grainName == "auto"
+	var grain lmad.Grain
+	if !auto {
+		var err error
+		grain, err = lmad.ParseGrain(*grainName)
+		check(err)
+	}
+	var mode core.Mode
+	switch *modeName {
+	case "full":
+		mode = core.Full
+	case "timing":
+		mode = core.Timing
+	default:
+		check(fmt.Errorf("unknown mode %q", *modeName))
+	}
+
+	var src []byte
+	var err error
+	if flag.NArg() >= 1 {
+		src, err = os.ReadFile(flag.Arg(0))
+		check(err)
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+		check(err)
+	}
+
+	c, err := core.Compile(string(src), core.Options{NumProcs: *procs, Grain: grain, AutoGrain: auto})
+	check(err)
+	if auto {
+		fmt.Fprintf(os.Stderr, "auto-grain selected: %v\n", c.Grain())
+	}
+
+	var res *interp.Result
+	if *seq {
+		res, err = c.RunSequential(mode)
+	} else {
+		res, err = c.RunParallel(mode)
+	}
+	check(err)
+
+	fmt.Print(res.Output)
+	if *profile && len(res.Regions) > 0 {
+		fmt.Println("--- per-region profile:")
+		fmt.Print(interp.FormatRegions(res.Regions))
+	}
+	fmt.Printf("--- virtual time: %v", res.Elapsed)
+	if !*seq {
+		fmt.Printf("  (comm %v over %d ops, %d bytes)",
+			res.Report.TotalXferTime(), res.Report.TotalCommOps(), res.Report.TotalCommBytes())
+	}
+	fmt.Println()
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vbrun:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Stencil: the SWIM shallow-water kernel (the paper's second
+// benchmark). Shows how communication granularity changes the comm
+// time of a 2-D stencil code — the Table 2 experiment for one program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbuscluster/internal/bench"
+	"vbuscluster/internal/core"
+	"vbuscluster/internal/lmad"
+)
+
+func main() {
+	src := bench.SwimSource(128, 128)
+	fmt.Println("SWIM 128x128, ITMAX=1, 4 nodes")
+	fmt.Println("grain    comm time      total time   wire bytes")
+	var fine, coarse float64
+	for _, grain := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
+		c, err := core.Compile(src, core.Options{NumProcs: 4, Grain: grain})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.RunParallel(core.Timing)
+		if err != nil {
+			log.Fatal(err)
+		}
+		comm := res.Report.TotalXferTime()
+		fmt.Printf("%-8v %-14v %-12v %d\n", grain, comm, res.Elapsed, res.Report.TotalCommBytes())
+		switch grain {
+		case lmad.Fine:
+			fine = comm.Seconds()
+		case lmad.Coarse:
+			coarse = comm.Seconds()
+		}
+	}
+	fmt.Printf("\ncoarse-grain speedup of communication: %.2fx (paper: ~1.3-2.9x)\n", fine/coarse)
+}

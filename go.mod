@@ -1,0 +1,3 @@
+module vbuscluster
+
+go 1.22

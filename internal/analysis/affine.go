@@ -1,0 +1,195 @@
+// Package analysis implements the Polaris front end's parallelism
+// detection (the paper's §3): building LMADs and summary sets from the
+// AST, the Access Region Test for loop-carried dependences, induction
+// variable substitution, reduction recognition, privatization, and
+// subroutine inlining. Its output is annotations on the AST (parallel
+// flags, schedules, reductions, private lists) plus per-loop summary
+// sets consumed by the MPI-2 postpass.
+package analysis
+
+import (
+	"fmt"
+
+	"vbuscluster/internal/f77"
+)
+
+// Affine is a linear form over loop index variables:
+// Const + Σ Coeff[v]·v.
+type Affine struct {
+	Const  int64
+	Coeffs map[*f77.Symbol]int64
+}
+
+func newAffine(c int64) Affine {
+	return Affine{Const: c, Coeffs: map[*f77.Symbol]int64{}}
+}
+
+// Coeff returns the coefficient of v (0 if absent).
+func (a Affine) Coeff(v *f77.Symbol) int64 { return a.Coeffs[v] }
+
+// IsConst reports whether the form has no variable terms.
+func (a Affine) IsConst() bool {
+	for _, c := range a.Coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (a Affine) add(b Affine, sign int64) Affine {
+	out := newAffine(a.Const + sign*b.Const)
+	for v, c := range a.Coeffs {
+		out.Coeffs[v] += c
+	}
+	for v, c := range b.Coeffs {
+		out.Coeffs[v] += sign * c
+	}
+	return out
+}
+
+func (a Affine) scale(k int64) Affine {
+	out := newAffine(a.Const * k)
+	for v, c := range a.Coeffs {
+		out.Coeffs[v] = c * k
+	}
+	return out
+}
+
+// ExtractAffine decomposes e into a linear form over the variables in
+// vars (typically the enclosing loop indices). Non-loop symbols must be
+// PARAMETER constants; anything else (products of variables, calls,
+// real arithmetic) fails with ok=false — the conservative answer that
+// makes the caller treat the access as unanalyzable.
+func ExtractAffine(e f77.Expr, vars map[*f77.Symbol]bool) (Affine, bool) {
+	switch x := e.(type) {
+	case *f77.IntLit:
+		return newAffine(x.Val), true
+	case *f77.VarExpr:
+		if x.Sym.IsConst {
+			if x.Sym.Type != f77.TInteger {
+				// A real PARAMETER in a subscript would be bizarre;
+				// accept exact integers only.
+				if x.Sym.Const != float64(int64(x.Sym.Const)) {
+					return Affine{}, false
+				}
+			}
+			return newAffine(int64(x.Sym.Const)), true
+		}
+		if vars[x.Sym] {
+			a := newAffine(0)
+			a.Coeffs[x.Sym] = 1
+			return a, true
+		}
+		return Affine{}, false
+	case *f77.Un:
+		sub, ok := ExtractAffine(x.X, vars)
+		if !ok {
+			return Affine{}, false
+		}
+		switch x.Op {
+		case f77.OpNeg:
+			return sub.scale(-1), true
+		case f77.OpPlus:
+			return sub, true
+		}
+		return Affine{}, false
+	case *f77.Bin:
+		l, lok := ExtractAffine(x.L, vars)
+		r, rok := ExtractAffine(x.R, vars)
+		switch x.Op {
+		case f77.OpAdd:
+			if lok && rok {
+				return l.add(r, 1), true
+			}
+		case f77.OpSub:
+			if lok && rok {
+				return l.add(r, -1), true
+			}
+		case f77.OpMul:
+			if lok && rok {
+				if l.IsConst() {
+					return r.scale(l.Const), true
+				}
+				if r.IsConst() {
+					return l.scale(r.Const), true
+				}
+			}
+		case f77.OpDiv:
+			// Integer division is affine only for exact constant/constant.
+			if lok && rok && l.IsConst() && r.IsConst() && r.Const != 0 && l.Const%r.Const == 0 {
+				return newAffine(l.Const / r.Const), true
+			}
+		case f77.OpPow:
+			if lok && rok && l.IsConst() && r.IsConst() && r.Const >= 0 {
+				v := int64(1)
+				for i := int64(0); i < r.Const; i++ {
+					v *= l.Const
+				}
+				return newAffine(v), true
+			}
+		}
+		return Affine{}, false
+	default:
+		return Affine{}, false
+	}
+}
+
+// ArrayLayout is the constant column-major layout of an array: the
+// element offset of A(s1..sk) is Σ (si - Low_i)·Mult_i.
+type ArrayLayout struct {
+	Sym  *f77.Symbol
+	Lows []int64
+	Mult []int64
+	// Size is the total element count; 0 when the last dimension is
+	// assumed-size.
+	Size int64
+}
+
+// LayoutOf computes the layout; it fails when any non-final bound does
+// not constant-fold.
+func LayoutOf(sym *f77.Symbol) (ArrayLayout, error) {
+	lay := ArrayLayout{Sym: sym}
+	mult := int64(1)
+	for i, d := range sym.Dims {
+		low := int64(1)
+		if d.Low != nil {
+			v, ok := f77.ConstFold(d.Low)
+			if !ok {
+				return lay, fmt.Errorf("analysis: %s dimension %d lower bound is not constant", sym.Name, i+1)
+			}
+			low = int64(v)
+		}
+		lay.Lows = append(lay.Lows, low)
+		lay.Mult = append(lay.Mult, mult)
+		if d.High == nil {
+			if i != len(sym.Dims)-1 {
+				return lay, fmt.Errorf("analysis: %s has a non-final assumed dimension", sym.Name)
+			}
+			lay.Size = 0
+			return lay, nil
+		}
+		hv, ok := f77.ConstFold(d.High)
+		if !ok {
+			return lay, fmt.Errorf("analysis: %s dimension %d upper bound is not constant", sym.Name, i+1)
+		}
+		extent := int64(hv) - low + 1
+		if extent <= 0 {
+			return lay, fmt.Errorf("analysis: %s dimension %d has non-positive extent %d", sym.Name, i+1, extent)
+		}
+		mult *= extent
+	}
+	lay.Size = mult
+	return lay, nil
+}
+
+// Linearize combines per-dimension affine subscripts into a single
+// affine element offset using the layout.
+func (lay ArrayLayout) Linearize(subs []Affine) Affine {
+	out := newAffine(0)
+	for i, s := range subs {
+		term := s.add(newAffine(lay.Lows[i]), -1).scale(lay.Mult[i])
+		out = out.add(term, 1)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"vbuscluster/internal/f77"
+)
+
+// PropagateConstants forward-propagates integer scalar constants
+// through the unit body. This is the light-weight propagation Polaris
+// runs before access analysis: it turns subscripts like K$0 + 2*I
+// (after induction substitution, with K = 0 before the loop) into pure
+// affine forms over loop indices so the LMAD builder can handle them.
+//
+// The analysis is deliberately conservative:
+//   - only INTEGER scalars participate;
+//   - a compound statement (loop, IF) invalidates every symbol written
+//     anywhere inside it, then has invariant constants substituted in;
+//   - a labeled statement (potential jump target) and a GOTO clear the
+//     whole environment.
+func PropagateConstants(u *f77.Unit) {
+	consts := map[*f77.Symbol]int64{}
+	propStmts(u.Body, consts)
+}
+
+func propStmts(stmts []f77.Stmt, consts map[*f77.Symbol]int64) {
+	for _, s := range stmts {
+		if s.Label() != 0 {
+			clear(consts)
+		}
+		subst := func(e f77.Expr) f77.Expr {
+			if v, ok := e.(*f77.VarExpr); ok {
+				if c, ok := consts[v.Sym]; ok {
+					return &f77.IntLit{Val: c}
+				}
+			}
+			return e
+		}
+		switch x := s.(type) {
+		case *f77.Assign:
+			f77.RewriteStmtExprs(x, subst)
+			if len(x.LHS.Subs) == 0 && x.LHS.Sym.Type == f77.TInteger {
+				if v, ok := f77.ConstFold(x.RHS); ok && v == float64(int64(v)) {
+					consts[x.LHS.Sym] = int64(v)
+				} else {
+					delete(consts, x.LHS.Sym)
+				}
+			} else if len(x.LHS.Subs) == 0 {
+				delete(consts, x.LHS.Sym)
+			}
+		case *f77.DoLoop:
+			// Bounds are evaluated on entry, with the incoming env.
+			f77.RewriteStmtExprs(x, subst)
+			invalidateWrites(x.Body, consts)
+			delete(consts, x.Var)
+			inner := cloneConsts(consts)
+			propStmts(x.Body, inner)
+			// After the loop the invariant constants still hold; the
+			// invalidated ones are already gone from consts.
+		case *f77.IfBlock:
+			f77.RewriteStmtExprs(x, subst)
+			for _, blk := range x.Blocks {
+				invalidateWrites(blk, consts)
+			}
+			invalidateWrites(x.Else, consts)
+			for _, blk := range x.Blocks {
+				inner := cloneConsts(consts)
+				propStmts(blk, inner)
+			}
+			inner := cloneConsts(consts)
+			propStmts(x.Else, inner)
+		case *f77.Goto:
+			clear(consts)
+		case *f77.CallStmt:
+			// A call may write any variable actual.
+			f77.RewriteStmtExprs(x, subst)
+			for _, a := range x.Args {
+				if v, ok := a.(*f77.VarExpr); ok {
+					delete(consts, v.Sym)
+				}
+			}
+		default:
+			f77.RewriteStmtExprs(s, subst)
+		}
+	}
+}
+
+func invalidateWrites(stmts []f77.Stmt, consts map[*f77.Symbol]int64) {
+	f77.WalkStmts(stmts, func(s f77.Stmt) bool {
+		switch x := s.(type) {
+		case *f77.Assign:
+			if len(x.LHS.Subs) == 0 {
+				delete(consts, x.LHS.Sym)
+			}
+		case *f77.DoLoop:
+			delete(consts, x.Var)
+		case *f77.CallStmt:
+			for _, a := range x.Args {
+				if v, ok := a.(*f77.VarExpr); ok {
+					delete(consts, v.Sym)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func cloneConsts(m map[*f77.Symbol]int64) map[*f77.Symbol]int64 {
+	out := make(map[*f77.Symbol]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"fmt"
+
+	"vbuscluster/internal/f77"
+)
+
+// maxInlineDepth bounds transitive inlining (and catches recursion,
+// which F77 forbids anyway).
+const maxInlineDepth = 8
+
+// labelStride spaces out relabeled statements per inlined call so GOTO
+// targets stay unique.
+const labelStride = 10000
+
+// InlineCalls expands every CALL statement in the main program unit
+// in place (§3 lists inlining among the front end's techniques; the
+// postpass needs whole loop nests visible in one unit). Subroutines
+// remain in the program for direct execution elsewhere.
+//
+// Supported argument shapes: whole-variable actuals (scalars and
+// arrays) bind by aliasing; scalar expressions bind through a compiler
+// temporary (legal only when the callee never writes the dummy).
+func InlineCalls(prog *f77.Program) error {
+	main := prog.Main()
+	if main == nil {
+		return fmt.Errorf("analysis: program has no main unit")
+	}
+	var err error
+	main.Body, err = inlineInStmts(prog, main, main.Body, 0)
+	return err
+}
+
+func inlineInStmts(prog *f77.Program, host *f77.Unit, stmts []f77.Stmt, depth int) ([]f77.Stmt, error) {
+	var out []f77.Stmt
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *f77.CallStmt:
+			expanded, err := inlineCall(prog, host, x, depth)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, expanded...)
+		case *f77.DoLoop:
+			body, err := inlineInStmts(prog, host, x.Body, depth)
+			if err != nil {
+				return nil, err
+			}
+			x.Body = body
+			out = append(out, x)
+		case *f77.IfBlock:
+			for i := range x.Blocks {
+				blk, err := inlineInStmts(prog, host, x.Blocks[i], depth)
+				if err != nil {
+					return nil, err
+				}
+				x.Blocks[i] = blk
+			}
+			els, err := inlineInStmts(prog, host, x.Else, depth)
+			if err != nil {
+				return nil, err
+			}
+			x.Else = els
+			out = append(out, x)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+func inlineCall(prog *f77.Program, host *f77.Unit, call *f77.CallStmt, depth int) ([]f77.Stmt, error) {
+	if depth >= maxInlineDepth {
+		return nil, fmt.Errorf("analysis: inline depth limit at CALL %s (recursion?)", call.Name)
+	}
+	callee := prog.Lookup(call.Name)
+	if callee == nil || callee.Kind != f77.KSubroutine {
+		return nil, fmt.Errorf("analysis: CALL of unknown subroutine %s", call.Name)
+	}
+	if len(call.Args) != len(callee.Params) {
+		return nil, fmt.Errorf("analysis: CALL %s arity mismatch", call.Name)
+	}
+
+	m := f77.SymMap{}
+	var pre []f77.Stmt
+
+	writesDummy := func(dummy *f77.Symbol) bool {
+		w := false
+		f77.WalkStmts(callee.Body, func(s f77.Stmt) bool {
+			if a, ok := s.(*f77.Assign); ok && a.LHS.Sym == dummy {
+				w = true
+			}
+			return true
+		})
+		return w
+	}
+
+	// Bind dummies to actuals.
+	for i, dummy := range callee.Params {
+		switch actual := call.Args[i].(type) {
+		case *f77.VarExpr:
+			m[dummy] = actual.Sym
+		default:
+			if dummy.IsArray() {
+				return nil, fmt.Errorf("analysis: CALL %s: array dummy %s needs a whole-array actual", call.Name, dummy.Name)
+			}
+			if writesDummy(dummy) {
+				return nil, fmt.Errorf("analysis: CALL %s: dummy %s is written but bound to an expression", call.Name, dummy.Name)
+			}
+			tmp := freshSym(host, fmt.Sprintf("%s$A%d", callee.Name, i), dummy.Type)
+			pre = append(pre, &f77.Assign{LHS: &f77.Ref{Sym: tmp}, RHS: f77.CloneExpr(actual, nil)})
+			m[dummy] = tmp
+		}
+	}
+
+	// COMMON members alias the host's block members positionally; the
+	// element layouts must agree (a deliberate restriction — classic
+	// F77 allows re-splitting the byte sequence, our benchmarks don't).
+	if len(callee.Commons) > 0 && host.Commons == nil {
+		host.Commons = map[string][]*f77.Symbol{}
+	}
+	for block, members := range callee.Commons {
+		hostMembers := host.Commons[block]
+		for i, member := range members {
+			if i < len(hostMembers) {
+				hm := hostMembers[i]
+				if symElems(member) != symElems(hm) {
+					return nil, fmt.Errorf("analysis: COMMON /%s/ member %d: %s(%d elements) in %s vs %s(%d) in %s",
+						block, i, member.Name, symElems(member), callee.Name, hm.Name, symElems(hm), host.Name)
+				}
+				m[member] = hm
+				continue
+			}
+			// The host has no such member yet: adopt the callee's.
+			clone := &f77.Symbol{
+				Name:        member.Name,
+				Type:        member.Type,
+				Common:      block,
+				CommonIndex: i,
+			}
+			base := clone.Name
+			for n := 0; host.Syms.Lookup(clone.Name) != nil; n++ {
+				clone.Name = fmt.Sprintf("%s$C%d", base, n)
+			}
+			host.Syms.Define(clone)
+			host.Commons[block] = append(host.Commons[block], clone)
+			hostMembers = host.Commons[block]
+			m[member] = clone
+		}
+	}
+	// Dims of adopted common members rewrite after the map is complete
+	// (handled by the shared dims pass below, since m maps them).
+	for block, members := range callee.Commons {
+		for i, member := range members {
+			clone := m[member]
+			if clone == nil || clone == member || len(member.Dims) == 0 || len(clone.Dims) > 0 {
+				continue
+			}
+			clone.Dims = make([]f77.Dim, len(member.Dims))
+			for j, d := range member.Dims {
+				clone.Dims[j] = f77.Dim{Low: f77.CloneExpr(d.Low, m), High: f77.CloneExpr(d.High, m)}
+			}
+			_ = i
+			_ = block
+		}
+	}
+
+	// Clone callee locals into the host with fresh names. Adjustable
+	// dimension expressions are rewritten through the same map, so
+	// A(N,N) with dummy N binds to the actual's symbol. Only the
+	// symbols created here get their dims rewritten — dummies map to
+	// host symbols whose own declarations must stay untouched.
+	created := map[*f77.Symbol]*f77.Symbol{} // callee local → fresh clone
+	for _, local := range callee.Syms.Order {
+		if local.IsArg {
+			continue
+		}
+		if _, bound := m[local]; bound {
+			continue
+		}
+		clone := &f77.Symbol{
+			Name:    fmt.Sprintf("%s$%s", callee.Name, local.Name),
+			Type:    local.Type,
+			IsConst: local.IsConst,
+			Const:   local.Const,
+		}
+		// Uniquify.
+		base := clone.Name
+		for n := 0; host.Syms.Lookup(clone.Name) != nil; n++ {
+			clone.Name = fmt.Sprintf("%s%d", base, n)
+		}
+		host.Syms.Define(clone)
+		m[local] = clone
+		created[local] = clone
+	}
+	// Rewrite dimension expressions after the full map exists.
+	for local, clone := range created {
+		if len(local.Dims) == 0 {
+			continue
+		}
+		clone.Dims = make([]f77.Dim, len(local.Dims))
+		for i, d := range local.Dims {
+			clone.Dims[i] = f77.Dim{Low: f77.CloneExpr(d.Low, m), High: f77.CloneExpr(d.High, m)}
+		}
+	}
+
+	// DATA initializations of callee locals move to the host.
+	for _, di := range callee.DataInits {
+		if mapped, ok := m[di.Sym]; ok && mapped != di.Sym {
+			host.DataInits = append(host.DataInits, f77.DataInit{Sym: mapped, Vals: append([]float64(nil), di.Vals...)})
+		}
+	}
+
+	// Clone the body, bump labels into a fresh range, then rewrite
+	// RETURN into a jump past the inlined body.
+	labelOffset := labelStride * (depth + 1 + labelBump(host))
+	body := f77.CloneStmts(callee.Body, m, labelOffset)
+	endLabel := labelOffset + labelStride - 1
+	usedReturn := false
+	body = rewriteReturns(body, endLabel, &usedReturn, true)
+	if usedReturn {
+		body = append(body, &f77.ContinueStmt{StmtBase: f77.StmtBase{Lbl: endLabel}})
+	}
+
+	// Transitive inlining inside the expanded body.
+	body, err := inlineInStmts(prog, host, body, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	return append(pre, body...), nil
+}
+
+// symElems reports a symbol's constant element count (1 for scalars,
+// 0 when a bound does not fold).
+func symElems(sym *f77.Symbol) int64 {
+	if !sym.IsArray() {
+		return 1
+	}
+	lay, err := LayoutOf(sym)
+	if err != nil {
+		return 0
+	}
+	return lay.Size
+}
+
+// labelBump hands out a fresh label block per host call site.
+func labelBump(host *f77.Unit) int {
+	max := 0
+	f77.WalkStmts(host.Body, func(s f77.Stmt) bool {
+		if s.Label() > max {
+			max = s.Label()
+		}
+		return true
+	})
+	return max/labelStride + 1
+}
+
+func rewriteReturns(stmts []f77.Stmt, endLabel int, used *bool, topLevel bool) []f77.Stmt {
+	out := make([]f77.Stmt, 0, len(stmts))
+	for i, s := range stmts {
+		switch x := s.(type) {
+		case *f77.ReturnStmt:
+			if topLevel && i == len(stmts)-1 {
+				continue // trailing RETURN just falls off the end
+			}
+			*used = true
+			out = append(out, &f77.Goto{StmtBase: f77.StmtBase{Lbl: x.Label()}, Target: endLabel})
+		case *f77.DoLoop:
+			x.Body = rewriteReturns(x.Body, endLabel, used, false)
+			out = append(out, x)
+		case *f77.IfBlock:
+			for j := range x.Blocks {
+				x.Blocks[j] = rewriteReturns(x.Blocks[j], endLabel, used, false)
+			}
+			x.Else = rewriteReturns(x.Else, endLabel, used, false)
+			out = append(out, x)
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FrontEnd runs the complete front-end pipeline on a program: inline
+// subroutine calls into the main unit, substitute induction variables,
+// then detect parallel loops. It mirrors the paper's Figure 1 FE box.
+func FrontEnd(prog *f77.Program) error {
+	if err := InlineCalls(prog); err != nil {
+		return err
+	}
+	main := prog.Main()
+	PropagateConstants(main)
+	SubstituteInductions(main)
+	PropagateConstants(main) // fold the induction temporaries' initial values
+	DetectParallel(main)
+	return nil
+}

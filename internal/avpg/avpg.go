@@ -1,0 +1,205 @@
+// Package avpg implements the Array-Value-Propagation Graph of §5.2: a
+// per-array directed graph over the sequence of top-level loop nests
+// (parallel regions) that the postpass uses to eliminate redundant
+// data-scattering and data-collecting communication.
+//
+// Each node corresponds to the outermost loop of one loop nest in
+// program order. Per array, a node carries one of three attributes:
+//
+//	Valid     — the array is used (read or written) in the loop;
+//	Propagate — not used here, but used by a later loop;
+//	Invalid   — not used here nor in any later loop.
+//
+// Two §5.2 eliminations follow:
+//
+//  1. a Valid node followed (for that array) by only Invalid nodes
+//     needs no data-collecting at its exit — the values are dead;
+//  2. communication between a Valid node and the *next* Valid node is
+//     delayed across any intervening Propagate nodes — the scatter
+//     happens once at the next use instead of at every region boundary.
+package avpg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attr is a node attribute for one array.
+type Attr int
+
+// Node attributes (§5.2).
+const (
+	Invalid Attr = iota
+	Propagate
+	Valid
+)
+
+func (a Attr) String() string {
+	switch a {
+	case Valid:
+		return "valid"
+	case Propagate:
+		return "propagate"
+	case Invalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("Attr(%d)", int(a))
+	}
+}
+
+// Use describes how one region uses one array.
+type Use struct {
+	Read    bool
+	Written bool
+}
+
+// Used reports whether the array is touched at all.
+func (u Use) Used() bool { return u.Read || u.Written }
+
+// Graph is the AVPG for a sequence of regions.
+type Graph struct {
+	// NumRegions is the number of nodes, in program order.
+	NumRegions int
+	// uses[array][region] records the raw usage.
+	uses map[string][]Use
+}
+
+// New creates a graph over n regions.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("avpg: negative region count")
+	}
+	return &Graph{NumRegions: n, uses: map[string][]Use{}}
+}
+
+// Record notes that region i reads and/or writes the array.
+func (g *Graph) Record(region int, array string, read, written bool) {
+	if region < 0 || region >= g.NumRegions {
+		panic(fmt.Sprintf("avpg: region %d out of range [0,%d)", region, g.NumRegions))
+	}
+	u := g.uses[array]
+	if u == nil {
+		u = make([]Use, g.NumRegions)
+		g.uses[array] = u
+	}
+	u[region].Read = u[region].Read || read
+	u[region].Written = u[region].Written || written
+}
+
+// Arrays lists the recorded arrays, sorted.
+func (g *Graph) Arrays() []string {
+	out := make([]string, 0, len(g.uses))
+	for a := range g.uses {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttrOf computes the attribute of one array at one region.
+func (g *Graph) AttrOf(region int, array string) Attr {
+	u, ok := g.uses[array]
+	if !ok {
+		return Invalid
+	}
+	if u[region].Used() {
+		return Valid
+	}
+	for i := region + 1; i < g.NumRegions; i++ {
+		if u[i].Used() {
+			return Propagate
+		}
+	}
+	return Invalid
+}
+
+// Use reports the recorded usage of array at region.
+func (g *Graph) Use(region int, array string) Use {
+	u, ok := g.uses[array]
+	if !ok {
+		return Use{}
+	}
+	return u[region]
+}
+
+// NeedScatter reports whether the array's master copy must be
+// distributed to slaves at the entry of the region: the region reads
+// the array, and some earlier region (or the program start, treated as
+// region -1 where the master initializes everything) produced a value
+// that has not already been scattered — which the postpass tracks; at
+// the graph level a read in a Valid node needs a scatter unless the
+// value is already slave-resident, which the planner layer decides.
+// Here we expose the §5.2 fact: reads in Valid nodes are the scatter
+// points.
+func (g *Graph) NeedScatter(region int, array string) bool {
+	return g.Use(region, array).Read
+}
+
+// NeedCollect reports whether values written by the region must be
+// collected back to the master at its exit: the array is written here
+// and the value is live afterwards — i.e. the attribute of the *next*
+// node is not Invalid. A write whose value is never used again is the
+// paper's "edge from a valid node followed by an invalid node": the
+// data-collecting there is redundant and eliminated.
+func (g *Graph) NeedCollect(region int, array string) bool {
+	u := g.Use(region, array)
+	if !u.Written {
+		return false
+	}
+	// Live after this region?
+	uses := g.uses[array]
+	for i := region + 1; i < g.NumRegions; i++ {
+		if uses[i].Used() {
+			return true
+		}
+	}
+	// Live-out of the whole region sequence (e.g. printed by the final
+	// sequential code): the planner marks that by recording a read at a
+	// virtual trailing region; absent that, the value is dead.
+	return false
+}
+
+// String renders the graph like the paper's Figure 7, one array per
+// column.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	arrays := g.Arrays()
+	fmt.Fprintf(&sb, "region")
+	for _, a := range arrays {
+		fmt.Fprintf(&sb, "\t%s", a)
+	}
+	sb.WriteByte('\n')
+	for r := 0; r < g.NumRegions; r++ {
+		fmt.Fprintf(&sb, "loop%d", r)
+		for _, a := range arrays {
+			fmt.Fprintf(&sb, "\t%s", g.AttrOf(r, a))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Savings reports how many region-boundary communications the AVPG
+// eliminated for one array: boundaries where a scatter or collect
+// would naively occur minus the ones still needed.
+type Savings struct {
+	NaiveScatters, NaiveCollects int
+	Scatters, Collects           int
+}
+
+// SavingsOf computes the naive-vs-optimized communication counts for
+// an array, where the naive scheme scatters before and collects after
+// every region regardless of use.
+func (g *Graph) SavingsOf(array string) Savings {
+	s := Savings{NaiveScatters: g.NumRegions, NaiveCollects: g.NumRegions}
+	for r := 0; r < g.NumRegions; r++ {
+		if g.NeedScatter(r, array) {
+			s.Scatters++
+		}
+		if g.NeedCollect(r, array) {
+			s.Collects++
+		}
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+package avpg
+
+import (
+	"strings"
+	"testing"
+)
+
+// Figure 7's scenario: three arrays over four consecutive loops.
+//
+//	A: used in loop0, not in loop1/loop2, used again in loop3
+//	   → Valid, Propagate, Propagate, Valid
+//	B: used in loop0 only → Valid, Invalid, Invalid, Invalid
+//	C: used in loop1 and loop2 → Invalid at 0... (paper draws Valid
+//	   chains; we encode C used at 1,2)
+func figure7(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4)
+	g.Record(0, "A", true, true)
+	g.Record(3, "A", true, false)
+	g.Record(0, "B", false, true)
+	g.Record(1, "C", true, true)
+	g.Record(2, "C", true, true)
+	return g
+}
+
+func TestFigure7Attributes(t *testing.T) {
+	g := figure7(t)
+	cases := []struct {
+		region int
+		array  string
+		want   Attr
+	}{
+		{0, "A", Valid}, {1, "A", Propagate}, {2, "A", Propagate}, {3, "A", Valid},
+		{0, "B", Valid}, {1, "B", Invalid}, {2, "B", Invalid}, {3, "B", Invalid},
+		{0, "C", Propagate}, {1, "C", Valid}, {2, "C", Valid}, {3, "C", Invalid},
+	}
+	for _, c := range cases {
+		if got := g.AttrOf(c.region, c.array); got != c.want {
+			t.Errorf("AttrOf(%d,%s) = %v, want %v", c.region, c.array, got, c.want)
+		}
+	}
+}
+
+// §5.2 elimination 1: "the edge from a valid node followed by an
+// invalid node" — B is written in loop0 and never used again, so its
+// data-collecting is redundant.
+func TestDeadWriteNeedsNoCollect(t *testing.T) {
+	g := figure7(t)
+	if g.NeedCollect(0, "B") {
+		t.Fatal("dead write of B should not be collected")
+	}
+}
+
+// §5.2 elimination 2: communications for A are delayed across the
+// propagate nodes — loops 1 and 2 neither scatter nor collect A.
+func TestPropagateNodesSkipCommunication(t *testing.T) {
+	g := figure7(t)
+	for r := 1; r <= 2; r++ {
+		if g.NeedScatter(r, "A") {
+			t.Fatalf("A scattered at propagate node %d", r)
+		}
+		if g.NeedCollect(r, "A") {
+			t.Fatalf("A collected at propagate node %d", r)
+		}
+	}
+	if !g.NeedCollect(0, "A") {
+		t.Fatal("A written in loop0 and read in loop3 must be collected")
+	}
+	if !g.NeedScatter(3, "A") {
+		t.Fatal("A read in loop3 must be scattered there")
+	}
+}
+
+func TestWriteOnlyRegionNoScatter(t *testing.T) {
+	g := New(2)
+	g.Record(0, "A", false, true) // write-first
+	g.Record(1, "A", true, false)
+	if g.NeedScatter(0, "A") {
+		t.Fatal("WriteFirst region needs no scatter")
+	}
+	if !g.NeedCollect(0, "A") {
+		t.Fatal("written value read later must be collected")
+	}
+	if !g.NeedScatter(1, "A") {
+		t.Fatal("read region needs scatter")
+	}
+}
+
+func TestLiveOutViaTrailingVirtualRegion(t *testing.T) {
+	// The planner records final sequential uses as a trailing region.
+	g := New(3)
+	g.Record(0, "A", false, true)
+	g.Record(2, "A", true, false) // virtual: printed at program end
+	if !g.NeedCollect(0, "A") {
+		t.Fatal("live-out write must be collected")
+	}
+}
+
+func TestUnknownArrayInvalid(t *testing.T) {
+	g := New(2)
+	if g.AttrOf(0, "NOPE") != Invalid {
+		t.Fatal("unknown array should be Invalid")
+	}
+	if g.NeedScatter(0, "NOPE") || g.NeedCollect(0, "NOPE") {
+		t.Fatal("unknown array needs no communication")
+	}
+}
+
+func TestSavings(t *testing.T) {
+	g := figure7(t)
+	s := g.SavingsOf("A")
+	if s.NaiveScatters != 4 || s.NaiveCollects != 4 {
+		t.Fatalf("naive counts: %+v", s)
+	}
+	if s.Scatters != 2 { // loops 0 and 3 read A
+		t.Fatalf("scatters = %d", s.Scatters)
+	}
+	if s.Collects != 1 { // only loop0's write is live
+		t.Fatalf("collects = %d", s.Collects)
+	}
+	sb := g.SavingsOf("B")
+	if sb.Collects != 0 || sb.Scatters != 0 {
+		t.Fatalf("B savings: %+v", sb)
+	}
+}
+
+func TestStringRendersFigure(t *testing.T) {
+	g := figure7(t)
+	out := g.String()
+	if !strings.Contains(out, "propagate") || !strings.Contains(out, "valid") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "loop3") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	g := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range region accepted")
+		}
+	}()
+	g.Record(5, "A", true, false)
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"vbuscluster/internal/core"
+	"vbuscluster/internal/lmad"
+	"vbuscluster/internal/sim"
+)
+
+// StrideSource builds a synthetic kernel whose update LMAD has the
+// given constant stride: W(s*I - s + 1) over I = 1..n touches every
+// s-th element, read-modify-write so the region is ReadWrite (the
+// scatter then covers the approximate collect boxes and the §5.6
+// validity check permits coarse/middle collecting — a write-only
+// strided kernel is always demoted to fine, by design). Sweeping s
+// probes the §6 conclusion: which granularity wins depends on the
+// access pattern.
+func StrideSource(n, stride int) string {
+	return fmt.Sprintf(`
+      PROGRAM STRIDE
+      INTEGER N, S
+      PARAMETER (N = %d, S = %d)
+      REAL W(S*N)
+      INTEGER I
+      DO I = 1, N
+        W(S*I - S + 1) = W(S*I - S + 1) + 0.5
+      ENDDO
+      PRINT *, W(1)
+      END
+`, n, stride)
+}
+
+// CrossoverPoint is one stride's comm time under each granularity.
+type CrossoverPoint struct {
+	Stride    int
+	Fine      sim.Time
+	Middle    sim.Time
+	Coarse    sim.Time
+	BestGrain lmad.Grain
+}
+
+// Crossover sweeps the write stride and reports, per stride, the
+// communication time at each granularity and the winner. The expected
+// shape under the V-Bus cost model: fine (strided PIO) wins at very
+// large strides where dense approximations ship mostly padding; middle
+// and coarse win at small strides, where one dense DMA beats
+// per-element programmed I/O — the crossover is where
+// stride · wireTimePerElement ≈ PIOPerElement.
+func Crossover(n int, strides []int, procs int) ([]CrossoverPoint, error) {
+	var out []CrossoverPoint
+	for _, s := range strides {
+		pt := CrossoverPoint{Stride: s}
+		best := sim.MaxTime
+		for _, grain := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
+			c, err := core.Compile(StrideSource(n, s), core.Options{NumProcs: procs, Grain: grain})
+			if err != nil {
+				return nil, fmt.Errorf("bench: stride %d: %w", s, err)
+			}
+			res, err := c.RunParallel(core.Timing)
+			if err != nil {
+				return nil, fmt.Errorf("bench: stride %d run: %w", s, err)
+			}
+			t := res.Report.TotalXferTime()
+			switch grain {
+			case lmad.Fine:
+				pt.Fine = t
+			case lmad.Middle:
+				pt.Middle = t
+			case lmad.Coarse:
+				pt.Coarse = t
+			}
+			if t < best {
+				best = t
+				pt.BestGrain = grain
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatCrossover renders the sweep.
+func FormatCrossover(points []CrossoverPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Granularity crossover: comm time vs write stride (stride-s kernel)\n")
+	sb.WriteString("stride\tfine\t\tmiddle\t\tcoarse\t\tbest\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%d\t%-10v\t%-10v\t%-10v\t%v\n", p.Stride, p.Fine, p.Middle, p.Coarse, p.BestGrain)
+	}
+	return sb.String()
+}

@@ -1,0 +1,134 @@
+// Package bench holds the paper's benchmark programs — MM (matrix
+// multiplication), the SWIM shallow-water kernel from SPEC97, and
+// CFFT2INIT (the initialization subroutine of NASA's TFFT) — rewritten
+// in the supported Fortran 77 subset, plus the harness that regenerates
+// the evaluation tables (§6: Tables 1 and 2) and the §2 card
+// microbenchmarks.
+//
+// Substitution note (DESIGN.md §3): the original SPEC/NASA sources are
+// not redistributable here; these kernels preserve the loop structure
+// and, critically, the array access *shapes* the experiment depends on:
+// MM's row-partitioned column-major regions, SWIM's 2-D unit-stride
+// stencil regions, and CFFT2INIT's stride-2 interleaved writes.
+package bench
+
+import "fmt"
+
+// MMSource returns the matrix-multiplication benchmark for n×n
+// matrices: the classic I/J/K nest. The outer I loop parallelizes; in
+// column-major storage each processor's rows interleave, which is what
+// exercises the strided (programmed-I/O) communication path at fine
+// grain.
+func MMSource(n int) string {
+	return fmt.Sprintf(`
+      PROGRAM MM
+      INTEGER N
+      PARAMETER (N = %d)
+      REAL A(N,N), B(N,N), C(N,N)
+      INTEGER I, J, K
+      DO I = 1, N
+        DO J = 1, N
+          A(I,J) = REAL(I+J) / REAL(N)
+          B(I,J) = REAL(I-J) / REAL(N)
+          C(I,J) = 0.0
+        ENDDO
+      ENDDO
+      DO I = 1, N
+        DO J = 1, N
+          DO K = 1, N
+            C(I,J) = C(I,J) + A(I,K) * B(K,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      PRINT *, C(1,1), C(N,N)
+      END
+`, n)
+}
+
+// SwimSource returns the shallow-water kernel on an n1×n2 grid with
+// ITMAX=1 (the paper's configuration): an initialization sweep plus the
+// CALC1/CALC2 stencil updates of SWIM's time step.
+func SwimSource(n1, n2 int) string {
+	return fmt.Sprintf(`
+      PROGRAM SWIM
+      INTEGER N1, N2
+      PARAMETER (N1 = %d, N2 = %d)
+      REAL U(N1,N2), V(N1,N2), P(N1,N2)
+      REAL UNEW(N1,N2), VNEW(N1,N2), PNEW(N1,N2)
+      REAL CU(N1,N2), CV(N1,N2), Z(N1,N2), H(N1,N2)
+      REAL DT, TDTS8, TDTSDX, TDTSDY, FSDX, FSDY, A
+      INTEGER I, J
+
+      DT = 90.0
+      A = 1000000.0
+      FSDX = 4.0 / 100000.0
+      FSDY = 4.0 / 100000.0
+      TDTS8 = DT / 8.0
+      TDTSDX = DT / 100000.0
+      TDTSDY = DT / 100000.0
+
+C     Initial values of the velocity and pressure fields.
+      DO I = 1, N1
+        DO J = 1, N2
+          U(I,J) = SIN(REAL(I) / REAL(N1)) * 10.0
+          V(I,J) = COS(REAL(J) / REAL(N2)) * 10.0
+          P(I,J) = A + REAL(I+J) * 0.5
+          UNEW(I,J) = 0.0
+          VNEW(I,J) = 0.0
+          PNEW(I,J) = 0.0
+        ENDDO
+      ENDDO
+
+C     CALC1: mass fluxes, vorticity and height (one time step).
+      DO I = 2, N1
+        DO J = 2, N2
+          CU(I,J) = 0.5 * (P(I,J) + P(I-1,J)) * U(I,J)
+          CV(I,J) = 0.5 * (P(I,J) + P(I,J-1)) * V(I,J)
+          Z(I,J) = (FSDX*(V(I,J)-V(I-1,J)) - FSDY*(U(I,J)-U(I,J-1))) /
+     &             (P(I-1,J-1) + P(I,J-1) + P(I-1,J) + P(I,J))
+          H(I,J) = P(I,J) + 0.25*(U(I,J)*U(I,J) + V(I,J)*V(I,J))
+        ENDDO
+      ENDDO
+
+C     CALC2: new velocity and pressure fields.
+      DO I = 2, N1-1
+        DO J = 2, N2-1
+          UNEW(I,J) = U(I,J) +
+     &      TDTS8*(Z(I,J+1)+Z(I,J))*(CV(I,J)+CV(I+1,J)) -
+     &      TDTSDX*(H(I+1,J)-H(I,J))
+          VNEW(I,J) = V(I,J) -
+     &      TDTS8*(Z(I+1,J)+Z(I,J))*(CU(I,J)+CU(I,J+1)) -
+     &      TDTSDY*(H(I,J+1)-H(I,J))
+          PNEW(I,J) = P(I,J) -
+     &      TDTSDX*(CU(I+1,J)-CU(I,J)) -
+     &      TDTSDY*(CV(I,J+1)-CV(I,J))
+        ENDDO
+      ENDDO
+      PRINT *, PNEW(2,2), UNEW(2,2), VNEW(2,2)
+      END
+`, n1, n2)
+}
+
+// CFFTSource returns the CFFT2INIT kernel for m (table size n = 2**m):
+// the twiddle-factor table initialization of NASA's TFFT, whose
+// interleaved real/imaginary layout produces the stride-2 LMADs the
+// paper highlights ("there exist several LMADs with the stride of 2 in
+// the subroutine").
+func CFFTSource(m int) string {
+	return fmt.Sprintf(`
+      PROGRAM CFFTI
+      INTEGER M, N
+      PARAMETER (M = %d, N = 2**M)
+      REAL W(2*N), PI, T, TI
+      INTEGER I
+      PI = 3.141592653589793
+      DO I = 1, N
+        W(2*I-1) = COS(PI * REAL(I-1) / REAL(N))
+        W(2*I)   = SIN(PI * REAL(I-1) / REAL(N))
+      ENDDO
+      T = W(1)
+      TI = W(2)
+      PRINT *, T, TI
+      END
+`, m)
+}

@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"vbuscluster/internal/core"
+	"vbuscluster/internal/lmad"
+	"vbuscluster/internal/sim"
+)
+
+// Table1Row is one cell of the paper's Table 1: MM speedup for one
+// matrix size on one node count.
+type Table1Row struct {
+	Size    int
+	Procs   int
+	Seq     sim.Time
+	Par     sim.Time
+	Speedup float64
+}
+
+// Table1 reproduces "Table 1. Total execution time of the MM code":
+// speedups of MM for sizes × node counts, at the given granularity
+// (the paper's best: coarse).
+func Table1(sizes []int, procs []int, grain lmad.Grain) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, n := range sizes {
+		src := MMSource(n)
+		var seq sim.Time
+		{
+			c, err := core.Compile(src, core.Options{NumProcs: 1, Grain: grain})
+			if err != nil {
+				return nil, fmt.Errorf("bench: MM %d: %w", n, err)
+			}
+			res, err := c.RunSequential(core.Timing)
+			if err != nil {
+				return nil, fmt.Errorf("bench: MM %d sequential: %w", n, err)
+			}
+			seq = res.Elapsed
+		}
+		for _, p := range procs {
+			c, err := core.Compile(src, core.Options{NumProcs: p, Grain: grain})
+			if err != nil {
+				return nil, fmt.Errorf("bench: MM %d/%d: %w", n, p, err)
+			}
+			res, err := c.RunParallel(core.Timing)
+			if err != nil {
+				return nil, fmt.Errorf("bench: MM %d on %d procs: %w", n, p, err)
+			}
+			rows = append(rows, Table1Row{
+				Size:    n,
+				Procs:   p,
+				Seq:     seq,
+				Par:     res.Elapsed,
+				Speedup: float64(seq) / float64(res.Elapsed),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders rows like the paper's Table 1 (speedups as a
+// nodes × sizes grid).
+func FormatTable1(rows []Table1Row) string {
+	sizes := []int{}
+	procs := []int{}
+	cell := map[[2]int]float64{}
+	seenS := map[int]bool{}
+	seenP := map[int]bool{}
+	for _, r := range rows {
+		if !seenS[r.Size] {
+			seenS[r.Size] = true
+			sizes = append(sizes, r.Size)
+		}
+		if !seenP[r.Procs] {
+			seenP[r.Procs] = true
+			procs = append(procs, r.Procs)
+		}
+		cell[[2]int{r.Procs, r.Size}] = r.Speedup
+	}
+	var sb strings.Builder
+	sb.WriteString("Table 1. Speedups of the MM code\n")
+	sb.WriteString("# of Nodes")
+	for _, s := range sizes {
+		fmt.Fprintf(&sb, "\t%d*%d", s, s)
+	}
+	sb.WriteByte('\n')
+	for _, p := range procs {
+		fmt.Fprintf(&sb, "%d", p)
+		for _, s := range sizes {
+			fmt.Fprintf(&sb, "\t%.3f", cell[[2]int{p, s}])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Table2Row is one cell of Table 2: communication time of one benchmark
+// at one granularity.
+type Table2Row struct {
+	Benchmark string
+	Grain     lmad.Grain
+	// CommTime is the total data scattering/collecting time — the
+	// quantity the §5.6 granularity controls and Table 2 compares.
+	CommTime sim.Time
+	// SyncTime is barrier/fence time (grain-independent).
+	SyncTime sim.Time
+	Elapsed  sim.Time
+	Messages int64
+	Bytes    int64
+}
+
+// Table2Benchmarks returns the paper's Table 2 benchmark set: MM at
+// 1024², SWIM with ITMAX=1, and CFFT2INIT with M=11. Smaller sizes can
+// be substituted for quick runs.
+func Table2Benchmarks(mmN, swimN, cfftM int) map[string]string {
+	return map[string]string{
+		fmt.Sprintf("MM(%d*%d)", mmN, mmN):       MMSource(mmN),
+		fmt.Sprintf("Swim(ITMAX=1,N=%d)", swimN): SwimSource(swimN, swimN),
+		fmt.Sprintf("CFFT2INIT(M=%d)", cfftM):    CFFTSource(cfftM),
+	}
+}
+
+// Table2 reproduces "Table 2. Communication time for matrix
+// multiplication, swim and CFFT2INIT of TFFT": the communication time
+// of each benchmark on procs processors at the three granularities.
+func Table2(benchmarks map[string]string, procs int) ([]Table2Row, error) {
+	var rows []Table2Row
+	for name, src := range benchmarks {
+		for _, grain := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
+			c, err := core.Compile(src, core.Options{NumProcs: procs, Grain: grain})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%v: %w", name, grain, err)
+			}
+			res, err := c.RunParallel(core.Timing)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s/%v run: %w", name, grain, err)
+			}
+			rows = append(rows, Table2Row{
+				Benchmark: name,
+				Grain:     grain,
+				CommTime:  res.Report.TotalXferTime(),
+				SyncTime:  res.Report.TotalCommTime() - res.Report.TotalXferTime(),
+				Elapsed:   res.Elapsed,
+				Messages:  res.Report.TotalCommOps(),
+				Bytes:     res.Report.TotalCommBytes(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders rows like the paper's Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2. Communication time (s) by granularity\n")
+	sb.WriteString("Benchmark\tfine\tmiddle\tcoarse\n")
+	order := []string{}
+	byName := map[string]map[lmad.Grain]Table2Row{}
+	for _, r := range rows {
+		if byName[r.Benchmark] == nil {
+			byName[r.Benchmark] = map[lmad.Grain]Table2Row{}
+			order = append(order, r.Benchmark)
+		}
+		byName[r.Benchmark][r.Grain] = r
+	}
+	for _, name := range order {
+		fmt.Fprintf(&sb, "%s", name)
+		for _, g := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
+			fmt.Fprintf(&sb, "\t%.5f", byName[name][g].CommTime.Seconds())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,357 @@
+// Package cluster models the machine the paper evaluates on: a set of
+// 300 MHz Pentium II PCs, each with 64 MB of memory, placed on a V-Bus
+// mesh. It provides the per-process *virtual clocks* that the MPI
+// runtime and the interpreter charge, and the CPU cost parameters used
+// to convert abstract operation counts into virtual time.
+//
+// Virtual time replaces wall-clock measurement: every experiment in
+// EXPERIMENTS.md compares virtual times, which makes results exactly
+// reproducible and independent of the host machine.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"vbuscluster/internal/nic"
+	"vbuscluster/internal/sim"
+)
+
+// CPUParams is the processor cost model. The defaults approximate a
+// 300 MHz Pentium II running naive compiled Fortran loops: each
+// floating-point operation in a loop body costs a couple of cycles once
+// loads, stores and address arithmetic are folded in.
+type CPUParams struct {
+	// FlopTime is the charged time per floating-point operation
+	// (including its share of loads/stores/address math).
+	FlopTime sim.Time
+	// IntOpTime is the charged time per integer/logical operation.
+	IntOpTime sim.Time
+	// LoopOverhead is the charged time per loop iteration for the
+	// increment/test/branch.
+	LoopOverhead sim.Time
+	// MemCopyPerByte is the charged time per byte for local memory
+	// copies (used for rank-local "communication").
+	MemCopyPerByte sim.Time
+	// CallOverhead is the charged time per subroutine call.
+	CallOverhead sim.Time
+	// SPMDIterOverhead is the extra per-iteration cost of a partitioned
+	// (SPMD-ized) loop relative to the original sequential loop: the
+	// generated code computes rank-dependent bounds and strides. It is
+	// what makes the paper's 1-node "speedup" land below 1 (Table 1's
+	// 0.96) independent of problem size.
+	SPMDIterOverhead sim.Time
+}
+
+// DefaultCPUParams returns the Pentium II calibration.
+func DefaultCPUParams() CPUParams {
+	return CPUParams{
+		FlopTime:         20 * sim.Nanosecond, // ~6 cycles @300MHz: mul/add + loads
+		IntOpTime:        7 * sim.Nanosecond,
+		LoopOverhead:     10 * sim.Nanosecond,
+		MemCopyPerByte:   5 * sim.Nanosecond, // ~200 MB/s copy on 2001 SDRAM
+		CallOverhead:     100 * sim.Nanosecond,
+		SPMDIterOverhead: 6 * sim.Nanosecond,
+	}
+}
+
+// Params bundles everything the runtime needs to cost operations.
+type Params struct {
+	CPU CPUParams
+	// Card is the NIC cost model shared by all nodes.
+	Card nic.Card
+	// MeshWidth/MeshHeight place the nodes. Nodes beyond the process
+	// count stay idle.
+	MeshWidth, MeshHeight int
+	// Torus wraps the mesh in both dimensions, shortening worst-case
+	// hop distances (see mesh.Config.Torus for the flit-level model).
+	Torus bool
+}
+
+// DefaultParams is the paper configuration: V-Bus cards on a 2x2 mesh
+// (the experiment used a 4-node configuration).
+func DefaultParams() Params {
+	card, err := nic.NewVBus(nic.DefaultVBusConfig())
+	if err != nil {
+		panic("cluster: default vbus config invalid: " + err.Error())
+	}
+	return Params{
+		CPU:        DefaultCPUParams(),
+		Card:       card,
+		MeshWidth:  2,
+		MeshHeight: 2,
+	}
+}
+
+// Cluster is a set of processes with virtual clocks placed on a mesh.
+// All methods are safe for concurrent use by the per-rank goroutines.
+type Cluster struct {
+	params Params
+	n      int
+
+	mu        sync.Mutex
+	clocks    []sim.Time
+	commTime  []sim.Time // communication time charged per rank
+	xferTime  []sim.Time // data-transfer subset of commTime (no sync)
+	compTime  []sim.Time // computation time charged per rank
+	commBytes []int64
+	commOps   []int64
+}
+
+// New builds a cluster of n processes. Ranks are placed row-major on
+// the mesh; n may not exceed the mesh capacity.
+func New(n int, params Params) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one process, got %d", n)
+	}
+	if params.MeshWidth <= 0 || params.MeshHeight <= 0 {
+		return nil, fmt.Errorf("cluster: invalid mesh %dx%d", params.MeshWidth, params.MeshHeight)
+	}
+	if cap := params.MeshWidth * params.MeshHeight; n > cap {
+		return nil, fmt.Errorf("cluster: %d processes exceed %d mesh nodes", n, cap)
+	}
+	if params.Card == nil {
+		return nil, fmt.Errorf("cluster: nil NIC card")
+	}
+	return &Cluster{
+		params:    params,
+		n:         n,
+		clocks:    make([]sim.Time, n),
+		commTime:  make([]sim.Time, n),
+		xferTime:  make([]sim.Time, n),
+		compTime:  make([]sim.Time, n),
+		commBytes: make([]int64, n),
+		commOps:   make([]int64, n),
+	}, nil
+}
+
+// N reports the process count.
+func (c *Cluster) N() int { return c.n }
+
+// Params returns the cost parameters.
+func (c *Cluster) Params() Params { return c.params }
+
+// Card returns the NIC cost model.
+func (c *Cluster) Card() nic.Card { return c.params.Card }
+
+// Hops reports the mesh hop distance between two ranks' nodes.
+func (c *Cluster) Hops(a, b int) int {
+	ax, ay := a%c.params.MeshWidth, a/c.params.MeshWidth
+	bx, by := b%c.params.MeshWidth, b/c.params.MeshWidth
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	if c.params.Torus {
+		if w := c.params.MeshWidth - dx; w < dx {
+			dx = w
+		}
+		if h := c.params.MeshHeight - dy; h < dy {
+			dy = h
+		}
+	}
+	return dx + dy
+}
+
+func (c *Cluster) check(rank int) {
+	if rank < 0 || rank >= c.n {
+		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, c.n))
+	}
+}
+
+// Clock reports rank's current virtual time.
+func (c *Cluster) Clock(rank int) sim.Time {
+	c.check(rank)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clocks[rank]
+}
+
+// ChargeCompute advances rank's clock by d and books it as computation.
+func (c *Cluster) ChargeCompute(rank int, d sim.Time) {
+	c.check(rank)
+	if d < 0 {
+		panic("cluster: negative compute charge")
+	}
+	c.mu.Lock()
+	c.clocks[rank] += d
+	c.compTime[rank] += d
+	c.mu.Unlock()
+}
+
+// ChargeComm advances rank's clock by d and books it as communication,
+// with bytes moved for throughput accounting.
+func (c *Cluster) ChargeComm(rank int, d sim.Time, bytes int) {
+	c.check(rank)
+	if d < 0 {
+		panic("cluster: negative comm charge")
+	}
+	c.mu.Lock()
+	c.clocks[rank] += d
+	c.commTime[rank] += d
+	c.xferTime[rank] += d
+	c.commBytes[rank] += int64(bytes)
+	c.commOps[rank]++
+	c.mu.Unlock()
+}
+
+// BookComm records d of communication time (and bytes) on rank's
+// accounting without advancing its clock. Synchronizing operations use
+// it: the clock movement happens collectively via SetAll, but the comm
+// cost must still show up in the rank's communication-time report.
+func (c *Cluster) BookComm(rank int, d sim.Time, bytes int) {
+	c.check(rank)
+	if d < 0 {
+		panic("cluster: negative comm booking")
+	}
+	c.mu.Lock()
+	c.commTime[rank] += d
+	c.commBytes[rank] += int64(bytes)
+	c.commOps[rank]++
+	c.mu.Unlock()
+}
+
+// AdvanceTo lifts rank's clock to at least t (used when a receive
+// blocks until a matching send: waiting is neither compute nor comm
+// work, but time still passes).
+func (c *Cluster) AdvanceTo(rank int, t sim.Time) {
+	c.check(rank)
+	c.mu.Lock()
+	if c.clocks[rank] < t {
+		c.clocks[rank] += t - c.clocks[rank]
+	}
+	c.mu.Unlock()
+}
+
+// SetAll sets every clock to t (used by barrier-style collectives).
+func (c *Cluster) SetAll(t sim.Time) {
+	c.mu.Lock()
+	for i := range c.clocks {
+		if c.clocks[i] < t {
+			c.clocks[i] = t
+		}
+	}
+	c.mu.Unlock()
+}
+
+// MaxClock reports the furthest-ahead clock.
+func (c *Cluster) MaxClock() sim.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var max sim.Time
+	for _, t := range c.clocks {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Report is a per-run accounting snapshot.
+type Report struct {
+	Clocks []sim.Time
+	// CommTime is all communication time per rank, synchronization
+	// (barriers, fences, collective waits) included.
+	CommTime []sim.Time
+	// XferTime is the data-transfer subset of CommTime: the cost of the
+	// PUT/GET/send payload movement that the compiler's communication
+	// granularity controls.
+	XferTime  []sim.Time
+	CompTime  []sim.Time
+	CommBytes []int64
+	CommOps   []int64
+}
+
+// TotalXferTime sums the data-transfer time over all ranks — the
+// granularity-sensitive "communication time" that Table 2 compares.
+func (r Report) TotalXferTime() sim.Time {
+	var s sim.Time
+	for _, t := range r.XferTime {
+		s += t
+	}
+	return s
+}
+
+// TotalCommTime sums all communication time (including
+// synchronization) over all ranks.
+func (r Report) TotalCommTime() sim.Time {
+	var s sim.Time
+	for _, t := range r.CommTime {
+		s += t
+	}
+	return s
+}
+
+// ElapsedVirtual is the makespan: the furthest-ahead clock.
+func (r Report) ElapsedVirtual() sim.Time {
+	var max sim.Time
+	for _, t := range r.Clocks {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// MaxCommTime is the largest per-rank communication time — the paper's
+// "total communication time" metric (the comm time on the critical
+// path).
+func (r Report) MaxCommTime() sim.Time {
+	var max sim.Time
+	for _, t := range r.CommTime {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// TotalCommBytes sums bytes moved by every rank.
+func (r Report) TotalCommBytes() int64 {
+	var s int64
+	for _, b := range r.CommBytes {
+		s += b
+	}
+	return s
+}
+
+// TotalCommOps sums communication operations issued by every rank.
+func (r Report) TotalCommOps() int64 {
+	var s int64
+	for _, b := range r.CommOps {
+		s += b
+	}
+	return s
+}
+
+// Snapshot copies the current accounting state.
+func (c *Cluster) Snapshot() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := Report{
+		Clocks:    append([]sim.Time(nil), c.clocks...),
+		CommTime:  append([]sim.Time(nil), c.commTime...),
+		XferTime:  append([]sim.Time(nil), c.xferTime...),
+		CompTime:  append([]sim.Time(nil), c.compTime...),
+		CommBytes: append([]int64(nil), c.commBytes...),
+		CommOps:   append([]int64(nil), c.commOps...),
+	}
+	return r
+}
+
+// Reset zeroes all clocks and accounting.
+func (c *Cluster) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.clocks {
+		c.clocks[i] = 0
+		c.commTime[i] = 0
+		c.xferTime[i] = 0
+		c.compTime[i] = 0
+		c.commBytes[i] = 0
+		c.commOps[i] = 0
+	}
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"vbuscluster/internal/sim"
+)
+
+func newTestCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := New(n, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, DefaultParams()); err == nil {
+		t.Fatal("zero processes accepted")
+	}
+	if _, err := New(5, DefaultParams()); err == nil {
+		t.Fatal("5 processes on a 2x2 mesh accepted")
+	}
+	p := DefaultParams()
+	p.Card = nil
+	if _, err := New(2, p); err == nil {
+		t.Fatal("nil card accepted")
+	}
+	p = DefaultParams()
+	p.MeshWidth = 0
+	if _, err := New(1, p); err == nil {
+		t.Fatal("zero-width mesh accepted")
+	}
+}
+
+func TestHops(t *testing.T) {
+	c := newTestCluster(t, 4) // 2x2: ranks 0,1 top row; 2,3 bottom
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 2, 1}, {0, 3, 2}, {1, 2, 2}, {3, 0, 2},
+	}
+	for _, cse := range cases {
+		if got := c.Hops(cse.a, cse.b); got != cse.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", cse.a, cse.b, got, cse.want)
+		}
+	}
+}
+
+func TestChargeCompute(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.ChargeCompute(0, 10*sim.Microsecond)
+	c.ChargeCompute(0, 5*sim.Microsecond)
+	if c.Clock(0) != 15*sim.Microsecond {
+		t.Fatalf("clock = %v", c.Clock(0))
+	}
+	if c.Clock(1) != 0 {
+		t.Fatal("charging rank 0 moved rank 1")
+	}
+	r := c.Snapshot()
+	if r.CompTime[0] != 15*sim.Microsecond || r.CommTime[0] != 0 {
+		t.Fatalf("accounting wrong: %+v", r)
+	}
+}
+
+func TestChargeComm(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.ChargeComm(1, 3*sim.Microsecond, 4096)
+	r := c.Snapshot()
+	if r.CommTime[1] != 3*sim.Microsecond || r.CommBytes[1] != 4096 || r.CommOps[1] != 1 {
+		t.Fatalf("accounting wrong: %+v", r)
+	}
+	if c.Clock(1) != 3*sim.Microsecond {
+		t.Fatal("comm charge did not advance clock")
+	}
+}
+
+func TestBookCommDoesNotAdvanceClock(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.BookComm(0, 7*sim.Microsecond, 100)
+	if c.Clock(0) != 0 {
+		t.Fatal("BookComm advanced the clock")
+	}
+	if c.Snapshot().CommTime[0] != 7*sim.Microsecond {
+		t.Fatal("BookComm did not record comm time")
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := newTestCluster(t, 1)
+	c.AdvanceTo(0, 10*sim.Microsecond)
+	c.AdvanceTo(0, 5*sim.Microsecond) // must not rewind
+	if c.Clock(0) != 10*sim.Microsecond {
+		t.Fatalf("clock = %v", c.Clock(0))
+	}
+}
+
+func TestSetAllAndMaxClock(t *testing.T) {
+	c := newTestCluster(t, 3)
+	c.ChargeCompute(1, 20*sim.Microsecond)
+	if c.MaxClock() != 20*sim.Microsecond {
+		t.Fatal("MaxClock wrong")
+	}
+	c.SetAll(15 * sim.Microsecond)
+	if c.Clock(0) != 15*sim.Microsecond || c.Clock(1) != 20*sim.Microsecond {
+		t.Fatal("SetAll must lift but never rewind")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := newTestCluster(t, 2)
+	c.ChargeCompute(0, sim.Microsecond)
+	c.ChargeComm(1, sim.Microsecond, 10)
+	c.Reset()
+	r := c.Snapshot()
+	if r.ElapsedVirtual() != 0 || r.MaxCommTime() != 0 || r.TotalCommBytes() != 0 {
+		t.Fatalf("reset left state: %+v", r)
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	c := newTestCluster(t, 4)
+	c.ChargeComm(0, 2*sim.Microsecond, 100)
+	c.ChargeComm(3, 5*sim.Microsecond, 300)
+	c.ChargeCompute(2, 9*sim.Microsecond)
+	r := c.Snapshot()
+	if r.ElapsedVirtual() != 9*sim.Microsecond {
+		t.Fatalf("elapsed = %v", r.ElapsedVirtual())
+	}
+	if r.MaxCommTime() != 5*sim.Microsecond {
+		t.Fatalf("max comm = %v", r.MaxCommTime())
+	}
+	if r.TotalCommBytes() != 400 {
+		t.Fatalf("bytes = %d", r.TotalCommBytes())
+	}
+	if r.TotalCommOps() != 2 {
+		t.Fatalf("ops = %d", r.TotalCommOps())
+	}
+}
+
+func TestConcurrentCharging(t *testing.T) {
+	c := newTestCluster(t, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.ChargeCompute(rank, sim.Nanosecond)
+				c.ChargeComm(rank, sim.Nanosecond, 1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < 4; r++ {
+		if c.Clock(r) != 2000*sim.Nanosecond {
+			t.Fatalf("rank %d clock = %v", r, c.Clock(r))
+		}
+	}
+}
+
+func TestRankRangePanics(t *testing.T) {
+	c := newTestCluster(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank did not panic")
+		}
+	}()
+	c.Clock(2)
+}
+
+func TestNegativeChargePanics(t *testing.T) {
+	c := newTestCluster(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative charge did not panic")
+		}
+	}()
+	c.ChargeCompute(0, -1)
+}
+
+func TestTorusHops(t *testing.T) {
+	p := DefaultParams()
+	p.MeshWidth, p.MeshHeight = 4, 4
+	p.Torus = true
+	c, err := New(16, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Hops(0, 15); got != 2 {
+		t.Fatalf("torus corner hops = %d, want 2", got)
+	}
+	if got := c.Hops(0, 3); got != 1 {
+		t.Fatalf("torus row wrap hops = %d, want 1", got)
+	}
+}

@@ -1,0 +1,203 @@
+// Package core is the public face of the reproduction: the end-to-end
+// compiler pipeline of the paper's Figure 1 (front end → LMAD analysis
+// → MPI-2 postpass) plus runners that execute the result on the
+// simulated V-Bus cluster.
+//
+// Typical use:
+//
+//	c, err := core.Compile(src, core.Options{NumProcs: 4, Grain: lmad.Coarse})
+//	seq, err := c.RunSequential(core.Timing)
+//	par, err := c.RunParallel(core.Timing)
+//	speedup := float64(seq.Elapsed) / float64(par.Elapsed)
+package core
+
+import (
+	"fmt"
+
+	"vbuscluster/internal/analysis"
+	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/f77"
+	"vbuscluster/internal/interp"
+	"vbuscluster/internal/lmad"
+	"vbuscluster/internal/postpass"
+	"vbuscluster/internal/sim"
+)
+
+// Mode re-exports the interpreter's execution fidelity.
+type Mode = interp.Mode
+
+// Execution modes.
+const (
+	// Full executes every iteration and moves real data.
+	Full = interp.Full
+	// Timing charges identical virtual time without executing compute
+	// loops or copying transfer payloads.
+	Timing = interp.Timing
+)
+
+// Options configures a compilation.
+type Options struct {
+	// NumProcs is the SPMD process count (default 4, the paper's
+	// configuration).
+	NumProcs int
+	// Grain is the §5.6 communication granularity (default Fine).
+	Grain lmad.Grain
+	// NoLiveOut lets the AVPG drop collects of values that are dead at
+	// program end. The default (false) keeps every final value on the
+	// master so results can be inspected.
+	NoLiveOut bool
+	// AutoGrain makes the compiler pick the granularity itself by
+	// statically pricing the communication plan of each grain with the
+	// machine's NIC model and keeping the cheapest — automating the
+	// choice the paper leaves "up to the user" (§5.6 suggests profiling
+	// tools for exactly this decision). Grain is ignored when set.
+	AutoGrain bool
+	// LockReductions selects the paper's §3 lock-based reduction
+	// combining (MPI_WIN_LOCK critical sections on the master) instead
+	// of an Allreduce tree.
+	LockReductions bool
+	// PullScatter lets slaves GET their scatter regions from the master
+	// concurrently instead of the master PUTting serially (§2.2: either
+	// end can drive a one-sided transfer).
+	PullScatter bool
+	// TwoSided generates MPI-1 SEND/RECEIVE pairs instead of one-sided
+	// PUT/GET — the baseline the paper's one-sided design argues
+	// against (for the ablation benchmark).
+	TwoSided bool
+	// Params overrides the machine model (default cluster.DefaultParams
+	// widened to fit NumProcs).
+	Params *cluster.Params
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumProcs == 0 {
+		o.NumProcs = 4
+	}
+	return o
+}
+
+// Compiled is a translated program ready to run.
+type Compiled struct {
+	// Prog is the analyzed program (inlined main, loops annotated).
+	Prog *f77.Program
+	// SPMD is the MPI-2 postpass output.
+	SPMD *postpass.Program
+	opts Options
+}
+
+// Compile runs the whole pipeline on Fortran 77 source.
+func Compile(src string, opts Options) (*Compiled, error) {
+	opts = opts.withDefaults()
+	prog, err := f77.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := analysis.FrontEnd(prog); err != nil {
+		return nil, err
+	}
+	translate := func(g lmad.Grain) (*postpass.Program, error) {
+		return postpass.Translate(prog, postpass.Options{
+			NumProcs:       opts.NumProcs,
+			Grain:          g,
+			LiveOutAll:     !opts.NoLiveOut,
+			LockReductions: opts.LockReductions,
+			PullScatter:    opts.PullScatter,
+			TwoSided:       opts.TwoSided,
+		})
+	}
+	if opts.AutoGrain {
+		params := cluster.DefaultParams()
+		if opts.Params != nil {
+			params = *opts.Params
+		}
+		if params.MeshWidth*params.MeshHeight < opts.NumProcs {
+			params.MeshWidth, params.MeshHeight = MeshFor(opts.NumProcs)
+		}
+		var best *postpass.Program
+		var bestCost sim.Time
+		for _, g := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
+			pp, err := translate(g)
+			if err != nil {
+				return nil, err
+			}
+			cost := postpass.EstimateCommCost(pp, params)
+			if best == nil || cost < bestCost {
+				best, bestCost = pp, cost
+			}
+		}
+		opts.Grain = best.Opts.Grain
+		return &Compiled{Prog: prog, SPMD: best, opts: opts}, nil
+	}
+	pp, err := translate(opts.Grain)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Prog: prog, SPMD: pp, opts: opts}, nil
+}
+
+// Grain reports the granularity the compilation used (interesting with
+// AutoGrain).
+func (c *Compiled) Grain() lmad.Grain { return c.SPMD.Opts.Grain }
+
+// MeshFor picks a mesh geometry that fits n processes (the smallest
+// near-square mesh).
+func MeshFor(n int) (w, h int) {
+	w = 1
+	for w*w < n {
+		w++
+	}
+	h = (n + w - 1) / w
+	return w, h
+}
+
+// clusterFor builds the machine for n processes.
+func (c *Compiled) clusterFor(n int) (*cluster.Cluster, error) {
+	var params cluster.Params
+	if c.opts.Params != nil {
+		params = *c.opts.Params
+	} else {
+		params = cluster.DefaultParams()
+	}
+	if params.MeshWidth*params.MeshHeight < n {
+		params.MeshWidth, params.MeshHeight = MeshFor(n)
+	}
+	return cluster.New(n, params)
+}
+
+// RunSequential executes the baseline on one processor.
+func (c *Compiled) RunSequential(mode Mode) (*interp.Result, error) {
+	cl, err := c.clusterFor(1)
+	if err != nil {
+		return nil, err
+	}
+	return interp.RunSequential(c.Prog, cl, mode)
+}
+
+// RunParallel executes the SPMD translation on NumProcs processors.
+func (c *Compiled) RunParallel(mode Mode) (*interp.Result, error) {
+	cl, err := c.clusterFor(c.opts.NumProcs)
+	if err != nil {
+		return nil, err
+	}
+	return interp.RunParallel(c.SPMD, cl, mode)
+}
+
+// Speedup compiles nothing new: it runs both baseline and SPMD versions
+// in timing mode and reports sequential/parallel.
+func (c *Compiled) Speedup() (float64, error) {
+	seq, err := c.RunSequential(Timing)
+	if err != nil {
+		return 0, err
+	}
+	par, err := c.RunParallel(Timing)
+	if err != nil {
+		return 0, err
+	}
+	if par.Elapsed == 0 {
+		return 0, fmt.Errorf("core: parallel run took no virtual time")
+	}
+	return float64(seq.Elapsed) / float64(par.Elapsed), nil
+}
+
+// Report renders the postpass translation report.
+func (c *Compiled) Report() string { return c.SPMD.String() }

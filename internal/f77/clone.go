@@ -1,0 +1,136 @@
+package f77
+
+import "fmt"
+
+// SymMap substitutes symbols during cloning: every reference to a key
+// symbol is replaced by a reference to its value. Symbols not in the
+// map are kept as-is.
+type SymMap map[*Symbol]*Symbol
+
+func (m SymMap) get(s *Symbol) *Symbol {
+	if r, ok := m[s]; ok {
+		return r
+	}
+	return s
+}
+
+// CloneExpr deep-copies an expression, applying the symbol map.
+func CloneExpr(e Expr, m SymMap) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		c := *x
+		return &c
+	case *RealLit:
+		c := *x
+		return &c
+	case *LogLit:
+		c := *x
+		return &c
+	case *StrLit:
+		c := *x
+		return &c
+	case *VarExpr:
+		return &VarExpr{Sym: m.get(x.Sym)}
+	case *ArrayExpr:
+		c := &ArrayExpr{Sym: m.get(x.Sym), Subs: make([]Expr, len(x.Subs))}
+		for i, s := range x.Subs {
+			c.Subs[i] = CloneExpr(s, m)
+		}
+		return c
+	case *Bin:
+		return &Bin{Op: x.Op, L: CloneExpr(x.L, m), R: CloneExpr(x.R, m)}
+	case *Un:
+		return &Un{Op: x.Op, X: CloneExpr(x.X, m)}
+	case *CallExpr:
+		c := &CallExpr{Name: x.Name, Intrinsic: x.Intrinsic, Ret: x.Ret, Args: make([]Expr, len(x.Args))}
+		for i, a := range x.Args {
+			c.Args[i] = CloneExpr(a, m)
+		}
+		return c
+	default:
+		panic(fmt.Sprintf("f77: CloneExpr(%T)", e))
+	}
+}
+
+// CloneStmts deep-copies a statement list, applying the symbol map and
+// adding labelOffset to every label and GOTO target (0 keeps labels).
+func CloneStmts(stmts []Stmt, m SymMap, labelOffset int) []Stmt {
+	out := make([]Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		out = append(out, CloneStmt(s, m, labelOffset))
+	}
+	return out
+}
+
+// CloneStmt deep-copies one statement.
+func CloneStmt(s Stmt, m SymMap, labelOffset int) Stmt {
+	base := StmtBase{Lbl: s.Label(), SrcLine: s.Line()}
+	if base.Lbl != 0 {
+		base.Lbl += labelOffset
+	}
+	switch x := s.(type) {
+	case *Assign:
+		lhs := &Ref{Sym: m.get(x.LHS.Sym), Subs: make([]Expr, len(x.LHS.Subs))}
+		for i, sub := range x.LHS.Subs {
+			lhs.Subs[i] = CloneExpr(sub, m)
+		}
+		return &Assign{StmtBase: base, LHS: lhs, RHS: CloneExpr(x.RHS, m)}
+	case *DoLoop:
+		c := &DoLoop{
+			StmtBase: base,
+			Var:      m.get(x.Var),
+			From:     CloneExpr(x.From, m),
+			To:       CloneExpr(x.To, m),
+			Step:     CloneExpr(x.Step, m),
+			Body:     CloneStmts(x.Body, m, labelOffset),
+			Parallel: x.Parallel,
+			Schedule: x.Schedule,
+		}
+		for _, r := range x.Reductions {
+			c.Reductions = append(c.Reductions, &Reduction{Sym: m.get(r.Sym), Op: r.Op})
+		}
+		for _, p := range x.Private {
+			c.Private = append(c.Private, m.get(p))
+		}
+		c.Triangular = x.Triangular
+		return c
+	case *IfBlock:
+		c := &IfBlock{StmtBase: base}
+		for _, cond := range x.Conds {
+			c.Conds = append(c.Conds, CloneExpr(cond, m))
+		}
+		for _, blk := range x.Blocks {
+			c.Blocks = append(c.Blocks, CloneStmts(blk, m, labelOffset))
+		}
+		c.Else = CloneStmts(x.Else, m, labelOffset)
+		return c
+	case *Goto:
+		t := x.Target
+		if t != 0 {
+			t += labelOffset
+		}
+		return &Goto{StmtBase: base, Target: t}
+	case *ContinueStmt:
+		return &ContinueStmt{StmtBase: base}
+	case *CallStmt:
+		c := &CallStmt{StmtBase: base, Name: x.Name, Args: make([]Expr, len(x.Args))}
+		for i, a := range x.Args {
+			c.Args[i] = CloneExpr(a, m)
+		}
+		return c
+	case *ReturnStmt:
+		return &ReturnStmt{StmtBase: base}
+	case *StopStmt:
+		return &StopStmt{StmtBase: base}
+	case *PrintStmt:
+		c := &PrintStmt{StmtBase: base, Args: make([]Expr, len(x.Args))}
+		for i, a := range x.Args {
+			c.Args[i] = CloneExpr(a, m)
+		}
+		return c
+	default:
+		panic(fmt.Sprintf("f77: CloneStmt(%T)", s))
+	}
+}

@@ -1,0 +1,176 @@
+package f77
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloneStmtsDeepCopy(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(10), X
+      INTEGER I
+      DO 10 I = 1, 10
+        IF (A(I) .GT. 0.0) THEN
+          A(I) = -A(I) + SQRT(X) * 2.0 ** 2
+        ELSE
+          X = X + 1.0
+        ENDIF
+        IF (X .GT. 100.0) GOTO 10
+        CALL S(A)
+        PRINT *, 'X', X
+10    CONTINUE
+      RETURN
+      END
+      SUBROUTINE S(V)
+      REAL V(10)
+      V(1) = 0.0
+      STOP
+      END
+`
+	p := mustParse(t, src)
+	u := p.Main()
+	cloned := CloneStmts(u.Body, nil, 100)
+
+	// Labels offset.
+	loop := cloned[0].(*DoLoop)
+	last := loop.Body[len(loop.Body)-1]
+	if last.Label() != 110 {
+		t.Fatalf("label offset: %d", last.Label())
+	}
+	// GOTO retargeted.
+	found := false
+	WalkStmts(cloned, func(s Stmt) bool {
+		if g, ok := s.(*Goto); ok {
+			if g.Target != 110 {
+				t.Fatalf("goto target %d", g.Target)
+			}
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("goto lost")
+	}
+	// Mutating the clone must not touch the original.
+	asg := loop.Body[0].(*IfBlock).Blocks[0][0].(*Assign)
+	asg.RHS = &IntLit{Val: 99}
+	orig := u.Body[0].(*DoLoop).Body[0].(*IfBlock).Blocks[0][0].(*Assign)
+	if _, isInt := orig.RHS.(*IntLit); isInt {
+		t.Fatal("clone aliases original RHS")
+	}
+}
+
+func TestCloneExprWithSymMap(t *testing.T) {
+	a := &Symbol{Name: "A", Type: TReal, Dims: []Dim{{High: &IntLit{Val: 10}}}}
+	b := &Symbol{Name: "B", Type: TReal, Dims: []Dim{{High: &IntLit{Val: 10}}}}
+	i := &Symbol{Name: "I", Type: TInteger}
+	e := &Bin{Op: OpAdd,
+		L: &ArrayExpr{Sym: a, Subs: []Expr{&VarExpr{Sym: i}}},
+		R: &Un{Op: OpNeg, X: &CallExpr{Name: "ABS", Intrinsic: true, Args: []Expr{&VarExpr{Sym: i}}}},
+	}
+	c := CloneExpr(e, SymMap{a: b}).(*Bin)
+	if c.L.(*ArrayExpr).Sym != b {
+		t.Fatal("symbol not remapped")
+	}
+	if e.L.(*ArrayExpr).Sym != a {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[Type]string{
+		TInteger: "INTEGER", TReal: "REAL", TDouble: "DOUBLE PRECISION", TLogical: "LOGICAL",
+	}
+	for ty, want := range cases {
+		if ty.String() != want {
+			t.Fatalf("%v", ty)
+		}
+	}
+	if !TReal.IsFloat() || !TDouble.IsFloat() || TInteger.IsFloat() {
+		t.Fatal("IsFloat wrong")
+	}
+	if Type(99).String() == "" {
+		t.Fatal("unknown type must stringify")
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	for _, k := range []TokKind{TokEOF, TokNewline, TokIdent, TokInt, TokReal, TokString,
+		TokPlus, TokMinus, TokStar, TokPower, TokSlash, TokLParen, TokRParen,
+		TokComma, TokEq, TokColon, TokLT, TokLE, TokGT, TokGE, TokEQ, TokNE,
+		TokAND, TokOR, TokNOT, TokTrue, TokFalse} {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty string", int(k))
+		}
+	}
+	tok := Token{Kind: TokIdent, Text: "FOO"}
+	if !strings.Contains(tok.String(), "FOO") {
+		t.Fatal("token string lost text")
+	}
+	plus := Token{Kind: TokPlus}
+	if plus.String() != "+" {
+		t.Fatal("bare token string")
+	}
+}
+
+func TestTypeOfCoverage(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X
+      DOUBLE PRECISION D
+      INTEGER I, IDX
+      LOGICAL L
+      X = 1.0
+      D = 2.0D0
+      I = 3
+      L = .TRUE.
+      L = .NOT. L
+      X = REAL(I) + X
+      D = D * X
+      I = INT(X) + NINT(X) + IABS(-2) + MAX0(1, 2)
+      X = FLOAT(I) + AMIN1(X, 2.0) + AMAX1(X, 3.0)
+      D = DBLE(X) + DMOD(D, 2.0D0)
+      X = SIGN(X, -1.0) + MOD(X, 2.0)
+      I = IDX(I)
+      END
+      INTEGER FUNCTION IDX(K)
+      INTEGER K
+      IDX = K + 1
+      END
+`
+	p := mustParse(t, src)
+	// Type every expression in the program; none may panic.
+	WalkStmts(p.Main().Body, func(s Stmt) bool {
+		StmtExprs(s, func(e Expr) {
+			WalkExpr(e, func(sub Expr) {
+				_ = TypeOf(sub)
+			})
+		})
+		return true
+	})
+	// Spot checks.
+	u := p.Main()
+	d := u.Syms.Lookup("D")
+	if d.Type != TDouble {
+		t.Fatal("D not double")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if SchedBlock.String() != "block" || SchedCyclic.String() != "cyclic" {
+		t.Fatal("schedule strings")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	// BinOp strings.
+	for op := OpAdd; op <= OpOr; op++ {
+		if op.String() == "" {
+			t.Fatalf("op %d empty", int(op))
+		}
+	}
+	if BinOp(99).String() == "" {
+		t.Fatal("unknown op must stringify")
+	}
+}

@@ -1,0 +1,79 @@
+package f77
+
+import "testing"
+
+func TestParseCommonNamed(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A, B(10)
+      INTEGER K
+      COMMON /BLK/ A, B, K
+      A = 1.0
+      END
+`
+	p := mustParse(t, src)
+	u := p.Main()
+	blk := u.Commons["BLK"]
+	if len(blk) != 3 {
+		t.Fatalf("members = %d", len(blk))
+	}
+	if blk[0].Name != "A" || blk[1].Name != "B" || blk[2].Name != "K" {
+		t.Fatalf("member order: %v %v %v", blk[0].Name, blk[1].Name, blk[2].Name)
+	}
+	b := u.Syms.Lookup("B")
+	if b.Common != "BLK" || b.CommonIndex != 1 {
+		t.Fatalf("B common fields: %q %d", b.Common, b.CommonIndex)
+	}
+}
+
+func TestParseCommonWithDims(t *testing.T) {
+	src := `
+      PROGRAM P
+      COMMON /C/ X(4,4), Y
+      X(1,1) = 0.0
+      END
+`
+	p := mustParse(t, src)
+	x := p.Main().Syms.Lookup("X")
+	if len(x.Dims) != 2 || x.Common != "C" {
+		t.Fatalf("X: dims=%d common=%q", len(x.Dims), x.Common)
+	}
+}
+
+func TestParseBlankCommon(t *testing.T) {
+	src := `
+      PROGRAM P
+      COMMON X, Y
+      X = 1.0
+      END
+`
+	p := mustParse(t, src)
+	x := p.Main().Syms.Lookup("X")
+	if x.Common != "*BLANK*" || x.CommonIndex != 0 {
+		t.Fatalf("blank common: %q %d", x.Common, x.CommonIndex)
+	}
+}
+
+func TestParseCommonMultipleBlocks(t *testing.T) {
+	src := `
+      PROGRAM P
+      COMMON /A/ X, Y /B/ Z
+      X = 1.0
+      END
+`
+	p := mustParse(t, src)
+	u := p.Main()
+	if len(u.Commons["A"]) != 2 || len(u.Commons["B"]) != 1 {
+		t.Fatalf("blocks: A=%d B=%d", len(u.Commons["A"]), len(u.Commons["B"]))
+	}
+}
+
+func TestCommonDuplicateRejected(t *testing.T) {
+	parseErr(t, `
+      PROGRAM P
+      COMMON /A/ X
+      COMMON /B/ X
+      X = 1.0
+      END
+`)
+}

@@ -1,0 +1,387 @@
+package f77
+
+import (
+	"strconv"
+)
+
+// parseDeclaration handles type declarations, DIMENSION, PARAMETER,
+// DATA, IMPLICIT, EXTERNAL and INTRINSIC statements.
+func (p *Parser) parseDeclaration(word string) error {
+	switch word {
+	case "INTEGER":
+		p.mustNext()
+		return p.parseTypeDecl(TInteger)
+	case "REAL":
+		p.mustNext()
+		return p.parseTypeDecl(TReal)
+	case "DOUBLE":
+		p.mustNext()
+		if err := p.expectIdent("PRECISION"); err != nil {
+			return err
+		}
+		return p.parseTypeDecl(TDouble)
+	case "LOGICAL":
+		p.mustNext()
+		return p.parseTypeDecl(TLogical)
+	case "DIMENSION":
+		p.mustNext()
+		return p.parseDimensionList(0, false)
+	case "PARAMETER":
+		p.mustNext()
+		return p.parseParameter()
+	case "DATA":
+		p.mustNext()
+		return p.parseData()
+	case "IMPLICIT":
+		// IMPLICIT NONE accepted and ignored (the subset always types
+		// explicitly or by the I-N rule).
+		p.mustNext()
+		p.mustNext()
+		return p.endOfStatement()
+	case "COMMON":
+		p.mustNext()
+		return p.parseCommon()
+	case "EXTERNAL", "INTRINSIC":
+		p.mustNext()
+		for {
+			if _, err := p.expect(TokIdent); err != nil {
+				return err
+			}
+			if ok, err := p.accept(TokComma); err != nil {
+				return err
+			} else if !ok {
+				break
+			}
+		}
+		return p.endOfStatement()
+	}
+	t, _ := p.peek()
+	return errf(t.Line, t.Col, "unhandled declaration %s", word)
+}
+
+// parseCommon parses COMMON [/BLK/] a, b(10) [/BLK2/ c, ...]. Blank
+// common uses the block name "*BLANK*".
+func (p *Parser) parseCommon() error {
+	block := "*BLANK*"
+	if p.unit.Commons == nil {
+		p.unit.Commons = map[string][]*Symbol{}
+	}
+	for {
+		if ok, err := p.accept(TokSlash); err != nil {
+			return err
+		} else if ok {
+			nameTok, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			block = nameTok.Text
+			if _, err := p.expect(TokSlash); err != nil {
+				return err
+			}
+		}
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		sym := p.sym(nameTok.Text)
+		if sym.Common != "" {
+			return errf(nameTok.Line, nameTok.Col, "%s already in COMMON /%s/", sym.Name, sym.Common)
+		}
+		if sym.IsArg {
+			return errf(nameTok.Line, nameTok.Col, "dummy argument %s cannot be in COMMON", sym.Name)
+		}
+		sym.Common = block
+		sym.CommonIndex = len(p.unit.Commons[block])
+		p.unit.Commons[block] = append(p.unit.Commons[block], sym)
+		if ok, err := p.accept(TokLParen); err != nil {
+			return err
+		} else if ok {
+			dims, err := p.parseDims()
+			if err != nil {
+				return err
+			}
+			sym.Dims = dims
+		}
+		if ok, err := p.accept(TokComma); err != nil {
+			return err
+		} else if !ok {
+			// A new block section may follow without a comma.
+			t, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if t.Kind == TokSlash {
+				continue
+			}
+			break
+		}
+	}
+	return p.endOfStatement()
+}
+
+// parseTypeDecl parses "TYPE name[(dims)][, name[(dims)]...]".
+func (p *Parser) parseTypeDecl(typ Type) error {
+	return p.parseDimensionList(typ, true)
+}
+
+// parseDimensionList parses a name(dims) list. When setType is true the
+// named symbols take the given type; DIMENSION keeps the implicit or
+// previously declared type.
+func (p *Parser) parseDimensionList(typ Type, setType bool) error {
+	for {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		sym := p.sym(nameTok.Text)
+		if setType {
+			sym.Type = typ
+			if p.unit.Kind == KFunction && nameTok.Text == p.unit.Name {
+				p.unit.Result = typ
+			}
+		}
+		if ok, err := p.accept(TokLParen); err != nil {
+			return err
+		} else if ok {
+			dims, err := p.parseDims()
+			if err != nil {
+				return err
+			}
+			sym.Dims = dims
+		}
+		if ok, err := p.accept(TokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	return p.endOfStatement()
+}
+
+// parseDims parses dimension declarators up to and including ')'. Each
+// is "extent", "low:high", or '*' (assumed size, last position only).
+func (p *Parser) parseDims() ([]Dim, error) {
+	var dims []Dim
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokStar {
+			p.mustNext()
+			dims = append(dims, Dim{})
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return dims, nil
+		}
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if ok, err := p.accept(TokColon); err != nil {
+			return nil, err
+		} else if ok {
+			t, err := p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if t.Kind == TokStar {
+				p.mustNext()
+				dims = append(dims, Dim{Low: first})
+			} else {
+				high, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				dims = append(dims, Dim{Low: first, High: high})
+			}
+		} else {
+			dims = append(dims, Dim{High: first})
+		}
+		if ok, err := p.accept(TokComma); err != nil {
+			return nil, err
+		} else if !ok {
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return dims, nil
+		}
+	}
+}
+
+// parseParameter parses PARAMETER (NAME = const-expr, ...).
+func (p *Parser) parseParameter() error {
+	if _, err := p.expect(TokLParen); err != nil {
+		return err
+	}
+	for {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(TokEq); err != nil {
+			return err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		sym := p.sym(nameTok.Text)
+		v, ok := ConstFold(e)
+		if !ok {
+			return errf(nameTok.Line, nameTok.Col, "PARAMETER %s is not a constant expression", nameTok.Text)
+		}
+		sym.IsConst = true
+		sym.Const = v
+		if ok, err := p.accept(TokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return err
+	}
+	return p.endOfStatement()
+}
+
+// parseData parses DATA name/v1, v2, .../ [, name/.../]... with n*v
+// repeat counts.
+func (p *Parser) parseData() error {
+	for {
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return err
+		}
+		sym := p.sym(nameTok.Text)
+		if _, err := p.expect(TokSlash); err != nil {
+			return err
+		}
+		var vals []float64
+		for {
+			v, rep, err := p.parseDataItem()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < rep; i++ {
+				vals = append(vals, v)
+			}
+			if ok, err := p.accept(TokComma); err != nil {
+				return err
+			} else if !ok {
+				break
+			}
+		}
+		if _, err := p.expect(TokSlash); err != nil {
+			return err
+		}
+		p.unit.DataInits = append(p.unit.DataInits, DataInit{Sym: sym, Vals: vals})
+		if ok, err := p.accept(TokComma); err != nil {
+			return err
+		} else if !ok {
+			break
+		}
+	}
+	return p.endOfStatement()
+}
+
+// parseDataItem parses one DATA value, optionally "N*value".
+func (p *Parser) parseDataItem() (float64, int, error) {
+	t, err := p.peek()
+	if err != nil {
+		return 0, 0, err
+	}
+	rep := 1
+	if t.Kind == TokInt {
+		// Could be a repeat count "N*".
+		t2, err := p.peekN(1)
+		if err != nil {
+			return 0, 0, err
+		}
+		if t2.Kind == TokStar {
+			n, _ := strconv.Atoi(t.Text)
+			rep = n
+			p.mustNext()
+			p.mustNext()
+		}
+	}
+	e, err := p.parseUnary()
+	if err != nil {
+		return 0, 0, err
+	}
+	v, ok := ConstFold(e)
+	if !ok {
+		t, _ := p.peek()
+		return 0, 0, errf(t.Line, t.Col, "DATA value is not constant")
+	}
+	return v, rep, nil
+}
+
+// ConstFold evaluates a constant expression at compile time. It
+// supports literals, PARAMETER symbols, unary +/-, and the arithmetic
+// operators (including integer semantics for '/'), which covers
+// declaration bounds like 2*N+1.
+func ConstFold(e Expr) (float64, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return float64(x.Val), true
+	case *RealLit:
+		return x.Val, true
+	case *VarExpr:
+		if x.Sym.IsConst {
+			return x.Sym.Const, true
+		}
+		return 0, false
+	case *Un:
+		v, ok := ConstFold(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case OpNeg:
+			return -v, true
+		case OpPlus:
+			return v, true
+		}
+		return 0, false
+	case *Bin:
+		l, ok := ConstFold(x.L)
+		if !ok {
+			return 0, false
+		}
+		r, ok := ConstFold(x.R)
+		if !ok {
+			return 0, false
+		}
+		intExpr := TypeOf(x.L) == TInteger && TypeOf(x.R) == TInteger
+		switch x.Op {
+		case OpAdd:
+			return l + r, true
+		case OpSub:
+			return l - r, true
+		case OpMul:
+			return l * r, true
+		case OpDiv:
+			if r == 0 {
+				return 0, false
+			}
+			if intExpr {
+				return float64(int64(l) / int64(r)), true
+			}
+			return l / r, true
+		case OpPow:
+			res := 1.0
+			if intExpr && r >= 0 {
+				for i := int64(0); i < int64(r); i++ {
+					res *= l
+				}
+				return res, true
+			}
+			return 0, false
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,250 @@
+package f77
+
+import "strconv"
+
+// Expression parsing: standard precedence climbing over the Fortran 77
+// operator hierarchy (lowest to highest):
+//
+//	.OR. | .AND. | .NOT. | relational | +,- | *,/ | ** (right-assoc) | unary
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if ok, err := p.accept(TokOR); err != nil {
+			return nil, err
+		} else if !ok {
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: OpOr, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if ok, err := p.accept(TokAND); err != nil {
+			return nil, err
+		} else if !ok {
+			return l, nil
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: OpAnd, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if ok, err := p.accept(TokNOT); err != nil {
+		return nil, err
+	} else if ok {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: OpNot, X: x}, nil
+	}
+	return p.parseRel()
+}
+
+func (p *Parser) parseRel() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	var op BinOp
+	switch t.Kind {
+	case TokLT:
+		op = OpLT
+	case TokLE:
+		op = OpLE
+	case TokGT:
+		op = OpGT
+	case TokGE:
+		op = OpGE
+	case TokEQ:
+		op = OpEQ
+	case TokNE:
+		op = OpNE
+	default:
+		return l, nil
+	}
+	p.mustNext()
+	r, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return &Bin{Op: op, L: l, R: r}, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		var op BinOp
+		switch t.Kind {
+		case TokPlus:
+			op = OpAdd
+		case TokMinus:
+			op = OpSub
+		default:
+			return l, nil
+		}
+		p.mustNext()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		var op BinOp
+		switch t.Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		default:
+			return l, nil
+		}
+		p.mustNext()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Bin{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case TokMinus:
+		p.mustNext()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: OpNeg, X: x}, nil
+	case TokPlus:
+		p.mustNext()
+		return p.parseUnary()
+	}
+	return p.parsePower()
+}
+
+func (p *Parser) parsePower() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if ok, err := p.accept(TokPower); err != nil {
+		return nil, err
+	} else if ok {
+		// ** is right-associative; the exponent may itself be unary.
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: OpPow, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case TokInt:
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Line, t.Col, "bad integer literal %q", t.Text)
+		}
+		return &IntLit{Val: v}, nil
+	case TokReal:
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Line, t.Col, "bad real literal %q", t.Text)
+		}
+		return &RealLit{Val: v}, nil
+	case TokString:
+		return &StrLit{Val: t.Text}, nil
+	case TokTrue:
+		return &LogLit{Val: true}, nil
+	case TokFalse:
+		return &LogLit{Val: false}, nil
+	case TokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokIdent:
+		name := t.Text
+		nt, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if nt.Kind != TokLParen {
+			return &VarExpr{Sym: p.sym(name)}, nil
+		}
+		p.mustNext()
+		args, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		// Intrinsic, user function, or array reference? Arrays win if
+		// the name is declared (or later declared) with dimensions —
+		// resolved finally in the semantic pass; here we use what is
+		// known so far and let Analyze re-classify.
+		if _, isIntr := Intrinsics[name]; isIntr {
+			if s := p.unit.Syms.Lookup(name); s == nil || !s.IsArray() {
+				return &CallExpr{Name: name, Args: args, Intrinsic: true}, nil
+			}
+		}
+		sym := p.sym(name)
+		return &ArrayExpr{Sym: sym, Subs: args}, nil
+	}
+	return nil, errf(t.Line, t.Col, "unexpected %v in expression", t)
+}

@@ -1,0 +1,334 @@
+package f77
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a program back to Fortran 77 source. The output
+// reparses to a structurally identical program (see the round-trip
+// property test), which makes it usable both as a compiler listing and
+// as input to other Fortran tools.
+func Format(p *Program) string {
+	var sb strings.Builder
+	for i, u := range p.Units {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		FormatUnit(&sb, u)
+	}
+	return sb.String()
+}
+
+// FormatUnit renders one program unit.
+func FormatUnit(sb *strings.Builder, u *Unit) {
+	switch u.Kind {
+	case KProgram:
+		fmt.Fprintf(sb, "      PROGRAM %s\n", u.Name)
+	case KSubroutine:
+		fmt.Fprintf(sb, "      SUBROUTINE %s%s\n", u.Name, formatParams(u))
+	case KFunction:
+		fmt.Fprintf(sb, "      %s FUNCTION %s%s\n", u.Result, u.Name, formatParams(u))
+	}
+	formatDecls(sb, u)
+	formatStmts(sb, u.Body, 6)
+	sb.WriteString("      END\n")
+}
+
+func formatParams(u *Unit) string {
+	if len(u.Params) == 0 {
+		return ""
+	}
+	names := make([]string, len(u.Params))
+	for i, p := range u.Params {
+		names[i] = p.Name
+	}
+	return "(" + strings.Join(names, ", ") + ")"
+}
+
+// FormatDecls renders a unit's declarations (types, PARAMETER, COMMON,
+// DATA) — exported for the SPMD listing emitter.
+func FormatDecls(sb *strings.Builder, u *Unit) { formatDecls(sb, u) }
+
+// FormatStmts renders a statement list at the given indentation depth
+// (6 = top level) — exported for the SPMD listing emitter.
+func FormatStmts(sb *strings.Builder, stmts []Stmt, depth int) { formatStmts(sb, stmts, depth) }
+
+func formatDecls(sb *strings.Builder, u *Unit) {
+	// PARAMETERs first (array bounds may reference them).
+	var params []string
+	for _, sym := range u.Syms.Order {
+		if sym.IsConst {
+			params = append(params, fmt.Sprintf("%s = %s", sym.Name, formatConst(sym)))
+		}
+	}
+	// Integer PARAMETER symbols need their type declared before use if
+	// it differs from implicit typing; declare all consts explicitly.
+	for _, sym := range u.Syms.Order {
+		if sym.IsConst {
+			fmt.Fprintf(sb, "      %s %s\n", sym.Type, sym.Name)
+		}
+	}
+	if len(params) > 0 {
+		fmt.Fprintf(sb, "      PARAMETER (%s)\n", strings.Join(params, ", "))
+	}
+	for _, sym := range u.Syms.Order {
+		if sym.IsConst {
+			continue
+		}
+		// Declare everything explicitly (types plus dimensions); the
+		// function-name result symbol is typed by the header.
+		if u.Kind == KFunction && sym.Name == u.Name {
+			continue
+		}
+		fmt.Fprintf(sb, "      %s %s%s\n", sym.Type, sym.Name, formatDims(sym))
+	}
+	// COMMON blocks.
+	for _, block := range sortedBlocks(u) {
+		names := make([]string, 0, len(u.Commons[block]))
+		for _, m := range u.Commons[block] {
+			names = append(names, m.Name)
+		}
+		if block == "*BLANK*" {
+			fmt.Fprintf(sb, "      COMMON %s\n", strings.Join(names, ", "))
+		} else {
+			fmt.Fprintf(sb, "      COMMON /%s/ %s\n", block, strings.Join(names, ", "))
+		}
+	}
+	// DATA statements.
+	for _, di := range u.DataInits {
+		vals := make([]string, len(di.Vals))
+		for i, v := range di.Vals {
+			vals[i] = formatFloat(v, di.Sym.Type)
+		}
+		fmt.Fprintf(sb, "      DATA %s /%s/\n", di.Sym.Name, strings.Join(vals, ", "))
+	}
+}
+
+func sortedBlocks(u *Unit) []string {
+	out := make([]string, 0, len(u.Commons))
+	for b := range u.Commons {
+		out = append(out, b)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func formatConst(sym *Symbol) string { return formatFloat(sym.Const, sym.Type) }
+
+func formatFloat(v float64, t Type) string {
+	if t == TInteger {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	// Fortran uses E, never e.
+	return strings.ToUpper(s)
+}
+
+func formatDims(sym *Symbol) string {
+	if !sym.IsArray() {
+		return ""
+	}
+	parts := make([]string, len(sym.Dims))
+	for i, d := range sym.Dims {
+		switch {
+		case d.High == nil && d.Low == nil:
+			parts[i] = "*"
+		case d.High == nil:
+			parts[i] = FormatExpr(d.Low) + ":*"
+		case d.Low == nil:
+			parts[i] = FormatExpr(d.High)
+		default:
+			parts[i] = FormatExpr(d.Low) + ":" + FormatExpr(d.High)
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func indentOf(depth int) string { return strings.Repeat(" ", depth) }
+
+func formatStmts(sb *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		formatStmt(sb, s, depth)
+	}
+}
+
+func label(sb *strings.Builder, s Stmt) string {
+	if l := s.Label(); l != 0 {
+		return fmt.Sprintf("%-5d ", l)
+	}
+	return "      "
+}
+
+func formatStmt(sb *strings.Builder, s Stmt, depth int) {
+	ind := indentOf(depth - 6)
+	switch x := s.(type) {
+	case *Assign:
+		fmt.Fprintf(sb, "%s%s%s = %s\n", label(sb, s), ind, formatRef(x.LHS), FormatExpr(x.RHS))
+	case *DoLoop:
+		step := ""
+		if x.Step != nil {
+			step = ", " + FormatExpr(x.Step)
+		}
+		if x.Parallel {
+			fmt.Fprintf(sb, "!$PAR PARALLEL\n")
+		}
+		fmt.Fprintf(sb, "%s%sDO %s = %s, %s%s\n", label(sb, s), ind, x.Var.Name,
+			FormatExpr(x.From), FormatExpr(x.To), step)
+		formatStmts(sb, x.Body, depth+2)
+		fmt.Fprintf(sb, "      %sENDDO\n", ind)
+	case *IfBlock:
+		for i, cond := range x.Conds {
+			kw := "IF"
+			if i > 0 {
+				kw = "ELSEIF"
+			}
+			pre := label(sb, s)
+			if i > 0 {
+				pre = "      "
+			}
+			fmt.Fprintf(sb, "%s%s%s (%s) THEN\n", pre, ind, kw, FormatExpr(cond))
+			formatStmts(sb, x.Blocks[i], depth+2)
+		}
+		if len(x.Else) > 0 {
+			fmt.Fprintf(sb, "      %sELSE\n", ind)
+			formatStmts(sb, x.Else, depth+2)
+		}
+		fmt.Fprintf(sb, "      %sENDIF\n", ind)
+	case *Goto:
+		fmt.Fprintf(sb, "%s%sGOTO %d\n", label(sb, s), ind, x.Target)
+	case *ContinueStmt:
+		fmt.Fprintf(sb, "%s%sCONTINUE\n", label(sb, s), ind)
+	case *CallStmt:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = FormatExpr(a)
+		}
+		fmt.Fprintf(sb, "%s%sCALL %s(%s)\n", label(sb, s), ind, x.Name, strings.Join(args, ", "))
+	case *ReturnStmt:
+		fmt.Fprintf(sb, "%s%sRETURN\n", label(sb, s), ind)
+	case *StopStmt:
+		fmt.Fprintf(sb, "%s%sSTOP\n", label(sb, s), ind)
+	case *PrintStmt:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = FormatExpr(a)
+		}
+		out := "PRINT *"
+		if len(args) > 0 {
+			out += ", " + strings.Join(args, ", ")
+		}
+		fmt.Fprintf(sb, "%s%s%s\n", label(sb, s), ind, out)
+	default:
+		fmt.Fprintf(sb, "%s%sC unhandled %T\n", label(sb, s), ind, s)
+	}
+}
+
+func formatRef(r *Ref) string {
+	if len(r.Subs) == 0 {
+		return r.Sym.Name
+	}
+	subs := make([]string, len(r.Subs))
+	for i, s := range r.Subs {
+		subs[i] = FormatExpr(s)
+	}
+	return r.Sym.Name + "(" + strings.Join(subs, ", ") + ")"
+}
+
+// FormatExpr renders one expression with minimal parentheses (children
+// parenthesized when their operator binds looser than the parent's).
+func FormatExpr(e Expr) string {
+	return formatPrec(e, 0)
+}
+
+// Precedence levels: 1 .OR., 2 .AND., 3 .NOT., 4 relational,
+// 5 additive, 6 multiplicative, 7 unary minus, 8 power.
+func precOf(op BinOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE:
+		return 4
+	case OpAdd, OpSub:
+		return 5
+	case OpMul, OpDiv:
+		return 6
+	case OpPow:
+		return 8
+	default:
+		return 9
+	}
+}
+
+func formatPrec(e Expr, parent int) string {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.Val < 0 {
+			return "(" + strconv.FormatInt(x.Val, 10) + ")"
+		}
+		return strconv.FormatInt(x.Val, 10)
+	case *RealLit:
+		return formatFloat(x.Val, TReal)
+	case *LogLit:
+		if x.Val {
+			return ".TRUE."
+		}
+		return ".FALSE."
+	case *StrLit:
+		return "'" + x.Val + "'"
+	case *VarExpr:
+		return x.Sym.Name
+	case *ArrayExpr:
+		subs := make([]string, len(x.Subs))
+		for i, s := range x.Subs {
+			subs[i] = formatPrec(s, 0)
+		}
+		return x.Sym.Name + "(" + strings.Join(subs, ", ") + ")"
+	case *Un:
+		switch x.Op {
+		case OpNeg:
+			inner := formatPrec(x.X, 7)
+			return wrap("-"+inner, 7, parent)
+		case OpNot:
+			return wrap(".NOT. "+formatPrec(x.X, 3), 3, parent)
+		default:
+			return formatPrec(x.X, parent)
+		}
+	case *Bin:
+		p := precOf(x.Op)
+		l := formatPrec(x.L, p)
+		// Right child of a left-assoc op needs parens at equal prec.
+		r := formatPrec(x.R, p+1)
+		if x.Op == OpPow {
+			// ** is right-associative.
+			l = formatPrec(x.L, p+1)
+			r = formatPrec(x.R, p)
+		}
+		return wrap(l+" "+x.Op.String()+" "+r, p, parent)
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = formatPrec(a, 0)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	default:
+		return fmt.Sprintf("?%T?", e)
+	}
+}
+
+func wrap(s string, prec, parent int) string {
+	if prec < parent {
+		return "(" + s + ")"
+	}
+	return s
+}

@@ -1,0 +1,276 @@
+package f77
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// structEq compares two programs structurally (statement shapes,
+// operators, symbol names, constants) ignoring positions.
+func structEq(a, b *Program) error {
+	if len(a.Units) != len(b.Units) {
+		return fmt.Errorf("unit count %d vs %d", len(a.Units), len(b.Units))
+	}
+	for i := range a.Units {
+		if err := unitEq(a.Units[i], b.Units[i]); err != nil {
+			return fmt.Errorf("unit %s: %w", a.Units[i].Name, err)
+		}
+	}
+	return nil
+}
+
+func unitEq(a, b *Unit) error {
+	if a.Name != b.Name || a.Kind != b.Kind || len(a.Params) != len(b.Params) {
+		return fmt.Errorf("header mismatch")
+	}
+	return stmtsEq(a.Body, b.Body)
+}
+
+func stmtsEq(a, b []Stmt) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("statement count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if err := stmtEq(a[i], b[i]); err != nil {
+			return fmt.Errorf("stmt %d (%T): %w", i, a[i], err)
+		}
+	}
+	return nil
+}
+
+func stmtEq(a, b Stmt) error {
+	if reflect.TypeOf(a) != reflect.TypeOf(b) {
+		return fmt.Errorf("kind %T vs %T", a, b)
+	}
+	if a.Label() != b.Label() {
+		return fmt.Errorf("label %d vs %d", a.Label(), b.Label())
+	}
+	switch x := a.(type) {
+	case *Assign:
+		y := b.(*Assign)
+		if x.LHS.Sym.Name != y.LHS.Sym.Name || len(x.LHS.Subs) != len(y.LHS.Subs) {
+			return fmt.Errorf("lhs mismatch")
+		}
+		return exprEq(x.RHS, y.RHS)
+	case *DoLoop:
+		y := b.(*DoLoop)
+		if x.Var.Name != y.Var.Name {
+			return fmt.Errorf("loop var")
+		}
+		if err := exprEq(x.From, y.From); err != nil {
+			return err
+		}
+		if err := exprEq(x.To, y.To); err != nil {
+			return err
+		}
+		return stmtsEq(x.Body, y.Body)
+	case *IfBlock:
+		y := b.(*IfBlock)
+		if len(x.Conds) != len(y.Conds) {
+			return fmt.Errorf("cond count")
+		}
+		for i := range x.Conds {
+			if err := exprEq(x.Conds[i], y.Conds[i]); err != nil {
+				return err
+			}
+			if err := stmtsEq(x.Blocks[i], y.Blocks[i]); err != nil {
+				return err
+			}
+		}
+		return stmtsEq(x.Else, y.Else)
+	case *Goto:
+		if x.Target != b.(*Goto).Target {
+			return fmt.Errorf("goto target")
+		}
+	case *CallStmt:
+		y := b.(*CallStmt)
+		if x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return fmt.Errorf("call mismatch")
+		}
+	case *PrintStmt:
+		if len(x.Args) != len(b.(*PrintStmt).Args) {
+			return fmt.Errorf("print arity")
+		}
+	}
+	return nil
+}
+
+func exprEq(a, b Expr) error {
+	if reflect.TypeOf(a) != reflect.TypeOf(b) {
+		return fmt.Errorf("expr kind %T vs %T", a, b)
+	}
+	switch x := a.(type) {
+	case *IntLit:
+		if x.Val != b.(*IntLit).Val {
+			return fmt.Errorf("int %d vs %d", x.Val, b.(*IntLit).Val)
+		}
+	case *RealLit:
+		if x.Val != b.(*RealLit).Val {
+			return fmt.Errorf("real %v vs %v", x.Val, b.(*RealLit).Val)
+		}
+	case *VarExpr:
+		if x.Sym.Name != b.(*VarExpr).Sym.Name {
+			return fmt.Errorf("var %s vs %s", x.Sym.Name, b.(*VarExpr).Sym.Name)
+		}
+	case *ArrayExpr:
+		y := b.(*ArrayExpr)
+		if x.Sym.Name != y.Sym.Name || len(x.Subs) != len(y.Subs) {
+			return fmt.Errorf("array ref mismatch")
+		}
+		for i := range x.Subs {
+			if err := exprEq(x.Subs[i], y.Subs[i]); err != nil {
+				return err
+			}
+		}
+	case *Bin:
+		y := b.(*Bin)
+		if x.Op != y.Op {
+			return fmt.Errorf("op %v vs %v", x.Op, y.Op)
+		}
+		if err := exprEq(x.L, y.L); err != nil {
+			return err
+		}
+		return exprEq(x.R, y.R)
+	case *Un:
+		y := b.(*Un)
+		if x.Op != y.Op {
+			return fmt.Errorf("unop")
+		}
+		return exprEq(x.X, y.X)
+	case *CallExpr:
+		y := b.(*CallExpr)
+		if x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return fmt.Errorf("call expr mismatch")
+		}
+		for i := range x.Args {
+			if err := exprEq(x.Args[i], y.Args[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Round trip: parse → format → parse must be structurally identical.
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	p1 := mustParse(t, src)
+	formatted := Format(p1)
+	p2, err := Parse(formatted)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nformatted:\n%s", err, formatted)
+	}
+	if err := structEq(p1, p2); err != nil {
+		t.Fatalf("round trip diverged: %v\nformatted:\n%s", err, formatted)
+	}
+}
+
+func TestFormatRoundTripMM(t *testing.T) { roundTrip(t, mmSource) }
+
+func TestFormatRoundTripControlFlow(t *testing.T) {
+	roundTrip(t, `
+      PROGRAM P
+      REAL A(10), X
+      INTEGER I
+      X = 0.0
+      DO 10 I = 1, 10, 2
+        A(I) = -X ** 2 + ABS(X - 1.0)
+        IF (A(I) .GT. 0.5 .AND. X .LT. 3.0) THEN
+          X = X + 1.0
+        ELSEIF (.NOT. (X .GE. 0.0)) THEN
+          X = 0.0
+        ELSE
+          X = X * 0.5
+        ENDIF
+10    CONTINUE
+      IF (X .GT. 0.0) GOTO 20
+      X = -1.0
+20    CONTINUE
+      PRINT *, 'DONE', X
+      END
+`)
+}
+
+func TestFormatRoundTripUnitsAndCommon(t *testing.T) {
+	roundTrip(t, `
+      PROGRAM P
+      REAL V(5), T
+      COMMON /BLK/ V, T
+      DATA V /5*1.5/
+      CALL S(V, 5)
+      T = F(2.0)
+      END
+      SUBROUTINE S(A, N)
+      INTEGER N, I
+      REAL A(N)
+      DO I = 1, N
+        A(I) = REAL(I)
+      ENDDO
+      RETURN
+      END
+      REAL FUNCTION F(X)
+      REAL X
+      F = X * 2.0
+      END
+`)
+}
+
+func TestFormatPrecedence(t *testing.T) {
+	// (a+b)*c must keep its parens; a+b*c must not gain any.
+	src := `
+      PROGRAM P
+      REAL A, B, C, X, Y
+      A = 1.0
+      B = 2.0
+      C = 3.0
+      X = (A + B) * C
+      Y = A + B * C
+      END
+`
+	p := mustParse(t, src)
+	out := Format(p)
+	if !strings.Contains(out, "(A + B) * C") {
+		t.Fatalf("parens lost:\n%s", out)
+	}
+	if !strings.Contains(out, "Y = A + B * C") {
+		t.Fatalf("spurious parens:\n%s", out)
+	}
+	roundTrip(t, src)
+}
+
+func TestFormatPowerRightAssoc(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X
+      X = 2.0 ** 3.0 ** 2.0
+      END
+`
+	roundTrip(t, src)
+}
+
+func TestFormatParallelDirective(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(10)
+      INTEGER I
+!$PAR PARALLEL
+      DO I = 1, 10
+        A(I) = 1.0
+      ENDDO
+      END
+`
+	p := mustParse(t, src)
+	out := Format(p)
+	if !strings.Contains(out, "!$PAR PARALLEL") {
+		t.Fatalf("directive lost:\n%s", out)
+	}
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Main().Body[0].(*DoLoop).Parallel {
+		t.Fatal("reparsed loop lost parallel mark")
+	}
+}

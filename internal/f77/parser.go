@@ -1,0 +1,913 @@
+package f77
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parser builds a Program from source text.
+type Parser struct {
+	lx   *Lexer
+	unit *Unit // unit being parsed
+	prog *Program
+	// pendingLabel holds a statement label lexed at line start.
+	pendingLabel int
+	// pendingParallel marks the next DO loop parallel (a !$PAR
+	// PARALLEL directive was seen).
+	pendingParallel bool
+}
+
+// Parse parses a complete source file.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lx: NewLexer(src), prog: &Program{}}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	if err := Analyze(p.prog); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+func (p *Parser) next() (Token, error) { return p.lx.Next() }
+
+func (p *Parser) peek() (Token, error) { return p.lx.Peek(0) }
+
+func (p *Parser) peekN(i int) (Token, error) { return p.lx.Peek(i) }
+
+// skipNewlines consumes newline tokens, capturing statement labels and
+// directives that start lines.
+func (p *Parser) skipNewlines() error {
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.Kind != TokNewline {
+			return nil
+		}
+		if _, err := p.next(); err != nil {
+			return err
+		}
+	}
+}
+
+// expectIdent consumes an identifier with the given upper-case text.
+func (p *Parser) expectIdent(text string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.Kind != TokIdent || t.Text != text {
+		return errf(t.Line, t.Col, "expected %s, found %v", text, t)
+	}
+	return nil
+}
+
+func (p *Parser) expect(kind TokKind) (Token, error) {
+	t, err := p.next()
+	if err != nil {
+		return Token{}, err
+	}
+	if t.Kind != kind {
+		return Token{}, errf(t.Line, t.Col, "expected %v, found %v", kind, t)
+	}
+	return t, nil
+}
+
+// accept consumes the next token if it matches kind.
+func (p *Parser) accept(kind TokKind) (bool, error) {
+	t, err := p.peek()
+	if err != nil {
+		return false, err
+	}
+	if t.Kind != kind {
+		return false, nil
+	}
+	_, err = p.next()
+	return true, err
+}
+
+func (p *Parser) acceptIdent(text string) (bool, error) {
+	t, err := p.peek()
+	if err != nil {
+		return false, err
+	}
+	if t.Kind != TokIdent || t.Text != text {
+		return false, nil
+	}
+	_, err = p.next()
+	return true, err
+}
+
+// endOfStatement consumes the statement terminator.
+func (p *Parser) endOfStatement() error {
+	t, err := p.peek()
+	if err != nil {
+		return err
+	}
+	switch t.Kind {
+	case TokNewline:
+		_, err = p.next()
+		return err
+	case TokEOF:
+		return nil
+	default:
+		return errf(t.Line, t.Col, "unexpected %v at end of statement", t)
+	}
+}
+
+func (p *Parser) parseProgram() error {
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return err
+		}
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.Kind == TokEOF {
+			break
+		}
+		if err := p.parseUnit(); err != nil {
+			return err
+		}
+	}
+	if len(p.prog.Units) == 0 {
+		return errf(1, 1, "empty source")
+	}
+	return nil
+}
+
+// parseUnit parses PROGRAM/SUBROUTINE/[type] FUNCTION ... END.
+func (p *Parser) parseUnit() error {
+	t, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if t.Kind != TokIdent {
+		return errf(t.Line, t.Col, "expected a program unit header, found %v", t)
+	}
+	u := &Unit{Syms: NewSymTab()}
+	p.unit = u
+
+	declType := -1
+	head := t.Text
+	switch head {
+	case "PROGRAM":
+		p.mustNext()
+		u.Kind = KProgram
+	case "SUBROUTINE":
+		p.mustNext()
+		u.Kind = KSubroutine
+	case "INTEGER", "REAL", "DOUBLE", "LOGICAL":
+		// Could be "REAL FUNCTION F(X)".
+		t2, err := p.peekN(1)
+		if err != nil {
+			return err
+		}
+		off := 1
+		if head == "DOUBLE" {
+			// DOUBLE PRECISION FUNCTION
+			if t2.Kind == TokIdent && t2.Text == "PRECISION" {
+				t2, err = p.peekN(2)
+				if err != nil {
+					return err
+				}
+				off = 2
+			}
+		}
+		if t2.Kind == TokIdent && t2.Text == "FUNCTION" {
+			for i := 0; i <= off; i++ {
+				p.mustNext()
+			}
+			u.Kind = KFunction
+			switch head {
+			case "INTEGER":
+				u.Result = TInteger
+			case "REAL":
+				u.Result = TReal
+			case "DOUBLE":
+				u.Result = TDouble
+			case "LOGICAL":
+				u.Result = TLogical
+			}
+			declType = int(u.Result)
+		} else {
+			return errf(t.Line, t.Col, "top-level declaration outside a program unit")
+		}
+	case "FUNCTION":
+		p.mustNext()
+		u.Kind = KFunction
+		u.Result = TReal
+	default:
+		return errf(t.Line, t.Col, "expected PROGRAM, SUBROUTINE or FUNCTION, found %s", head)
+	}
+	_ = declType
+
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	u.Name = nameTok.Text
+
+	// Parameter list.
+	if ok, err := p.accept(TokLParen); err != nil {
+		return err
+	} else if ok {
+		for {
+			if ok, err := p.accept(TokRParen); err != nil {
+				return err
+			} else if ok {
+				break
+			}
+			at, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			sym := u.Syms.Define(&Symbol{Name: at.Text, Type: implicitType(at.Text), IsArg: true})
+			u.Params = append(u.Params, sym)
+			if ok, err := p.accept(TokComma); err != nil {
+				return err
+			} else if !ok {
+				if _, err := p.expect(TokRParen); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	if u.Kind == KFunction {
+		// The function name is a scalar of the result type.
+		u.Syms.Define(&Symbol{Name: u.Name, Type: u.Result})
+	}
+	if err := p.endOfStatement(); err != nil {
+		return err
+	}
+
+	// Body statements until END.
+	body, err := p.parseStmtsUntil(func(word string) bool { return word == "END" })
+	if err != nil {
+		return err
+	}
+	if err := p.expectIdent("END"); err != nil {
+		return err
+	}
+	if err := p.endOfStatement(); err != nil {
+		return err
+	}
+	u.Body = body
+	p.prog.Units = append(p.prog.Units, u)
+	return nil
+}
+
+func (p *Parser) mustNext() Token {
+	t, err := p.next()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// implicitType applies Fortran implicit typing: I-N integer, else real.
+func implicitType(name string) Type {
+	c := name[0]
+	if c >= 'I' && c <= 'N' {
+		return TInteger
+	}
+	return TReal
+}
+
+// sym resolves or implicitly declares a name in the current unit.
+func (p *Parser) sym(name string) *Symbol {
+	if s := p.unit.Syms.Lookup(name); s != nil {
+		return s
+	}
+	return p.unit.Syms.Define(&Symbol{Name: name, Type: implicitType(name)})
+}
+
+// parseStmtsUntil parses statements until stop(nextKeyword) is true at
+// statement start. The stopping token is not consumed.
+func (p *Parser) parseStmtsUntil(stop func(word string) bool) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return nil, err
+		}
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return nil, errf(t.Line, t.Col, "unexpected end of file inside a block")
+		}
+
+		// Statement label.
+		label := 0
+		if t.Kind == TokInt {
+			v, err := strconv.Atoi(t.Text)
+			if err != nil {
+				return nil, errf(t.Line, t.Col, "bad label %q", t.Text)
+			}
+			label = v
+			p.mustNext()
+			t, err = p.peek()
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		if t.Kind != TokIdent {
+			return nil, errf(t.Line, t.Col, "expected a statement, found %v", t)
+		}
+		word := t.Text
+
+		// Parallel directive.
+		if strings.HasPrefix(word, "!$") {
+			p.mustNext()
+			// Consume the rest of the directive line.
+			for {
+				nt, err := p.peek()
+				if err != nil {
+					return nil, err
+				}
+				if nt.Kind == TokNewline || nt.Kind == TokEOF {
+					break
+				}
+				dt := p.mustNext()
+				if dt.Kind == TokIdent && (dt.Text == "PARALLEL" || word == "!$PAR") {
+					p.pendingParallel = true
+				}
+			}
+			if word == "!$PAR" {
+				p.pendingParallel = true
+			}
+			continue
+		}
+
+		if label == 0 && stop(word) {
+			return out, nil
+		}
+
+		st, err := p.parseStatement(label)
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			out = append(out, st)
+		}
+	}
+}
+
+// isAssignment looks ahead to decide whether the statement starting
+// with an identifier is an assignment: the shape IDENT ['(' ... ')']
+// '=' with *no comma at paren depth 0 after the '='. Fortran has no
+// reserved words, so "IF(I) = 3" is an assignment to array IF, while
+// "DO I = 1, N" is a loop header — the classic disambiguation rule is
+// exactly that top-level comma.
+func (p *Parser) isAssignment() (bool, error) {
+	i := 1
+	t, err := p.peekN(i)
+	if err != nil {
+		return false, err
+	}
+	if t.Kind == TokLParen {
+		depth := 1
+		for depth > 0 {
+			i++
+			t, err = p.peekN(i)
+			if err != nil {
+				return false, err
+			}
+			switch t.Kind {
+			case TokLParen:
+				depth++
+			case TokRParen:
+				depth--
+			case TokNewline, TokEOF:
+				return false, nil
+			}
+		}
+		i++
+		t, err = p.peekN(i)
+		if err != nil {
+			return false, err
+		}
+	}
+	if t.Kind != TokEq {
+		return false, nil
+	}
+	depth := 0
+	for {
+		i++
+		t, err = p.peekN(i)
+		if err != nil {
+			return false, err
+		}
+		switch t.Kind {
+		case TokLParen:
+			depth++
+		case TokRParen:
+			depth--
+		case TokComma:
+			if depth == 0 {
+				return false, nil // DO-header comma
+			}
+		case TokNewline, TokEOF:
+			return true, nil
+		}
+	}
+}
+
+func (p *Parser) parseStatement(label int) (Stmt, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	base := StmtBase{Lbl: label, SrcLine: t.Line}
+	word := t.Text
+
+	// Assignment has priority over keyword forms (no reserved words).
+	if isDeclWord(word) {
+		if assign, err := p.isAssignment(); err != nil {
+			return nil, err
+		} else if !assign {
+			return nil, p.parseDeclaration(word)
+		}
+	}
+
+	switch word {
+	case "DO":
+		if assign, err := p.isAssignment(); err != nil {
+			return nil, err
+		} else if !assign {
+			return p.parseDo(base)
+		}
+	case "IF":
+		if assign, err := p.isAssignment(); err != nil {
+			return nil, err
+		} else if !assign {
+			return p.parseIf(base)
+		}
+	case "GOTO":
+		p.mustNext()
+		lt, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		v, _ := strconv.Atoi(lt.Text)
+		if err := p.endOfStatement(); err != nil {
+			return nil, err
+		}
+		return &Goto{StmtBase: base, Target: v}, nil
+	case "GO":
+		// GO TO label
+		t2, err := p.peekN(1)
+		if err != nil {
+			return nil, err
+		}
+		if t2.Kind == TokIdent && t2.Text == "TO" {
+			p.mustNext()
+			p.mustNext()
+			lt, err := p.expect(TokInt)
+			if err != nil {
+				return nil, err
+			}
+			v, _ := strconv.Atoi(lt.Text)
+			if err := p.endOfStatement(); err != nil {
+				return nil, err
+			}
+			return &Goto{StmtBase: base, Target: v}, nil
+		}
+	case "CONTINUE":
+		p.mustNext()
+		if err := p.endOfStatement(); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{StmtBase: base}, nil
+	case "CALL":
+		p.mustNext()
+		nameTok, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		var args []Expr
+		if ok, err := p.accept(TokLParen); err != nil {
+			return nil, err
+		} else if ok {
+			args, err = p.parseArgList()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.endOfStatement(); err != nil {
+			return nil, err
+		}
+		return &CallStmt{StmtBase: base, Name: nameTok.Text, Args: args}, nil
+	case "RETURN":
+		p.mustNext()
+		if err := p.endOfStatement(); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{StmtBase: base}, nil
+	case "STOP":
+		p.mustNext()
+		// Optional stop code.
+		if nt, err := p.peek(); err == nil && (nt.Kind == TokInt || nt.Kind == TokString) {
+			p.mustNext()
+		}
+		if err := p.endOfStatement(); err != nil {
+			return nil, err
+		}
+		return &StopStmt{StmtBase: base}, nil
+	case "PRINT":
+		p.mustNext()
+		if _, err := p.expect(TokStar); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		for {
+			if ok, err := p.accept(TokComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+		}
+		if err := p.endOfStatement(); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{StmtBase: base, Args: args}, nil
+	case "WRITE":
+		// WRITE(*,*) args — treated as PRINT.
+		p.mustNext()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		depth := 1
+		for depth > 0 {
+			t, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			switch t.Kind {
+			case TokLParen:
+				depth++
+			case TokRParen:
+				depth--
+			case TokNewline, TokEOF:
+				return nil, errf(t.Line, t.Col, "unterminated WRITE control list")
+			}
+		}
+		var args []Expr
+		for {
+			nt, err := p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if nt.Kind == TokNewline || nt.Kind == TokEOF {
+				break
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if ok, err := p.accept(TokComma); err != nil {
+				return nil, err
+			} else if !ok {
+				break
+			}
+		}
+		if err := p.endOfStatement(); err != nil {
+			return nil, err
+		}
+		return &PrintStmt{StmtBase: base, Args: args}, nil
+	}
+
+	// Default: assignment.
+	return p.parseAssign(base)
+}
+
+func isDeclWord(w string) bool {
+	switch w {
+	case "INTEGER", "REAL", "DOUBLE", "LOGICAL", "DIMENSION", "PARAMETER", "DATA", "IMPLICIT", "EXTERNAL", "INTRINSIC", "COMMON":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseAssign(base StmtBase) (Stmt, error) {
+	ref, err := p.parseRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEq); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.endOfStatement(); err != nil {
+		return nil, err
+	}
+	return &Assign{StmtBase: base, LHS: ref, RHS: rhs}, nil
+}
+
+func (p *Parser) parseRef() (*Ref, error) {
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	sym := p.sym(nameTok.Text)
+	ref := &Ref{Sym: sym}
+	if ok, err := p.accept(TokLParen); err != nil {
+		return nil, err
+	} else if ok {
+		subs, err := p.parseArgList()
+		if err != nil {
+			return nil, err
+		}
+		ref.Subs = subs
+	}
+	return ref, nil
+}
+
+// parseArgList parses a comma-separated expression list up to ')',
+// consuming the closing paren.
+func (p *Parser) parseArgList() ([]Expr, error) {
+	var args []Expr
+	if ok, err := p.accept(TokRParen); err != nil {
+		return nil, err
+	} else if ok {
+		return args, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if ok, err := p.accept(TokComma); err != nil {
+			return nil, err
+		} else if !ok {
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return args, nil
+		}
+	}
+}
+
+// parseDo parses both DO...ENDDO and DO <label> ... <label> CONTINUE.
+func (p *Parser) parseDo(base StmtBase) (Stmt, error) {
+	p.mustNext() // DO
+	parallel := p.pendingParallel
+	p.pendingParallel = false
+
+	endLabel := 0
+	if t, err := p.peek(); err != nil {
+		return nil, err
+	} else if t.Kind == TokInt {
+		v, _ := strconv.Atoi(t.Text)
+		endLabel = v
+		p.mustNext()
+	}
+
+	varTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	loopVar := p.sym(varTok.Text)
+	if _, err := p.expect(TokEq); err != nil {
+		return nil, err
+	}
+	from, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	to, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var step Expr
+	if ok, err := p.accept(TokComma); err != nil {
+		return nil, err
+	} else if ok {
+		step, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.endOfStatement(); err != nil {
+		return nil, err
+	}
+
+	var body []Stmt
+	if endLabel != 0 {
+		body, err = p.parseLabeledDoBody(endLabel)
+	} else {
+		body, err = p.parseStmtsUntil(func(w string) bool { return w == "ENDDO" || w == "END" })
+		if err == nil {
+			var t Token
+			t, err = p.peek()
+			if err == nil {
+				if t.Text == "ENDDO" {
+					p.mustNext()
+					err = p.endOfStatement()
+				} else {
+					// "END DO"
+					p.mustNext()
+					if err = p.expectIdent("DO"); err == nil {
+						err = p.endOfStatement()
+					}
+				}
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DoLoop{StmtBase: base, Var: loopVar, From: from, To: to, Step: step, Body: body, Parallel: parallel}, nil
+}
+
+// parseLabeledDoBody parses until the statement carrying endLabel
+// (inclusive; the labeled statement — typically CONTINUE — stays in the
+// body as the loop's last statement).
+func (p *Parser) parseLabeledDoBody(endLabel int) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return nil, err
+		}
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			return nil, errf(t.Line, t.Col, "unterminated DO %d", endLabel)
+		}
+		label := 0
+		if t.Kind == TokInt {
+			v, _ := strconv.Atoi(t.Text)
+			label = v
+		}
+		st, err := p.parseStmtsOne()
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			out = append(out, st)
+		}
+		if label == endLabel {
+			return out, nil
+		}
+	}
+}
+
+// parseStmtsOne parses exactly one statement (with optional label).
+func (p *Parser) parseStmtsOne() (Stmt, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	label := 0
+	if t.Kind == TokInt {
+		v, _ := strconv.Atoi(t.Text)
+		label = v
+		p.mustNext()
+	}
+	return p.parseStatement(label)
+}
+
+// parseIf parses logical IF and block IF/ELSEIF/ELSE/ENDIF.
+func (p *Parser) parseIf(base StmtBase) (Stmt, error) {
+	p.mustNext() // IF
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+
+	if ok, err := p.acceptIdent("THEN"); err != nil {
+		return nil, err
+	} else if !ok {
+		// Logical IF: one statement on the same line.
+		st, err := p.parseStatement(0)
+		if err != nil {
+			return nil, err
+		}
+		return &IfBlock{StmtBase: base, Conds: []Expr{cond}, Blocks: [][]Stmt{{st}}}, nil
+	}
+	if err := p.endOfStatement(); err != nil {
+		return nil, err
+	}
+
+	blk := &IfBlock{StmtBase: base, Conds: []Expr{cond}}
+	stop := func(w string) bool {
+		return w == "ELSEIF" || w == "ELSE" || w == "ENDIF" || w == "END"
+	}
+	for {
+		body, err := p.parseStmtsUntil(stop)
+		if err != nil {
+			return nil, err
+		}
+		blk.Blocks = append(blk.Blocks, body)
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch t.Text {
+		case "ELSEIF":
+			p.mustNext()
+			if _, err := p.expect(TokLParen); err != nil {
+				return nil, err
+			}
+			c, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			if _, err := p.acceptIdent("THEN"); err != nil {
+				return nil, err
+			}
+			if err := p.endOfStatement(); err != nil {
+				return nil, err
+			}
+			blk.Conds = append(blk.Conds, c)
+		case "ELSE":
+			p.mustNext()
+			// "ELSE IF (...) THEN"?
+			if ok, err := p.acceptIdent("IF"); err != nil {
+				return nil, err
+			} else if ok {
+				if _, err := p.expect(TokLParen); err != nil {
+					return nil, err
+				}
+				c, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+				if _, err := p.acceptIdent("THEN"); err != nil {
+					return nil, err
+				}
+				if err := p.endOfStatement(); err != nil {
+					return nil, err
+				}
+				blk.Conds = append(blk.Conds, c)
+				continue
+			}
+			if err := p.endOfStatement(); err != nil {
+				return nil, err
+			}
+			els, err := p.parseStmtsUntil(func(w string) bool { return w == "ENDIF" || w == "END" })
+			if err != nil {
+				return nil, err
+			}
+			blk.Else = els
+			t, err = p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if t.Text == "ENDIF" {
+				p.mustNext()
+			} else {
+				p.mustNext()
+				if err := p.expectIdent("IF"); err != nil {
+					return nil, err
+				}
+			}
+			return blk, p.endOfStatement()
+		case "ENDIF":
+			p.mustNext()
+			return blk, p.endOfStatement()
+		case "END":
+			// "END IF"
+			p.mustNext()
+			if err := p.expectIdent("IF"); err != nil {
+				return nil, err
+			}
+			return blk, p.endOfStatement()
+		default:
+			return nil, errf(t.Line, t.Col, "expected ELSEIF/ELSE/ENDIF, found %v", t)
+		}
+	}
+}

@@ -1,0 +1,685 @@
+package f77
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse failed: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("expected a parse error for:\n%s", src)
+	}
+	return err
+}
+
+const mmSource = `
+      PROGRAM MM
+      INTEGER N
+      PARAMETER (N = 8)
+      REAL A(N,N), B(N,N), C(N,N)
+      INTEGER I, J, K
+      DO I = 1, N
+        DO J = 1, N
+          A(I,J) = REAL(I) + REAL(J)
+          B(I,J) = REAL(I) - REAL(J)
+          C(I,J) = 0.0
+        ENDDO
+      ENDDO
+      DO I = 1, N
+        DO J = 1, N
+          DO K = 1, N
+            C(I,J) = C(I,J) + A(I,K) * B(K,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+`
+
+func TestParseMM(t *testing.T) {
+	p := mustParse(t, mmSource)
+	main := p.Main()
+	if main == nil {
+		t.Fatal("no main program")
+	}
+	if main.Name != "MM" {
+		t.Fatalf("name = %q", main.Name)
+	}
+	n := main.Syms.Lookup("N")
+	if n == nil || !n.IsConst || n.Const != 8 {
+		t.Fatalf("PARAMETER N wrong: %+v", n)
+	}
+	a := main.Syms.Lookup("A")
+	if a == nil || len(a.Dims) != 2 || a.Type != TReal {
+		t.Fatalf("A wrong: %+v", a)
+	}
+	if len(main.Body) != 2 {
+		t.Fatalf("main body has %d statements, want 2 loop nests", len(main.Body))
+	}
+	nest, ok := main.Body[1].(*DoLoop)
+	if !ok {
+		t.Fatalf("second statement is %T", main.Body[1])
+	}
+	inner, ok := nest.Body[0].(*DoLoop)
+	if !ok || inner.Var.Name != "J" {
+		t.Fatal("inner J loop missing")
+	}
+	kLoop, ok := inner.Body[0].(*DoLoop)
+	if !ok || kLoop.Var.Name != "K" {
+		t.Fatal("K loop missing")
+	}
+	asg, ok := kLoop.Body[0].(*Assign)
+	if !ok || asg.LHS.Sym.Name != "C" || len(asg.LHS.Subs) != 2 {
+		t.Fatalf("inner assign wrong: %+v", kLoop.Body[0])
+	}
+}
+
+func TestLabeledDoContinue(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(11)
+      INTEGER I
+      DO 10 I = 1, 11, 2
+        A(I) = 1.0
+10    CONTINUE
+      END
+`
+	p := mustParse(t, src)
+	loop, ok := p.Main().Body[0].(*DoLoop)
+	if !ok {
+		t.Fatalf("not a loop: %T", p.Main().Body[0])
+	}
+	if loop.Step == nil {
+		t.Fatal("step missing")
+	}
+	if s, ok := loop.Step.(*IntLit); !ok || s.Val != 2 {
+		t.Fatalf("step = %v", loop.Step)
+	}
+	last := loop.Body[len(loop.Body)-1]
+	if _, ok := last.(*ContinueStmt); !ok || last.Label() != 10 {
+		t.Fatalf("labeled CONTINUE missing: %T label %d", last, last.Label())
+	}
+}
+
+// The paper's Figure 3 fragment: variant-stride access A(i*2-1).
+func TestParseFigure3Fragment(t *testing.T) {
+	src := `
+      PROGRAM FIG3
+      REAL A(16), S
+      INTEGER I
+      S = 0.0
+      DO I = 1, 4
+        S = S + A(I*2-1)
+      ENDDO
+      END
+`
+	p := mustParse(t, src)
+	loop := p.Main().Body[1].(*DoLoop)
+	asg := loop.Body[0].(*Assign)
+	bin, ok := asg.RHS.(*Bin)
+	if !ok || bin.Op != OpAdd {
+		t.Fatalf("RHS = %#v", asg.RHS)
+	}
+	ax, ok := bin.R.(*ArrayExpr)
+	if !ok || ax.Sym.Name != "A" {
+		t.Fatalf("array read = %#v", bin.R)
+	}
+}
+
+// The paper's Figure 4: REAL A(14,*) with a triply nested loop.
+func TestParseAssumedSize(t *testing.T) {
+	src := `
+      SUBROUTINE S(A)
+      REAL A(14,*)
+      INTEGER I, J, K
+      DO I = 1, 2
+        DO J = 1, 2
+          DO K = 1, 10, 3
+            A(K, J+26*(I-1)) = 0.0
+          ENDDO
+        ENDDO
+      ENDDO
+      END
+`
+	p := mustParse(t, src)
+	u := p.Units[0]
+	a := u.Syms.Lookup("A")
+	if len(a.Dims) != 2 {
+		t.Fatalf("A dims = %d", len(a.Dims))
+	}
+	if a.Dims[1].High != nil {
+		t.Fatal("second dimension should be assumed-size")
+	}
+	if !a.IsArg {
+		t.Fatal("A should be a dummy argument")
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+      PROGRAM P
+      INTEGER I
+      REAL X
+      I = 3
+      IF (I .LT. 2) THEN
+        X = 1.0
+      ELSEIF (I .LT. 5) THEN
+        X = 2.0
+      ELSE
+        X = 3.0
+      ENDIF
+      IF (I .EQ. 3) X = X + 1.0
+      END
+`
+	p := mustParse(t, src)
+	blk, ok := p.Main().Body[1].(*IfBlock)
+	if !ok {
+		t.Fatalf("second stmt %T", p.Main().Body[1])
+	}
+	if len(blk.Conds) != 2 || len(blk.Blocks) != 2 || len(blk.Else) != 1 {
+		t.Fatalf("if shape: %d conds %d blocks %d else", len(blk.Conds), len(blk.Blocks), len(blk.Else))
+	}
+	logical, ok := p.Main().Body[2].(*IfBlock)
+	if !ok || len(logical.Blocks[0]) != 1 {
+		t.Fatal("logical IF wrong")
+	}
+}
+
+func TestElseIfTwoWords(t *testing.T) {
+	src := `
+      PROGRAM P
+      INTEGER I
+      I = 1
+      IF (I .EQ. 0) THEN
+        I = 2
+      ELSE IF (I .EQ. 1) THEN
+        I = 3
+      END IF
+      END
+`
+	p := mustParse(t, src)
+	blk := p.Main().Body[1].(*IfBlock)
+	if len(blk.Conds) != 2 {
+		t.Fatalf("ELSE IF not merged: %d conds", len(blk.Conds))
+	}
+}
+
+func TestGotoAndLabels(t *testing.T) {
+	src := `
+      PROGRAM P
+      INTEGER I
+      I = 0
+      I = I + 1
+      IF (I .LT. 3) GOTO 20
+      I = 99
+20    CONTINUE
+      END
+`
+	p := mustParse(t, src)
+	found := false
+	WalkStmts(p.Main().Body, func(s Stmt) bool {
+		if g, ok := s.(*Goto); ok && g.Target == 20 {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("GOTO not parsed")
+	}
+}
+
+func TestGotoUnknownLabelRejected(t *testing.T) {
+	parseErr(t, `
+      PROGRAM P
+      GOTO 99
+      END
+`)
+}
+
+func TestFunctionCallVsArray(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X, F
+      X = F(2.0)
+      END
+
+      REAL FUNCTION F(Y)
+      REAL Y
+      F = Y * 2.0
+      END
+`
+	p := mustParse(t, src)
+	asg := p.Main().Body[0].(*Assign)
+	call, ok := asg.RHS.(*CallExpr)
+	if !ok {
+		t.Fatalf("F(2.0) parsed as %T", asg.RHS)
+	}
+	if call.Intrinsic {
+		t.Fatal("user function flagged intrinsic")
+	}
+	if TypeOf(call) != TReal {
+		t.Fatalf("call type = %v", TypeOf(call))
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X
+      INTEGER I
+      X = SQRT(ABS(-2.0)) + MAX(1.0, 2.0, 3.0)
+      I = MOD(7, 3) + INT(2.9)
+      END
+`
+	p := mustParse(t, src)
+	n := 0
+	WalkStmts(p.Main().Body, func(s Stmt) bool {
+		StmtExprs(s, func(e Expr) {
+			WalkExpr(e, func(sub Expr) {
+				if c, ok := sub.(*CallExpr); ok && c.Intrinsic {
+					n++
+				}
+			})
+		})
+		return true
+	})
+	if n != 5 {
+		t.Fatalf("found %d intrinsic calls, want 5", n)
+	}
+}
+
+func TestIntrinsicArityChecked(t *testing.T) {
+	parseErr(t, `
+      PROGRAM P
+      REAL X
+      X = SQRT(1.0, 2.0)
+      END
+`)
+}
+
+func TestSubroutineCall(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(4)
+      CALL INIT(A, 4)
+      END
+
+      SUBROUTINE INIT(V, N)
+      INTEGER N, I
+      REAL V(N)
+      DO I = 1, N
+        V(I) = 0.0
+      ENDDO
+      END
+`
+	p := mustParse(t, src)
+	cs := p.Main().Body[0].(*CallStmt)
+	if cs.Name != "INIT" || len(cs.Args) != 2 {
+		t.Fatalf("call: %+v", cs)
+	}
+	init := p.Lookup("INIT")
+	if init == nil || len(init.Params) != 2 {
+		t.Fatal("INIT unit wrong")
+	}
+	v := init.Syms.Lookup("V")
+	if !v.IsArg || !v.IsArray() {
+		t.Fatal("V should be an array argument")
+	}
+}
+
+func TestCallArityChecked(t *testing.T) {
+	parseErr(t, `
+      PROGRAM P
+      CALL S(1)
+      END
+      SUBROUTINE S(A, B)
+      INTEGER A, B
+      END
+`)
+}
+
+func TestDataStatement(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(5), X
+      DATA A /5*1.5/, X /2.25/
+      END
+`
+	p := mustParse(t, src)
+	inits := p.Main().DataInits
+	if len(inits) != 2 {
+		t.Fatalf("data inits = %d", len(inits))
+	}
+	if len(inits[0].Vals) != 5 || inits[0].Vals[3] != 1.5 {
+		t.Fatalf("array init wrong: %v", inits[0].Vals)
+	}
+	if inits[1].Vals[0] != 2.25 {
+		t.Fatalf("scalar init wrong: %v", inits[1].Vals)
+	}
+}
+
+func TestImplicitTyping(t *testing.T) {
+	src := `
+      PROGRAM P
+      K = 3
+      X = 1.5
+      END
+`
+	p := mustParse(t, src)
+	if p.Main().Syms.Lookup("K").Type != TInteger {
+		t.Fatal("K should be INTEGER by the I-N rule")
+	}
+	if p.Main().Syms.Lookup("X").Type != TReal {
+		t.Fatal("X should be REAL")
+	}
+}
+
+func TestParameterArithmetic(t *testing.T) {
+	src := `
+      PROGRAM P
+      INTEGER N, M
+      PARAMETER (N = 64, M = 2*N+1)
+      REAL A(M)
+      INTEGER I
+      DO I = 1, M
+        A(I) = 0.0
+      ENDDO
+      END
+`
+	p := mustParse(t, src)
+	m := p.Main().Syms.Lookup("M")
+	if !m.IsConst || m.Const != 129 {
+		t.Fatalf("M = %v", m.Const)
+	}
+	a := p.Main().Syms.Lookup("A")
+	_, high, ok := DimExtent(a.Dims[0])
+	if !ok || high != 129 {
+		t.Fatalf("extent of A = %d (%v)", high, ok)
+	}
+}
+
+func TestParallelDirective(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(10)
+      INTEGER I
+!$PAR PARALLEL
+      DO I = 1, 10
+        A(I) = 1.0
+      ENDDO
+      DO I = 1, 10
+        A(I) = A(I) + 1.0
+      ENDDO
+      END
+`
+	p := mustParse(t, src)
+	l0 := p.Main().Body[0].(*DoLoop)
+	l1 := p.Main().Body[1].(*DoLoop)
+	if !l0.Parallel {
+		t.Fatal("directive did not mark loop parallel")
+	}
+	if l1.Parallel {
+		t.Fatal("directive leaked to the next loop")
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	src := `
+C     classic comment
+c     lower-case comment
+*     star comment
+      PROGRAM P ! trailing comment
+      INTEGER I
+      I = 1 ! another
+      END
+`
+	mustParse(t, src)
+}
+
+func TestContinuationLines(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X
+      X = 1.0 + &
+          2.0 + &
+          3.0
+      END
+`
+	p := mustParse(t, src)
+	asg := p.Main().Body[0].(*Assign)
+	v, ok := ConstFold(asg.RHS)
+	if !ok || v != 6.0 {
+		t.Fatalf("folded continuation = %v (%v)", v, ok)
+	}
+}
+
+func TestDoubleExponentLiterals(t *testing.T) {
+	src := `
+      PROGRAM P
+      DOUBLE PRECISION X
+      X = 1.5D2
+      END
+`
+	p := mustParse(t, src)
+	asg := p.Main().Body[0].(*Assign)
+	r, ok := asg.RHS.(*RealLit)
+	if !ok || r.Val != 150.0 {
+		t.Fatalf("D-exponent literal = %#v", asg.RHS)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X
+      X = 2.0 + 3.0 * 4.0 ** 2.0
+      END
+`
+	p := mustParse(t, src)
+	asg := p.Main().Body[0].(*Assign)
+	v, ok := ConstFold(asg.RHS)
+	_ = ok
+	// ConstFold does not fold real **; evaluate structure instead.
+	add := asg.RHS.(*Bin)
+	if add.Op != OpAdd {
+		t.Fatalf("top op = %v", add.Op)
+	}
+	mul := add.R.(*Bin)
+	if mul.Op != OpMul {
+		t.Fatalf("mid op = %v", mul.Op)
+	}
+	pow := mul.R.(*Bin)
+	if pow.Op != OpPow {
+		t.Fatalf("inner op = %v", pow.Op)
+	}
+	_ = v
+}
+
+func TestIntegerDivisionConstFold(t *testing.T) {
+	src := `
+      PROGRAM P
+      INTEGER N
+      PARAMETER (N = 7/2)
+      END
+`
+	p := mustParse(t, src)
+	if c := p.Main().Syms.Lookup("N").Const; c != 3 {
+		t.Fatalf("7/2 folded to %v, want 3 (integer semantics)", c)
+	}
+}
+
+func TestRelationalAlternatives(t *testing.T) {
+	src := `
+      PROGRAM P
+      INTEGER I
+      I = 1
+      IF (I == 1) I = 2
+      IF (I >= 2) I = 3
+      IF (I /= 9) I = 4
+      END
+`
+	p := mustParse(t, src)
+	if len(p.Main().Body) != 4 {
+		t.Fatalf("body len %d", len(p.Main().Body))
+	}
+}
+
+func TestAssignToParameterRejected(t *testing.T) {
+	parseErr(t, `
+      PROGRAM P
+      INTEGER N
+      PARAMETER (N = 4)
+      N = 5
+      END
+`)
+}
+
+func TestWrongSubscriptCountRejected(t *testing.T) {
+	parseErr(t, `
+      PROGRAM P
+      REAL A(4,4)
+      A(1) = 0.0
+      END
+`)
+}
+
+func TestUnknownSubroutineRejected(t *testing.T) {
+	parseErr(t, `
+      PROGRAM P
+      CALL NOPE(1)
+      END
+`)
+}
+
+func TestPrintParsed(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X
+      X = 2.0
+      PRINT *, 'X IS', X
+      WRITE(*,*) X
+      END
+`
+	p := mustParse(t, src)
+	if _, ok := p.Main().Body[1].(*PrintStmt); !ok {
+		t.Fatal("PRINT missing")
+	}
+	if _, ok := p.Main().Body[2].(*PrintStmt); !ok {
+		t.Fatal("WRITE-as-print missing")
+	}
+}
+
+func TestEmptySourceRejected(t *testing.T) {
+	parseErr(t, "   \n\n")
+}
+
+func TestLexerErrorsSurface(t *testing.T) {
+	err := parseErr(t, `
+      PROGRAM P
+      X = 'unterminated
+      END
+`)
+	if !strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestFunctionWithTypedHeader(t *testing.T) {
+	src := `
+      PROGRAM P
+      INTEGER K, IDX
+      K = IDX(3)
+      END
+
+      INTEGER FUNCTION IDX(I)
+      INTEGER I
+      IDX = I + 1
+      END
+`
+	p := mustParse(t, src)
+	f := p.Lookup("IDX")
+	if f.Result != TInteger {
+		t.Fatalf("result type %v", f.Result)
+	}
+	asg := p.Main().Body[0].(*Assign)
+	if TypeOf(asg.RHS) != TInteger {
+		t.Fatal("call site type not integer")
+	}
+}
+
+func TestAdjustableArrayDims(t *testing.T) {
+	src := `
+      SUBROUTINE S(A, N)
+      INTEGER N
+      REAL A(N, N)
+      A(1,1) = 0.0
+      END
+`
+	p := mustParse(t, src)
+	a := p.Units[0].Syms.Lookup("A")
+	if len(a.Dims) != 2 {
+		t.Fatal("dims wrong")
+	}
+	if _, _, ok := DimExtent(a.Dims[0]); ok {
+		t.Fatal("adjustable dim should not fold to a constant")
+	}
+}
+
+func TestNegativeBoundsDims(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL A(-2:2)
+      A(-2) = 1.0
+      A(2) = 2.0
+      END
+`
+	p := mustParse(t, src)
+	a := p.Main().Syms.Lookup("A")
+	low, high, ok := DimExtent(a.Dims[0])
+	if !ok || low != -2 || high != 2 {
+		t.Fatalf("bounds = %d:%d (%v)", low, high, ok)
+	}
+}
+
+func TestLeadingAmpersandContinuation(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X
+      X = 1.0 +
+     &    2.0 +
+     &    3.0
+      END
+`
+	p := mustParse(t, src)
+	asg := p.Main().Body[0].(*Assign)
+	v, ok := ConstFold(asg.RHS)
+	if !ok || v != 6.0 {
+		t.Fatalf("column-6 continuation folded to %v (%v)", v, ok)
+	}
+}
+
+func TestMixedContinuationStyles(t *testing.T) {
+	src := `
+      PROGRAM P
+      REAL X
+      X = 10.0 + &
+          20.0 +
+     &    30.0
+      END
+`
+	p := mustParse(t, src)
+	asg := p.Main().Body[0].(*Assign)
+	if v, _ := ConstFold(asg.RHS); v != 60.0 {
+		t.Fatalf("mixed continuations folded to %v", v)
+	}
+}

@@ -1,0 +1,164 @@
+package f77
+
+import (
+	"fmt"
+)
+
+// Analyze is the semantic pass run after parsing: it re-classifies
+// name(args) forms (array element vs user-function call), resolves
+// user-function result types, and checks subscript arity, assignment
+// targets, and GOTO labels.
+func Analyze(prog *Program) error {
+	for _, u := range prog.Units {
+		if err := analyzeUnit(prog, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func analyzeUnit(prog *Program, u *Unit) error {
+	var firstErr error
+	setErr := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// Pass 1: re-classify ArrayExpr nodes whose symbol is not an array:
+	// calls to user functions parse as array references because Fortran
+	// syntax cannot distinguish them.
+	RewriteAllExprs(u.Body, func(e Expr) Expr {
+		ax, ok := e.(*ArrayExpr)
+		if !ok {
+			return e
+		}
+		if ax.Sym.IsArray() {
+			return e
+		}
+		if callee := prog.Lookup(ax.Sym.Name); callee != nil && callee.Kind == KFunction {
+			return &CallExpr{Name: callee.Name, Args: ax.Subs, Ret: callee.Result}
+		}
+		if ax.Sym.IsArg {
+			// A dummy argument subscripted but not dimensioned here:
+			// treat as a 1-D assumed-size array (legal F77 style).
+			ax.Sym.Dims = []Dim{{}}
+			return e
+		}
+		setErr(fmt.Errorf("f77: %s: %q is subscripted but is neither an array nor a known function", u.Name, ax.Sym.Name))
+		return e
+	})
+
+	// Pass 2: structural checks.
+	labels := map[int]bool{}
+	WalkStmts(u.Body, func(s Stmt) bool {
+		if s.Label() != 0 {
+			labels[s.Label()] = true
+		}
+		return true
+	})
+	WalkStmts(u.Body, func(s Stmt) bool {
+		switch x := s.(type) {
+		case *Assign:
+			if x.LHS.Sym.IsConst {
+				setErr(fmt.Errorf("f77: %s: line %d: assignment to PARAMETER %s", u.Name, s.Line(), x.LHS.Sym.Name))
+			}
+			if len(x.LHS.Subs) > 0 && !x.LHS.Sym.IsArray() {
+				setErr(fmt.Errorf("f77: %s: line %d: %s is not an array", u.Name, s.Line(), x.LHS.Sym.Name))
+			}
+			if x.LHS.Sym.IsArray() && len(x.LHS.Subs) != len(x.LHS.Sym.Dims) {
+				setErr(fmt.Errorf("f77: %s: line %d: %s has %d dimensions, subscripted with %d",
+					u.Name, s.Line(), x.LHS.Sym.Name, len(x.LHS.Sym.Dims), len(x.LHS.Subs)))
+			}
+			if x.LHS.Sym.IsArray() && len(x.LHS.Subs) == 0 {
+				setErr(fmt.Errorf("f77: %s: line %d: assignment to whole array %s", u.Name, s.Line(), x.LHS.Sym.Name))
+			}
+		case *Goto:
+			if !labels[x.Target] {
+				setErr(fmt.Errorf("f77: %s: line %d: GOTO %d has no target", u.Name, s.Line(), x.Target))
+			}
+		case *CallStmt:
+			callee := prog.Lookup(x.Name)
+			if callee == nil {
+				setErr(fmt.Errorf("f77: %s: line %d: CALL of unknown subroutine %s", u.Name, s.Line(), x.Name))
+			} else if callee.Kind != KSubroutine {
+				setErr(fmt.Errorf("f77: %s: line %d: CALL of non-subroutine %s", u.Name, s.Line(), x.Name))
+			} else if len(x.Args) != len(callee.Params) {
+				setErr(fmt.Errorf("f77: %s: line %d: %s takes %d arguments, got %d",
+					u.Name, s.Line(), x.Name, len(callee.Params), len(x.Args)))
+			}
+		case *DoLoop:
+			if x.Var.IsArray() || x.Var.IsConst {
+				setErr(fmt.Errorf("f77: %s: line %d: invalid DO variable %s", u.Name, s.Line(), x.Var.Name))
+			}
+			if x.Var.Type != TInteger {
+				setErr(fmt.Errorf("f77: %s: line %d: DO variable %s must be INTEGER", u.Name, s.Line(), x.Var.Name))
+			}
+		}
+		// Expression-level checks.
+		StmtExprs(s, func(e Expr) {
+			WalkExpr(e, func(sub Expr) {
+				switch v := sub.(type) {
+				case *ArrayExpr:
+					if len(v.Subs) != len(v.Sym.Dims) {
+						setErr(fmt.Errorf("f77: %s: line %d: %s has %d dimensions, subscripted with %d",
+							u.Name, s.Line(), v.Sym.Name, len(v.Sym.Dims), len(v.Subs)))
+					}
+				case *CallExpr:
+					if v.Intrinsic {
+						want := Intrinsics[v.Name]
+						if want >= 0 && want != len(v.Args) {
+							setErr(fmt.Errorf("f77: %s: line %d: intrinsic %s takes %d arguments, got %d",
+								u.Name, s.Line(), v.Name, want, len(v.Args)))
+						}
+						if want == -1 && len(v.Args) < 2 {
+							setErr(fmt.Errorf("f77: %s: line %d: intrinsic %s needs at least 2 arguments",
+								u.Name, s.Line(), v.Name))
+						}
+					} else if callee := prog.Lookup(v.Name); callee != nil && len(v.Args) != len(callee.Params) {
+						setErr(fmt.Errorf("f77: %s: line %d: function %s takes %d arguments, got %d",
+							u.Name, s.Line(), v.Name, len(callee.Params), len(v.Args)))
+					}
+				}
+			})
+		})
+		return true
+	})
+
+	// Pass 3: every declared array must have constant or
+	// argument-derived bounds.
+	for _, sym := range u.Syms.Order {
+		for i, d := range sym.Dims {
+			if d.High == nil {
+				if i != len(sym.Dims)-1 {
+					setErr(fmt.Errorf("f77: %s: assumed-size dimension of %s must be last", u.Name, sym.Name))
+				}
+				if !sym.IsArg {
+					setErr(fmt.Errorf("f77: %s: assumed-size array %s must be a dummy argument", u.Name, sym.Name))
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// DimExtent computes the constant extent of a dimension, if both bounds
+// fold. The default lower bound is 1.
+func DimExtent(d Dim) (low, high int64, ok bool) {
+	low = 1
+	if d.Low != nil {
+		v, o := ConstFold(d.Low)
+		if !o {
+			return 0, 0, false
+		}
+		low = int64(v)
+	}
+	if d.High == nil {
+		return low, 0, false
+	}
+	v, o := ConstFold(d.High)
+	if !o {
+		return 0, 0, false
+	}
+	return low, int64(v), true
+}

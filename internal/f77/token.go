@@ -1,0 +1,144 @@
+// Package f77 is the front end of the parallelizing compiler: a lexer,
+// parser and semantic analyzer for the Fortran 77 subset that the
+// paper's benchmarks (MM, SWIM, CFFT2INIT) and figures use.
+//
+// The subset, documented in DESIGN.md §8: PROGRAM/SUBROUTINE/FUNCTION
+// units, INTEGER/REAL/DOUBLE PRECISION/LOGICAL declarations with array
+// dimensions (including assumed-size final dimensions like A(14,*)),
+// PARAMETER constants, DATA statements, DO loops (ENDDO or labeled
+// CONTINUE form), block IF/ELSEIF/ELSE, logical and arithmetic
+// expressions, GOTO, CALL, RETURN, STOP, PRINT *, and the numeric
+// intrinsics. Source is accepted in free form with standard Fortran
+// case-insensitive keywords; the classic column-6 continuation rules
+// are relaxed (a trailing '&' continues a line), which the paper's
+// kernels do not depend on.
+package f77
+
+import "fmt"
+
+// TokKind classifies a token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIdent
+	TokInt
+	TokReal
+	TokString
+	TokPlus
+	TokMinus
+	TokStar
+	TokPower // **
+	TokSlash
+	TokLParen
+	TokRParen
+	TokComma
+	TokEq // =
+	TokColon
+	// Relational/logical dot-operators (.LT. etc.) and keywords are
+	// delivered as TokIdent-like kinds of their own:
+	TokLT
+	TokLE
+	TokGT
+	TokGE
+	TokEQ
+	TokNE
+	TokAND
+	TokOR
+	TokNOT
+	TokTrue  // .TRUE.
+	TokFalse // .FALSE.
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokNewline:
+		return "newline"
+	case TokIdent:
+		return "identifier"
+	case TokInt:
+		return "integer"
+	case TokReal:
+		return "real"
+	case TokString:
+		return "string"
+	case TokPlus:
+		return "+"
+	case TokMinus:
+		return "-"
+	case TokStar:
+		return "*"
+	case TokPower:
+		return "**"
+	case TokSlash:
+		return "/"
+	case TokLParen:
+		return "("
+	case TokRParen:
+		return ")"
+	case TokComma:
+		return ","
+	case TokEq:
+		return "="
+	case TokColon:
+		return ":"
+	case TokLT:
+		return ".LT."
+	case TokLE:
+		return ".LE."
+	case TokGT:
+		return ".GT."
+	case TokGE:
+		return ".GE."
+	case TokEQ:
+		return ".EQ."
+	case TokNE:
+		return ".NE."
+	case TokAND:
+		return ".AND."
+	case TokOR:
+		return ".OR."
+	case TokNOT:
+		return ".NOT."
+	case TokTrue:
+		return ".TRUE."
+	case TokFalse:
+		return ".FALSE."
+	default:
+		return fmt.Sprintf("TokKind(%d)", int(k))
+	}
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // identifier/literal text, upper-cased for identifiers
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%v(%s)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a front-end diagnostic with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("f77: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,140 @@
+package f77
+
+// WalkStmts visits stmts depth-first, calling pre for each statement
+// before its children. Returning false from pre skips the children.
+func WalkStmts(stmts []Stmt, pre func(Stmt) bool) {
+	for _, s := range stmts {
+		walkStmt(s, pre)
+	}
+}
+
+func walkStmt(s Stmt, pre func(Stmt) bool) {
+	if !pre(s) {
+		return
+	}
+	switch x := s.(type) {
+	case *DoLoop:
+		WalkStmts(x.Body, pre)
+	case *IfBlock:
+		for _, b := range x.Blocks {
+			WalkStmts(b, pre)
+		}
+		WalkStmts(x.Else, pre)
+	}
+}
+
+// StmtExprs calls f for every expression directly held by s (not
+// descending into child statements).
+func StmtExprs(s Stmt, f func(Expr)) {
+	switch x := s.(type) {
+	case *Assign:
+		for _, sub := range x.LHS.Subs {
+			f(sub)
+		}
+		f(x.RHS)
+	case *DoLoop:
+		f(x.From)
+		f(x.To)
+		if x.Step != nil {
+			f(x.Step)
+		}
+	case *IfBlock:
+		for _, c := range x.Conds {
+			f(c)
+		}
+	case *CallStmt:
+		for _, a := range x.Args {
+			f(a)
+		}
+	case *PrintStmt:
+		for _, a := range x.Args {
+			f(a)
+		}
+	}
+}
+
+// WalkExpr visits e and all subexpressions depth-first (pre-order).
+func WalkExpr(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch x := e.(type) {
+	case *ArrayExpr:
+		for _, s := range x.Subs {
+			WalkExpr(s, f)
+		}
+	case *Bin:
+		WalkExpr(x.L, f)
+		WalkExpr(x.R, f)
+	case *Un:
+		WalkExpr(x.X, f)
+	case *CallExpr:
+		for _, a := range x.Args {
+			WalkExpr(a, f)
+		}
+	}
+}
+
+// RewriteExpr rebuilds e bottom-up, replacing each node with f(node).
+// f receives nodes whose children are already rewritten.
+func RewriteExpr(e Expr, f func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ArrayExpr:
+		for i, s := range x.Subs {
+			x.Subs[i] = RewriteExpr(s, f)
+		}
+	case *Bin:
+		x.L = RewriteExpr(x.L, f)
+		x.R = RewriteExpr(x.R, f)
+	case *Un:
+		x.X = RewriteExpr(x.X, f)
+	case *CallExpr:
+		for i, a := range x.Args {
+			x.Args[i] = RewriteExpr(a, f)
+		}
+	}
+	return f(e)
+}
+
+// RewriteStmtExprs applies RewriteExpr with f to every expression
+// directly held by s (not descending into child statements).
+func RewriteStmtExprs(s Stmt, f func(Expr) Expr) {
+	switch x := s.(type) {
+	case *Assign:
+		for i, sub := range x.LHS.Subs {
+			x.LHS.Subs[i] = RewriteExpr(sub, f)
+		}
+		x.RHS = RewriteExpr(x.RHS, f)
+	case *DoLoop:
+		x.From = RewriteExpr(x.From, f)
+		x.To = RewriteExpr(x.To, f)
+		if x.Step != nil {
+			x.Step = RewriteExpr(x.Step, f)
+		}
+	case *IfBlock:
+		for i, c := range x.Conds {
+			x.Conds[i] = RewriteExpr(c, f)
+		}
+	case *CallStmt:
+		for i, a := range x.Args {
+			x.Args[i] = RewriteExpr(a, f)
+		}
+	case *PrintStmt:
+		for i, a := range x.Args {
+			x.Args[i] = RewriteExpr(a, f)
+		}
+	}
+}
+
+// RewriteAllExprs applies RewriteStmtExprs to every statement in the
+// tree rooted at stmts.
+func RewriteAllExprs(stmts []Stmt, f func(Expr) Expr) {
+	WalkStmts(stmts, func(s Stmt) bool {
+		RewriteStmtExprs(s, f)
+		return true
+	})
+}

@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"testing"
+
+	"vbuscluster/internal/sim"
+)
+
+func stdPath(t *testing.T, mode PipelineMode, hops int) *Path {
+	t.Helper()
+	p, err := NewPath(PathConfig{
+		Mode:          mode,
+		Lines:         testLines(),
+		Margin:        2 * sim.Nanosecond,
+		Sampler:       SkewSampler{Resolution: 8 * sim.Nanosecond},
+		Hops:          hops,
+		RouterLatency: 60 * sim.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPathValidation(t *testing.T) {
+	if _, err := NewPath(PathConfig{Lines: testLines(), Hops: 0}); err == nil {
+		t.Fatal("zero-hop path accepted")
+	}
+	if _, err := NewPath(PathConfig{Lines: testLines(), Hops: 1, RouterLatency: -1}); err == nil {
+		t.Fatal("negative router latency accepted")
+	}
+}
+
+func TestHeadLatencyScalesWithHops(t *testing.T) {
+	p1 := stdPath(t, SKWP, 1)
+	p3 := stdPath(t, SKWP, 3)
+	if p3.HeadLatency() != 3*p1.HeadLatency() {
+		t.Fatalf("head latency 3 hops = %v, want 3x of %v", p3.HeadLatency(), p1.HeadLatency())
+	}
+}
+
+func TestTransferTimeMonotonic(t *testing.T) {
+	p := stdPath(t, SKWP, 4)
+	prev := sim.Time(-1)
+	for _, n := range []int{0, 1, 2, 16, 256, 4096} {
+		tt := p.TransferTime(n)
+		if tt <= prev && n > 0 {
+			t.Fatalf("transfer time not increasing at n=%d: %v <= %v", n, tt, prev)
+		}
+		prev = tt
+	}
+}
+
+// The paper's motivation for SKWP: plain wave pipelining degrades with
+// path length because skew accumulates; SKWP does not.
+func TestWaveDegradesSKWPDoesNot(t *testing.T) {
+	wave1 := stdPath(t, Wave, 1).BottleneckInterval()
+	wave6 := stdPath(t, Wave, 6).BottleneckInterval()
+	if wave6 <= wave1 {
+		t.Fatalf("wave bottleneck did not degrade with hops: %v vs %v", wave6, wave1)
+	}
+	skwp1 := stdPath(t, SKWP, 1).BottleneckInterval()
+	skwp6 := stdPath(t, SKWP, 6).BottleneckInterval()
+	if skwp6 != skwp1 {
+		t.Fatalf("SKWP bottleneck changed with hops: %v vs %v", skwp6, skwp1)
+	}
+}
+
+func TestEffectiveBandwidthApproachesLinkRate(t *testing.T) {
+	p := stdPath(t, SKWP, 2)
+	small := p.EffectiveBandwidth(4)
+	large := p.EffectiveBandwidth(1 << 16)
+	if large <= small {
+		t.Fatalf("bandwidth should grow with message size: small %.0f large %.0f", small, large)
+	}
+	l, err := NewLink(LinkConfig{Mode: SKWP, Lines: testLines(), Margin: 2 * sim.Nanosecond, Sampler: SkewSampler{Resolution: 8 * sim.Nanosecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := l.BandwidthBytesPerSec()
+	if large > peak {
+		t.Fatalf("effective bandwidth %.0f exceeds link peak %.0f", large, peak)
+	}
+	if large < 0.9*peak {
+		t.Fatalf("large-message bandwidth %.0f should approach peak %.0f", large, peak)
+	}
+}
+
+func TestSKWPPathBeatsConventionalFourX(t *testing.T) {
+	n := 1 << 14
+	conv := stdPath(t, Conventional, 3).EffectiveBandwidth(n)
+	skwp := stdPath(t, SKWP, 3).EffectiveBandwidth(n)
+	ratio := skwp / conv
+	if ratio < 3.0 || ratio > 6.0 {
+		t.Fatalf("SKWP/conventional path bandwidth ratio = %.2f, want ~4", ratio)
+	}
+}
+
+func TestZeroWordTransfer(t *testing.T) {
+	p := stdPath(t, Conventional, 2)
+	if p.TransferTime(0) != 0 {
+		t.Fatal("zero-word transfer should be free")
+	}
+	if p.EffectiveBandwidth(0) != 0 {
+		t.Fatal("zero-word bandwidth should be zero")
+	}
+}

@@ -1,0 +1,179 @@
+package interp
+
+import (
+	"vbuscluster/internal/f77"
+	"vbuscluster/internal/sim"
+)
+
+// intrinsicWeights cost intrinsics in FlopTime units (rough 2001-era
+// libm latencies relative to a multiply-add).
+var intrinsicWeights = map[string]int64{
+	"SQRT": 6, "EXP": 12, "LOG": 12, "ALOG": 12,
+	"SIN": 15, "COS": 15, "TAN": 20, "ATAN": 20, "ATAN2": 22,
+	"MOD": 3, "DMOD": 3, "SIGN": 2, "NINT": 2,
+}
+
+// exprCost statically prices one expression evaluation.
+func (env *Env) exprCost(e f77.Expr) sim.Time {
+	switch x := e.(type) {
+	case nil, *f77.IntLit, *f77.RealLit, *f77.LogLit, *f77.StrLit, *f77.VarExpr:
+		return 0
+	case *f77.ArrayExpr:
+		// Address arithmetic per subscript plus the load.
+		c := sim.Time(len(x.Subs)) * env.cpu.IntOpTime
+		for _, s := range x.Subs {
+			c += env.exprCost(s)
+		}
+		return c + env.cpu.IntOpTime
+	case *f77.Un:
+		return env.exprCost(x.X) + env.opCost(env.typeOf(x))
+	case *f77.Bin:
+		c := env.exprCost(x.L) + env.exprCost(x.R)
+		switch x.Op {
+		case f77.OpAnd, f77.OpOr, f77.OpLT, f77.OpLE, f77.OpGT, f77.OpGE, f77.OpEQ, f77.OpNE:
+			return c + env.cpu.IntOpTime
+		case f77.OpPow:
+			return c + 10*env.cpu.FlopTime
+		default:
+			if env.typeOf(x.L).IsFloat() || env.typeOf(x.R).IsFloat() {
+				return c + env.cpu.FlopTime
+			}
+			return c + env.cpu.IntOpTime
+		}
+	case *f77.CallExpr:
+		var c sim.Time
+		for _, a := range x.Args {
+			c += env.exprCost(a)
+		}
+		if x.Intrinsic {
+			w := intrinsicWeights[x.Name]
+			if w == 0 {
+				w = 1
+			}
+			return c + sim.Time(w)*env.cpu.FlopTime
+		}
+		// User functions price dynamically during execution; the call
+		// site only carries the overhead here (body charges itself).
+		return c + env.cpu.CallOverhead
+	default:
+		return 0
+	}
+}
+
+func (env *Env) opCost(t f77.Type) sim.Time {
+	if t.IsFloat() {
+		return env.cpu.FlopTime
+	}
+	return env.cpu.IntOpTime
+}
+
+// assignCost prices one executed assignment (cached: the cost is
+// static even though the values are not).
+func (env *Env) assignCost(a *f77.Assign) sim.Time {
+	if c, ok := env.aCosts[a]; ok {
+		return c
+	}
+	c := env.exprCost(a.RHS) + env.cpu.IntOpTime // store
+	for _, s := range a.LHS.Subs {
+		c += env.exprCost(s) + env.cpu.IntOpTime
+	}
+	env.aCosts[a] = c
+	return c
+}
+
+// isBulkable reports whether a loop subtree can be charged in closed
+// form: only assignments, CONTINUEs and nested DO loops, and no user
+// function calls (whose cost is execution-dependent).
+func (env *Env) isBulkable(loop *f77.DoLoop) bool {
+	if v, ok := env.bulkable[loop]; ok {
+		return v
+	}
+	ok := true
+	f77.WalkStmts([]f77.Stmt{loop}, func(s f77.Stmt) bool {
+		switch s.(type) {
+		case *f77.Assign, *f77.ContinueStmt, *f77.DoLoop:
+		default:
+			ok = false
+		}
+		f77.StmtExprs(s, func(e f77.Expr) {
+			f77.WalkExpr(e, func(sub f77.Expr) {
+				if c, isCall := sub.(*f77.CallExpr); isCall && !c.Intrinsic {
+					ok = false
+				}
+			})
+		})
+		return ok
+	})
+	env.bulkable[loop] = ok
+	return ok
+}
+
+// loopVarDependent reports whether any nested loop's bounds reference
+// this loop's variable (triangular nests need per-iteration cost).
+func (env *Env) loopVarDependent(loop *f77.DoLoop) bool {
+	if v, ok := env.varDep[loop]; ok {
+		return v
+	}
+	dep := false
+	reads := func(e f77.Expr) {
+		f77.WalkExpr(e, func(sub f77.Expr) {
+			if v, ok := sub.(*f77.VarExpr); ok && v.Sym == loop.Var {
+				dep = true
+			}
+		})
+	}
+	f77.WalkStmts(loop.Body, func(s f77.Stmt) bool {
+		if inner, ok := s.(*f77.DoLoop); ok {
+			reads(inner.From)
+			reads(inner.To)
+			if inner.Step != nil {
+				reads(inner.Step)
+			}
+		}
+		return true
+	})
+	env.varDep[loop] = dep
+	return dep
+}
+
+// bulkLoopCost prices a bulkable loop without executing its body.
+// Bounds were already evaluated by the caller.
+func (env *Env) bulkLoopCost(loop *f77.DoLoop, from, to, step, trips int64) sim.Time {
+	if trips <= 0 {
+		return 0
+	}
+	if !env.loopVarDependent(loop) {
+		env.setInt(loop.Var, from, loop.Line())
+		per := env.cpu.LoopOverhead + env.spmdTax + env.stmtsCost(loop.Body)
+		return sim.Time(trips) * per
+	}
+	var total sim.Time
+	v := from
+	for k := int64(0); k < trips; k++ {
+		env.setInt(loop.Var, v, loop.Line())
+		total += env.cpu.LoopOverhead + env.spmdTax + env.stmtsCost(loop.Body)
+		v += step
+	}
+	return total
+}
+
+// stmtsCost prices a bulkable statement list in the current env (loop
+// variables of enclosing dry-run levels are set in storage).
+func (env *Env) stmtsCost(stmts []f77.Stmt) sim.Time {
+	var total sim.Time
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *f77.Assign:
+			total += env.assignCost(x)
+		case *f77.ContinueStmt:
+		case *f77.DoLoop:
+			total += 3 * env.cpu.IntOpTime
+			from, to, step, trips := env.loopBounds(x)
+			total += env.bulkLoopCost(x, from, to, step, trips)
+			env.setInt(x.Var, from+trips*step, x.Line())
+		default:
+			env.fail(s.Line(), "non-bulkable statement in bulk costing: %T", s)
+		}
+	}
+	return total
+}

@@ -1,0 +1,285 @@
+// Package interp executes compiled programs on the simulated cluster.
+// It is the execution half of the reproduction: the same evaluator runs
+//
+//   - the sequential baseline (the inlined, analyzed main unit on one
+//     processor), and
+//   - the SPMD translation from internal/postpass on P processors over
+//     the MPI-2 runtime — master/slave, barriers and fences at region
+//     boundaries, data scattering/collecting via window PUTs, exactly
+//     the §3/§5 execution model.
+//
+// Virtual time: every executed statement charges the CPU cost model;
+// every MPI call charges the NIC cost model. Two modes exist:
+//
+//   - Full: every iteration really executes and data really moves —
+//     used for correctness verification against a native Go oracle;
+//   - Timing: loop nests free of I/O, calls and branches are charged in
+//     closed form without executing each iteration, and transfers are
+//     charged without copying. Virtual time is identical to Full mode
+//     by construction (same cost formulas) for programs whose control
+//     flow does not depend on data, which holds for all benchmarks.
+package interp
+
+import (
+	"fmt"
+	"io"
+
+	"vbuscluster/internal/analysis"
+	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/f77"
+	"vbuscluster/internal/sim"
+)
+
+// Mode selects execution fidelity.
+type Mode int
+
+// Execution modes.
+const (
+	// Full executes every iteration and moves real data.
+	Full Mode = iota
+	// Timing charges virtual time in bulk and skips data movement.
+	Timing
+)
+
+func (m Mode) String() string {
+	if m == Timing {
+		return "timing"
+	}
+	return "full"
+}
+
+// Env is one process's execution environment.
+type Env struct {
+	prog *f77.Program
+	unit *f77.Unit
+	mem  map[*f77.Symbol][]float64
+
+	cl   *cluster.Cluster
+	rank int
+	cpu  cluster.CPUParams
+	mode Mode
+	out  io.Writer
+
+	// pending accumulates compute charges between flushes so the
+	// cluster mutex is not taken per statement.
+	pending sim.Time
+
+	// spmdTax is added to every loop iteration while executing a
+	// partitioned region: the generated SPMD code's extra address and
+	// bound arithmetic (what drags the paper's 1-node speedup to 0.96).
+	spmdTax sim.Time
+
+	// regionStats collects the per-region profile on the master.
+	regionStats []RegionStat
+
+	// commons backs COMMON blocks: per block, per member-index storage,
+	// shared by every unit executed in this env.
+	commons map[string][][]float64
+
+	// caches
+	types    map[f77.Expr]f77.Type
+	layouts  map[*f77.Symbol]*analysis.ArrayLayout
+	aCosts   map[*f77.Assign]sim.Time
+	bulkable map[*f77.DoLoop]bool
+	varDep   map[*f77.DoLoop]bool
+}
+
+// runtimeError aborts execution through a panic recovered at the run
+// boundary, carrying source context.
+type runtimeError struct{ err error }
+
+func (e *Env) fail(line int, format string, args ...any) {
+	panic(runtimeError{fmt.Errorf("interp: line %d: %s", line, fmt.Sprintf(format, args...))})
+}
+
+// newEnv allocates the environment for one rank executing unit.
+func newEnv(prog *f77.Program, unit *f77.Unit, cl *cluster.Cluster, rank int, mode Mode, out io.Writer) (*Env, error) {
+	env := &Env{
+		prog:     prog,
+		unit:     unit,
+		mem:      map[*f77.Symbol][]float64{},
+		cl:       cl,
+		rank:     rank,
+		cpu:      cl.Params().CPU,
+		mode:     mode,
+		out:      out,
+		types:    map[f77.Expr]f77.Type{},
+		layouts:  map[*f77.Symbol]*analysis.ArrayLayout{},
+		aCosts:   map[*f77.Assign]sim.Time{},
+		bulkable: map[*f77.DoLoop]bool{},
+		varDep:   map[*f77.DoLoop]bool{},
+		commons:  map[string][][]float64{},
+	}
+	if err := env.allocUnit(unit); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// allocUnit allocates storage for every symbol of the unit. All array
+// bounds must be compile-time constants (the front end inlined
+// subroutines into the main unit; adjustable arrays remain only in
+// units executed via CALL, which allocate at call time).
+func (env *Env) allocUnit(u *f77.Unit) error {
+	for _, sym := range u.Syms.Order {
+		if sym.IsConst || sym.IsArg {
+			continue
+		}
+		if sym.Common != "" {
+			buf, err := env.commonSlot(sym)
+			if err != nil {
+				return err
+			}
+			env.mem[sym] = buf
+			continue
+		}
+		if !sym.IsArray() {
+			env.mem[sym] = make([]float64, 1)
+			continue
+		}
+		lay, err := analysis.LayoutOf(sym)
+		if err != nil || lay.Size == 0 {
+			// Adjustable or assumed arrays allocate lazily at CALL
+			// binding; in the main unit they are an error caught on
+			// first access.
+			continue
+		}
+		env.layouts[sym] = &lay
+		env.mem[sym] = make([]float64, lay.Size)
+	}
+	return nil
+}
+
+// commonSlot returns (allocating on first sight) the shared storage of
+// a COMMON member, enforcing identical element counts across units.
+func (env *Env) commonSlot(sym *f77.Symbol) ([]float64, error) {
+	size := int64(1)
+	if sym.IsArray() {
+		lay, err := analysis.LayoutOf(sym)
+		if err != nil || lay.Size == 0 {
+			return nil, fmt.Errorf("interp: COMMON member %s needs constant bounds", sym.Name)
+		}
+		size = lay.Size
+	}
+	members := env.commons[sym.Common]
+	for int64(len(members)) <= int64(sym.CommonIndex) {
+		members = append(members, nil)
+	}
+	if members[sym.CommonIndex] == nil {
+		members[sym.CommonIndex] = make([]float64, size)
+	} else if int64(len(members[sym.CommonIndex])) != size {
+		return nil, fmt.Errorf("interp: COMMON /%s/ member %d: %s wants %d elements, block has %d",
+			sym.Common, sym.CommonIndex, sym.Name, size, len(members[sym.CommonIndex]))
+	}
+	env.commons[sym.Common] = members
+	return members[sym.CommonIndex], nil
+}
+
+// applyDataInits runs the unit's DATA statements into this env.
+func (env *Env) applyDataInits(u *f77.Unit) {
+	for _, di := range u.DataInits {
+		buf := env.storage(di.Sym, 0)
+		for i, v := range di.Vals {
+			if i < len(buf) {
+				buf[i] = v
+			}
+		}
+	}
+}
+
+// storage returns the backing slice of a symbol, allocating scalars on
+// demand (implicitly declared in subroutine frames).
+func (env *Env) storage(sym *f77.Symbol, line int) []float64 {
+	if buf, ok := env.mem[sym]; ok {
+		return buf
+	}
+	if sym.IsConst {
+		env.fail(line, "storage of PARAMETER %s", sym.Name)
+	}
+	if !sym.IsArray() {
+		buf := make([]float64, 1)
+		env.mem[sym] = buf
+		return buf
+	}
+	env.fail(line, "array %s has no storage (unbound dummy or non-constant bounds)", sym.Name)
+	return nil
+}
+
+// charge books compute time locally.
+func (env *Env) charge(d sim.Time) { env.pending += d }
+
+// flush publishes accumulated compute time to the cluster clock. Must
+// run before any MPI call and at run end.
+func (env *Env) flush() {
+	if env.pending > 0 {
+		env.cl.ChargeCompute(env.rank, env.pending)
+		env.pending = 0
+	}
+}
+
+// typeOf memoizes static expression types.
+func (env *Env) typeOf(e f77.Expr) f77.Type {
+	if t, ok := env.types[e]; ok {
+		return t
+	}
+	t := f77.TypeOf(e)
+	env.types[e] = t
+	return t
+}
+
+// layout returns the constant layout of sym if available.
+func (env *Env) layout(sym *f77.Symbol) *analysis.ArrayLayout {
+	if l, ok := env.layouts[sym]; ok {
+		return l
+	}
+	lay, err := analysis.LayoutOf(sym)
+	if err != nil {
+		return nil
+	}
+	env.layouts[sym] = &lay
+	return &lay
+}
+
+// index computes the linear element offset of an array reference.
+func (env *Env) index(sym *f77.Symbol, subs []f77.Expr, line int) int64 {
+	if lay := env.layout(sym); lay != nil && lay.Size > 0 {
+		var idx int64
+		for i, sub := range subs {
+			idx += (env.evalI(sub) - lay.Lows[i]) * lay.Mult[i]
+		}
+		if idx < 0 || idx >= lay.Size {
+			env.fail(line, "%s subscript out of bounds: linear index %d, size %d", sym.Name, idx, lay.Size)
+		}
+		return idx
+	}
+	// Adjustable/assumed-size: evaluate bounds in the current frame.
+	var idx, mult int64 = 0, 1
+	buf := env.storage(sym, line)
+	for i, d := range sym.Dims {
+		low := int64(1)
+		if d.Low != nil {
+			low = env.evalI(d.Low)
+		}
+		idx += (env.evalI(subs[i]) - low) * mult
+		if d.High != nil {
+			mult *= env.evalI(d.High) - low + 1
+		}
+	}
+	if idx < 0 || idx >= int64(len(buf)) {
+		env.fail(line, "%s subscript out of bounds: linear index %d, size %d", sym.Name, idx, len(buf))
+	}
+	return idx
+}
+
+// setInt stores an integer value into a scalar symbol.
+func (env *Env) setInt(sym *f77.Symbol, v int64, line int) {
+	env.storage(sym, line)[0] = float64(v)
+}
+
+// getInt loads a scalar symbol as an integer.
+func (env *Env) getInt(sym *f77.Symbol, line int) int64 {
+	if sym.IsConst {
+		return int64(sym.Const)
+	}
+	return int64(env.storage(sym, line)[0])
+}

@@ -1,0 +1,278 @@
+package interp
+
+import (
+	"math"
+
+	"vbuscluster/internal/f77"
+)
+
+// evalF evaluates an expression as float64 with Fortran semantics:
+// integer subexpressions use truncating arithmetic.
+func (env *Env) evalF(e f77.Expr) float64 {
+	if env.typeOf(e) == f77.TInteger {
+		return float64(env.evalI(e))
+	}
+	switch x := e.(type) {
+	case *f77.IntLit:
+		return float64(x.Val)
+	case *f77.RealLit:
+		return x.Val
+	case *f77.LogLit:
+		if x.Val {
+			return 1
+		}
+		return 0
+	case *f77.VarExpr:
+		if x.Sym.IsConst {
+			return x.Sym.Const
+		}
+		return env.storage(x.Sym, 0)[0]
+	case *f77.ArrayExpr:
+		return env.storage(x.Sym, 0)[env.index(x.Sym, x.Subs, 0)]
+	case *f77.Un:
+		switch x.Op {
+		case f77.OpNeg:
+			return -env.evalF(x.X)
+		case f77.OpPlus:
+			return env.evalF(x.X)
+		default:
+			env.fail(0, "logical unary in arithmetic context")
+		}
+	case *f77.Bin:
+		l, r := env.evalF(x.L), env.evalF(x.R)
+		switch x.Op {
+		case f77.OpAdd:
+			return l + r
+		case f77.OpSub:
+			return l - r
+		case f77.OpMul:
+			return l * r
+		case f77.OpDiv:
+			return l / r
+		case f77.OpPow:
+			if env.typeOf(x.R) == f77.TInteger {
+				return intPowF(l, env.evalI(x.R))
+			}
+			return math.Pow(l, r)
+		default:
+			env.fail(0, "relational operator in arithmetic context")
+		}
+	case *f77.CallExpr:
+		return env.call(x)
+	}
+	env.fail(0, "unhandled expression %T", e)
+	return 0
+}
+
+func intPowF(base float64, exp int64) float64 {
+	if exp < 0 {
+		return 1 / intPowF(base, -exp)
+	}
+	out := 1.0
+	for ; exp > 0; exp >>= 1 {
+		if exp&1 == 1 {
+			out *= base
+		}
+		base *= base
+	}
+	return out
+}
+
+// evalI evaluates an integer expression with truncating division.
+func (env *Env) evalI(e f77.Expr) int64 {
+	switch x := e.(type) {
+	case *f77.IntLit:
+		return x.Val
+	case *f77.RealLit:
+		return int64(x.Val)
+	case *f77.VarExpr:
+		return env.getInt(x.Sym, 0)
+	case *f77.ArrayExpr:
+		return int64(env.storage(x.Sym, 0)[env.index(x.Sym, x.Subs, 0)])
+	case *f77.Un:
+		switch x.Op {
+		case f77.OpNeg:
+			return -env.evalI(x.X)
+		case f77.OpPlus:
+			return env.evalI(x.X)
+		}
+	case *f77.Bin:
+		if env.typeOf(x.L).IsFloat() || env.typeOf(x.R).IsFloat() {
+			return int64(env.evalF(e))
+		}
+		l, r := env.evalI(x.L), env.evalI(x.R)
+		switch x.Op {
+		case f77.OpAdd:
+			return l + r
+		case f77.OpSub:
+			return l - r
+		case f77.OpMul:
+			return l * r
+		case f77.OpDiv:
+			if r == 0 {
+				env.fail(0, "integer division by zero")
+			}
+			return l / r
+		case f77.OpPow:
+			out := int64(1)
+			for i := int64(0); i < r; i++ {
+				out *= l
+			}
+			return out
+		}
+	case *f77.CallExpr:
+		return int64(env.call(x))
+	}
+	// Fall back through float evaluation (e.g. INT(REAL expr)).
+	return int64(env.evalF(e))
+}
+
+// evalB evaluates a logical expression. LOGICAL variables store 1.0
+// for .TRUE. and 0.0 for .FALSE. in their one-word cells.
+func (env *Env) evalB(e f77.Expr) bool {
+	switch x := e.(type) {
+	case *f77.LogLit:
+		return x.Val
+	case *f77.VarExpr:
+		if x.Sym.Type == f77.TLogical {
+			return env.storage(x.Sym, 0)[0] != 0
+		}
+	case *f77.ArrayExpr:
+		if x.Sym.Type == f77.TLogical {
+			return env.storage(x.Sym, 0)[env.index(x.Sym, x.Subs, 0)] != 0
+		}
+	case *f77.Un:
+		if x.Op == f77.OpNot {
+			return !env.evalB(x.X)
+		}
+	case *f77.Bin:
+		switch x.Op {
+		case f77.OpAnd:
+			return env.evalB(x.L) && env.evalB(x.R)
+		case f77.OpOr:
+			return env.evalB(x.L) || env.evalB(x.R)
+		case f77.OpLT, f77.OpLE, f77.OpGT, f77.OpGE, f77.OpEQ, f77.OpNE:
+			if env.typeOf(x.L) == f77.TInteger && env.typeOf(x.R) == f77.TInteger {
+				l, r := env.evalI(x.L), env.evalI(x.R)
+				switch x.Op {
+				case f77.OpLT:
+					return l < r
+				case f77.OpLE:
+					return l <= r
+				case f77.OpGT:
+					return l > r
+				case f77.OpGE:
+					return l >= r
+				case f77.OpEQ:
+					return l == r
+				default:
+					return l != r
+				}
+			}
+			l, r := env.evalF(x.L), env.evalF(x.R)
+			switch x.Op {
+			case f77.OpLT:
+				return l < r
+			case f77.OpLE:
+				return l <= r
+			case f77.OpGT:
+				return l > r
+			case f77.OpGE:
+				return l >= r
+			case f77.OpEQ:
+				return l == r
+			default:
+				return l != r
+			}
+		}
+	}
+	env.fail(0, "expression is not logical: %T", e)
+	return false
+}
+
+// call evaluates an intrinsic or user function.
+func (env *Env) call(x *f77.CallExpr) float64 {
+	if x.Intrinsic {
+		return env.intrinsic(x)
+	}
+	callee := env.prog.Lookup(x.Name)
+	if callee == nil || callee.Kind != f77.KFunction {
+		env.fail(0, "call of unknown function %s", x.Name)
+	}
+	env.charge(env.cpu.CallOverhead)
+	frame := env.pushFrame(callee, x.Args, 0)
+	defer env.popFrame(frame)
+	env.execUnitBody(callee)
+	result := env.storage(callee.Syms.Lookup(callee.Name), 0)[0]
+	if callee.Result == f77.TInteger {
+		result = float64(int64(result))
+	}
+	return result
+}
+
+func (env *Env) intrinsic(x *f77.CallExpr) float64 {
+	a := func(i int) float64 { return env.evalF(x.Args[i]) }
+	switch x.Name {
+	case "ABS", "IABS":
+		return math.Abs(a(0))
+	case "SQRT":
+		return math.Sqrt(a(0))
+	case "EXP":
+		return math.Exp(a(0))
+	case "LOG", "ALOG":
+		return math.Log(a(0))
+	case "SIN":
+		return math.Sin(a(0))
+	case "COS":
+		return math.Cos(a(0))
+	case "TAN":
+		return math.Tan(a(0))
+	case "ATAN":
+		return math.Atan(a(0))
+	case "ATAN2":
+		return math.Atan2(a(0), a(1))
+	case "MOD":
+		if env.typeOf(x.Args[0]) == f77.TInteger && env.typeOf(x.Args[1]) == f77.TInteger {
+			m := env.evalI(x.Args[1])
+			if m == 0 {
+				env.fail(0, "MOD by zero")
+			}
+			return float64(env.evalI(x.Args[0]) % m)
+		}
+		return math.Mod(a(0), a(1))
+	case "DMOD":
+		return math.Mod(a(0), a(1))
+	case "MIN", "MIN0", "AMIN1":
+		out := a(0)
+		for i := 1; i < len(x.Args); i++ {
+			out = math.Min(out, a(i))
+		}
+		if x.Name == "MIN0" {
+			return float64(int64(out))
+		}
+		return out
+	case "MAX", "MAX0", "AMAX1":
+		out := a(0)
+		for i := 1; i < len(x.Args); i++ {
+			out = math.Max(out, a(i))
+		}
+		if x.Name == "MAX0" {
+			return float64(int64(out))
+		}
+		return out
+	case "INT":
+		return float64(int64(a(0)))
+	case "NINT":
+		return math.Round(a(0))
+	case "REAL", "FLOAT", "DBLE":
+		return a(0)
+	case "SIGN":
+		v, s := a(0), a(1)
+		if s < 0 {
+			return -math.Abs(v)
+		}
+		return math.Abs(v)
+	}
+	env.fail(0, "unhandled intrinsic %s", x.Name)
+	return 0
+}

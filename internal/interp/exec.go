@@ -1,0 +1,282 @@
+package interp
+
+import (
+	"fmt"
+
+	"vbuscluster/internal/f77"
+)
+
+// ctrl is the statement-level control-flow outcome.
+type ctrl int
+
+const (
+	ctrlNormal ctrl = iota
+	ctrlReturn
+	ctrlStop
+	ctrlJump
+)
+
+// execStmts runs a statement list, resolving GOTO targets within the
+// list and propagating unresolved jumps upward.
+func (env *Env) execStmts(stmts []f77.Stmt) (ctrl, int) {
+	i := 0
+	for i < len(stmts) {
+		c, target := env.execStmt(stmts[i])
+		switch c {
+		case ctrlNormal:
+			i++
+		case ctrlJump:
+			found := -1
+			for j, s := range stmts {
+				if s.Label() == target {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				return ctrlJump, target
+			}
+			i = found
+		default:
+			return c, 0
+		}
+	}
+	return ctrlNormal, 0
+}
+
+func (env *Env) execStmt(s f77.Stmt) (ctrl, int) {
+	switch x := s.(type) {
+	case *f77.Assign:
+		env.charge(env.assignCost(x))
+		env.execAssign(x)
+		return ctrlNormal, 0
+	case *f77.ContinueStmt:
+		return ctrlNormal, 0
+	case *f77.DoLoop:
+		return env.execLoop(x)
+	case *f77.IfBlock:
+		for k, cond := range x.Conds {
+			env.charge(env.exprCost(cond))
+			if env.evalB(cond) {
+				return env.execStmts(x.Blocks[k])
+			}
+		}
+		return env.execStmts(x.Else)
+	case *f77.Goto:
+		env.charge(env.cpu.IntOpTime)
+		return ctrlJump, x.Target
+	case *f77.CallStmt:
+		env.execCall(x)
+		return ctrlNormal, 0
+	case *f77.ReturnStmt:
+		return ctrlReturn, 0
+	case *f77.StopStmt:
+		return ctrlStop, 0
+	case *f77.PrintStmt:
+		env.charge(env.cpu.CallOverhead)
+		if env.mode == Full && env.out != nil {
+			env.execPrint(x)
+		}
+		return ctrlNormal, 0
+	default:
+		env.fail(s.Line(), "unhandled statement %T", s)
+		return ctrlNormal, 0
+	}
+}
+
+func (env *Env) execAssign(x *f77.Assign) {
+	sym := x.LHS.Sym
+	buf := env.storage(sym, x.Line())
+	var idx int64
+	if len(x.LHS.Subs) > 0 {
+		idx = env.index(sym, x.LHS.Subs, x.Line())
+	}
+	var v float64
+	if env.typeOf(x.RHS) == f77.TLogical && sym.Type == f77.TLogical {
+		if env.evalB(x.RHS) {
+			v = 1
+		}
+		buf[idx] = v
+		return
+	}
+	if sym.Type == f77.TInteger {
+		if env.typeOf(x.RHS) == f77.TInteger {
+			v = float64(env.evalI(x.RHS))
+		} else {
+			v = float64(int64(env.evalF(x.RHS))) // REAL→INTEGER truncates
+		}
+	} else {
+		v = env.evalF(x.RHS)
+	}
+	buf[idx] = v
+}
+
+func (env *Env) execLoop(x *f77.DoLoop) (ctrl, int) {
+	env.charge(3 * env.cpu.IntOpTime) // bound evaluation
+	if env.mode == Timing && env.isBulkable(x) {
+		from, to, step, trips := env.loopBounds(x)
+		env.charge(env.bulkLoopCost(x, from, to, step, trips))
+		// The loop variable's post-loop value per the Fortran standard.
+		env.setInt(x.Var, from+trips*step, x.Line())
+		return ctrlNormal, 0
+	}
+	from, _, step, trips := env.loopBounds(x)
+	v := from
+	for k := int64(0); k < trips; k++ {
+		env.setInt(x.Var, v, x.Line())
+		env.charge(env.cpu.LoopOverhead + env.spmdTax)
+		c, target := env.execStmts(x.Body)
+		switch c {
+		case ctrlReturn, ctrlStop:
+			return c, 0
+		case ctrlJump:
+			return ctrlJump, target // jump out of the loop
+		}
+		v += step
+	}
+	env.setInt(x.Var, v, x.Line())
+	return ctrlNormal, 0
+}
+
+func (env *Env) loopBounds(x *f77.DoLoop) (from, to, step, trips int64) {
+	from, to = env.evalI(x.From), env.evalI(x.To)
+	step = 1
+	if x.Step != nil {
+		step = env.evalI(x.Step)
+	}
+	if step == 0 {
+		env.fail(x.Line(), "DO step is zero")
+	}
+	trips = (to-from)/step + 1
+	if trips < 0 {
+		trips = 0
+	}
+	return from, to, step, trips
+}
+
+// frame saves symbol bindings shadowed by a CALL.
+type frame struct {
+	unit  *f77.Unit
+	saved map[*f77.Symbol][]float64
+}
+
+// pushFrame binds a callee's dummies and locals. Whole-variable actuals
+// alias (Fortran passes by reference); array-element actuals alias the
+// tail slice (sequence association); expression actuals materialize
+// into a one-element temporary.
+func (env *Env) pushFrame(callee *f77.Unit, args []f77.Expr, line int) *frame {
+	fr := &frame{unit: callee, saved: map[*f77.Symbol][]float64{}}
+	for _, sym := range callee.Syms.Order {
+		fr.saved[sym] = env.mem[sym]
+	}
+	// Evaluate actual bindings in the caller's frame first.
+	bind := make([][]float64, len(args))
+	for i, actual := range args {
+		switch a := actual.(type) {
+		case *f77.VarExpr:
+			bind[i] = env.storage(a.Sym, line)
+		case *f77.ArrayExpr:
+			buf := env.storage(a.Sym, line)
+			bind[i] = buf[env.index(a.Sym, a.Subs, line):]
+		default:
+			dummy := callee.Params[i]
+			var v float64
+			if dummy.Type == f77.TInteger {
+				v = float64(env.evalI(actual))
+			} else {
+				v = env.evalF(actual)
+			}
+			bind[i] = []float64{v}
+		}
+	}
+	for i, dummy := range callee.Params {
+		env.mem[dummy] = bind[i]
+	}
+	// Locals allocate fresh (dims may reference just-bound dummies);
+	// COMMON members bind to the shared block storage instead.
+	for _, sym := range callee.Syms.Order {
+		if sym.IsArg || sym.IsConst {
+			continue
+		}
+		if sym.Common != "" {
+			buf, err := env.commonSlot(sym)
+			if err != nil {
+				env.fail(line, "%v", err)
+			}
+			env.mem[sym] = buf
+			continue
+		}
+		if !sym.IsArray() {
+			env.mem[sym] = make([]float64, 1)
+			continue
+		}
+		size := int64(1)
+		for _, d := range sym.Dims {
+			low := int64(1)
+			if d.Low != nil {
+				low = env.evalI(d.Low)
+			}
+			if d.High == nil {
+				env.fail(line, "local array %s of %s has assumed size", sym.Name, callee.Name)
+			}
+			size *= env.evalI(d.High) - low + 1
+		}
+		env.mem[sym] = make([]float64, size)
+	}
+	env.applyDataInits(callee)
+	return fr
+}
+
+func (env *Env) popFrame(fr *frame) {
+	for sym, old := range fr.saved {
+		if old == nil {
+			delete(env.mem, sym)
+		} else {
+			env.mem[sym] = old
+		}
+	}
+}
+
+func (env *Env) execCall(x *f77.CallStmt) {
+	callee := env.prog.Lookup(x.Name)
+	if callee == nil || callee.Kind != f77.KSubroutine {
+		env.fail(x.Line(), "CALL of unknown subroutine %s", x.Name)
+	}
+	env.charge(env.cpu.CallOverhead)
+	fr := env.pushFrame(callee, x.Args, x.Line())
+	defer env.popFrame(fr)
+	env.execUnitBody(callee)
+}
+
+// stopSignal unwinds the interpreter on STOP; run boundaries treat it
+// as clean termination.
+type stopSignal struct{}
+
+// execUnitBody runs a unit's statements, swallowing RETURN. STOP
+// unwinds to the nearest run boundary via stopSignal.
+func (env *Env) execUnitBody(u *f77.Unit) {
+	c, target := env.execStmts(u.Body)
+	if c == ctrlJump {
+		env.fail(0, "GOTO %d has no target in %s", target, u.Name)
+	}
+	if c == ctrlStop {
+		panic(stopSignal{})
+	}
+}
+
+func (env *Env) execPrint(x *f77.PrintStmt) {
+	parts := make([]any, 0, len(x.Args))
+	for _, a := range x.Args {
+		switch v := a.(type) {
+		case *f77.StrLit:
+			parts = append(parts, v.Val)
+		default:
+			if env.typeOf(a) == f77.TInteger {
+				parts = append(parts, env.evalI(a))
+			} else {
+				parts = append(parts, env.evalF(a))
+			}
+		}
+	}
+	fmt.Fprintln(env.out, parts...)
+}

@@ -1,0 +1,100 @@
+package lmad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagram renders the paper's memory access diagrams (Figures 2, 3, 4,
+// 8 and 9): a row of memory cells with the accessed elements filled.
+//
+//	A^{2}_{10}+0 over 14 cells:
+//	  ■ □ ■ □ ■ □ ■ □ ■ □ ■ □ □ □
+//
+// cells bounds the rendered window; accesses beyond it are elided with
+// an ellipsis. The element width is one glyph.
+func (l LMAD) Diagram(cells int) string {
+	if cells <= 0 {
+		cells = int(l.High()) + 1
+	}
+	marks := make([]bool, cells)
+	truncated := false
+	if l.Count() <= 1<<16 {
+		for _, off := range l.Enumerate(1 << 16) {
+			if off >= 0 && off < int64(cells) {
+				marks[off] = true
+			} else {
+				truncated = true
+			}
+		}
+	} else {
+		truncated = true
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", l.String())
+	for _, m := range marks {
+		if m {
+			sb.WriteString("■")
+		} else {
+			sb.WriteString("□")
+		}
+	}
+	if truncated {
+		sb.WriteString("…")
+	}
+	sb.WriteByte('\n')
+	// Offset ruler every 5 cells, matching the paper's tick style.
+	for i := 0; i < cells; i += 5 {
+		tick := fmt.Sprintf("%-5d", i)
+		if i+5 > cells {
+			tick = tick[:cells-i]
+		}
+		sb.WriteString(tick)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// DiagramTransfers renders a communication plan over a memory window,
+// like Figure 9's dashed boxes: '■' for transferred-and-needed cells,
+// '▒' for redundant cells a transfer ships (approximate regions), '□'
+// for untouched memory.
+func DiagramTransfers(l LMAD, plan []Transfer, cells int) string {
+	if cells <= 0 {
+		cells = int(l.High()) + 1
+	}
+	const (
+		empty = iota
+		redundant
+		exact
+	)
+	marks := make([]int, cells)
+	for _, tr := range plan {
+		for i := int64(0); i < tr.Elems; i++ {
+			off := tr.Offset + i*tr.Stride
+			if off >= 0 && off < int64(cells) {
+				marks[off] = redundant
+			}
+		}
+	}
+	if l.Count() <= 1<<16 {
+		for _, off := range l.Enumerate(1 << 16) {
+			if off >= 0 && off < int64(cells) && marks[off] != empty {
+				marks[off] = exact
+			}
+		}
+	}
+	var sb strings.Builder
+	for _, m := range marks {
+		switch m {
+		case exact:
+			sb.WriteString("■")
+		case redundant:
+			sb.WriteString("▒")
+		default:
+			sb.WriteString("□")
+		}
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

@@ -1,0 +1,51 @@
+package lmad
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiagramFigure2(t *testing.T) {
+	// DO i=1,11,2: A(i) → filled cells at 0,2,4,6,8,10.
+	l := New("A", 0).WithDim(2, 10)
+	d := l.Diagram(12)
+	lines := strings.Split(d, "\n")
+	if lines[0] != "A^{2}_{10}+0" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "■□■□■□■□■□■□" {
+		t.Fatalf("cells = %q", lines[1])
+	}
+}
+
+func TestDiagramDefaultsToHigh(t *testing.T) {
+	l := New("A", 1).WithDim(3, 6)
+	d := l.Diagram(0)
+	row := strings.Split(d, "\n")[1]
+	if len([]rune(row)) != 8 {
+		t.Fatalf("auto-sized row = %q", row)
+	}
+}
+
+func TestDiagramTruncation(t *testing.T) {
+	l := New("A", 0).WithDim(1, 99)
+	d := l.Diagram(10)
+	if !strings.Contains(d, "…") {
+		t.Fatalf("truncation marker missing:\n%s", d)
+	}
+}
+
+func TestDiagramTransfersShowsRedundancy(t *testing.T) {
+	// Figure 9(c): stride-3 region approximated by a dense run — the
+	// gaps ship as redundant cells.
+	l := New("A", 0).WithDim(3, 9)
+	d := DiagramTransfers(l, Plan(l, 0, Middle), 12)
+	if !strings.Contains(d, "■") || !strings.Contains(d, "▒") {
+		t.Fatalf("middle-grain diagram should mix exact and redundant cells:\n%s", d)
+	}
+	// Fine grain ships exactly the accesses: no redundant cells.
+	fine := DiagramTransfers(l, Plan(l, 0, Fine), 12)
+	if strings.Contains(fine, "▒") {
+		t.Fatalf("fine-grain diagram has redundancy:\n%s", fine)
+	}
+}

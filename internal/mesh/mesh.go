@@ -1,0 +1,542 @@
+// Package mesh simulates the V-Bus interconnection network: a 2-D mesh
+// of wormhole routers whose channels are the wave-pipelined links from
+// internal/fabric, plus the paper's Virtual Bus — a broadcast bus that
+// is dynamically constructed over the mesh when a broadcast request is
+// issued, freezing on-going point-to-point messages in their buffers
+// while the bus is driven.
+//
+// The simulator works at message granularity with wormhole semantics: a
+// message acquires the channels along its dimension-ordered (XY) route
+// hop by hop, holds every acquired channel until its tail flit drains
+// (backpressure), and contends FIFO for busy channels. This is the
+// standard message-level wormhole approximation; it preserves the cost
+// structure the paper's evaluation depends on (head latency per hop,
+// serialization at the bottleneck link rate, blocking under contention,
+// and bus preemption for broadcasts).
+package mesh
+
+import (
+	"fmt"
+
+	"vbuscluster/internal/fabric"
+	"vbuscluster/internal/sim"
+)
+
+// NodeID identifies a node (PC) on the mesh, numbered row-major.
+type NodeID int
+
+// Config describes the mesh geometry and its physical channels.
+type Config struct {
+	Width, Height int
+
+	// Torus adds wrap-around channels in both dimensions (the paper
+	// lists "mesh, torus and hypercube" as the switched networks the
+	// V-Bus design targets). Routing stays dimension-ordered but picks
+	// the shorter direction around each ring.
+	Torus bool
+
+	// Hypercube replaces the grid entirely with a binary n-cube over
+	// Width*Height nodes (which must be a power of two): node i links
+	// to i^(1<<d) for each dimension d, routed e-cube (lowest differing
+	// bit first), which is deadlock-free by dimension ordering.
+	Hypercube bool
+
+	// Channel physics (shared by every mesh channel).
+	LinkMode fabric.PipelineMode
+	Lines    fabric.LineSet
+	Margin   sim.Time
+	Sampler  fabric.SkewSampler
+
+	// RouterLatency is the per-hop routing decision + switch traversal
+	// time for the head flit.
+	RouterLatency sim.Time
+
+	// BusArbitration is the fixed cost of constructing the virtual bus
+	// (grant + freeze propagation) before a broadcast may be driven.
+	BusArbitration sim.Time
+}
+
+// Dir is a channel direction out of a router.
+type Dir int
+
+// Channel directions. Inject/Eject are the NIC-router channels.
+const (
+	East Dir = iota
+	West
+	North
+	South
+	Inject
+	Eject
+)
+
+func (d Dir) String() string {
+	switch d {
+	case East:
+		return "E"
+	case West:
+		return "W"
+	case North:
+		return "N"
+	case South:
+		return "S"
+	case Inject:
+		return "inj"
+	case Eject:
+		return "ej"
+	default:
+		return fmt.Sprintf("Dir(%d)", int(d))
+	}
+}
+
+// chanKey names one directed channel: the channel leaving node in
+// direction dir on virtual channel vc. Virtual channels exist for
+// torus deadlock freedom: a message that crosses a dimension's
+// wrap-around link (the "dateline") continues on vc 1, which breaks
+// the cyclic channel-dependency a ring would otherwise form under
+// wormhole holds. Mesh routing always uses vc 0.
+type chanKey struct {
+	node NodeID
+	dir  Dir
+	vc   int
+}
+
+// channel tracks FIFO occupancy of one directed physical channel. While
+// a message holds the channel (wormhole: from head acquisition until its
+// tail drains), arrivals queue as waiters and are woken in FIFO order on
+// release.
+type channel struct {
+	held    bool
+	freeAt  sim.Time // earliest reacquire time once not held
+	waiters []func()
+}
+
+// Stats aggregates delivery statistics.
+type Stats struct {
+	MessagesDelivered   int
+	BroadcastsDone      int
+	FlitsDelivered      int64
+	TotalLatency        sim.Time
+	MaxLatency          sim.Time
+	BlockedAcquires     int // channel acquisitions that had to wait
+	FrozenByBus         int // p2p progress events delayed by a virtual bus
+	BusOccupancy        sim.Time
+	PeakInFlight        int
+	currentInFlight     int
+	DeliveredByDst      map[NodeID]int
+	BytesPerFlit        int
+	TotalBytesDelivered int64
+}
+
+// Mesh is the network simulator. All methods must be called from the
+// owning goroutine (typically inside engine events).
+type Mesh struct {
+	eng  *sim.Engine
+	cfg  Config
+	link *fabric.Link // channel timing model (per hop, freshly sampled)
+
+	channels map[chanKey]*channel
+	draining map[*message]struct{}
+
+	// busFreeAt is the time the current/last virtual bus releases the
+	// network. P2p progress is frozen until then.
+	busFreeAt sim.Time
+
+	stats Stats
+}
+
+// New validates cfg and builds the mesh.
+func New(eng *sim.Engine, cfg Config) (*Mesh, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("mesh: invalid geometry %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.RouterLatency < 0 || cfg.BusArbitration < 0 {
+		return nil, fmt.Errorf("mesh: negative latency config")
+	}
+	if cfg.Hypercube {
+		if cfg.Torus {
+			return nil, fmt.Errorf("mesh: Torus and Hypercube are mutually exclusive")
+		}
+		if n := cfg.Width * cfg.Height; n&(n-1) != 0 {
+			return nil, fmt.Errorf("mesh: hypercube needs a power-of-two node count, got %d", n)
+		}
+	}
+	l, err := fabric.NewLink(fabric.LinkConfig{
+		Mode:    cfg.LinkMode,
+		Lines:   cfg.Lines,
+		Margin:  cfg.Margin,
+		Sampler: cfg.Sampler,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mesh: %w", err)
+	}
+	m := &Mesh{
+		eng:      eng,
+		cfg:      cfg,
+		link:     l,
+		channels: make(map[chanKey]*channel),
+		draining: make(map[*message]struct{}),
+	}
+	m.stats.DeliveredByDst = make(map[NodeID]int)
+	m.stats.BytesPerFlit = l.Width() / 8
+	return m, nil
+}
+
+// Nodes reports the node count.
+func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+
+// Engine returns the driving event engine.
+func (m *Mesh) Engine() *sim.Engine { return m.eng }
+
+// BytesPerFlit reports the payload bytes carried per flit (= link width).
+func (m *Mesh) BytesPerFlit() int { return m.stats.BytesPerFlit }
+
+// Stats returns a snapshot of delivery statistics.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// Coord maps a NodeID to mesh coordinates.
+func (m *Mesh) Coord(n NodeID) (x, y int) {
+	return int(n) % m.cfg.Width, int(n) / m.cfg.Width
+}
+
+// NodeAt maps coordinates to a NodeID.
+func (m *Mesh) NodeAt(x, y int) NodeID { return NodeID(y*m.cfg.Width + x) }
+
+// valid reports whether n is a node of this mesh.
+func (m *Mesh) valid(n NodeID) bool { return n >= 0 && int(n) < m.Nodes() }
+
+// Route computes the dimension-ordered (X then Y) channel sequence from
+// src to dst, including the injection and ejection channels.
+func (m *Mesh) Route(src, dst NodeID) []chanKey {
+	if !m.valid(src) || !m.valid(dst) {
+		panic(fmt.Sprintf("mesh: route %d->%d outside %dx%d mesh", src, dst, m.cfg.Width, m.cfg.Height))
+	}
+	route := []chanKey{{src, Inject, 0}}
+	if m.cfg.Hypercube {
+		// E-cube: correct differing bits lowest-first. Channel "dir"
+		// values beyond Eject encode the cube dimension.
+		cur := int(src)
+		diff := cur ^ int(dst)
+		for d := 0; diff != 0; d++ {
+			if diff&1 == 1 {
+				route = append(route, chanKey{NodeID(cur), cubeDir(d), 0})
+				cur ^= 1 << d
+			}
+			diff >>= 1
+		}
+		route = append(route, chanKey{dst, Eject, 0})
+		return route
+	}
+	x, y := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	vcX, vcY := 0, 0
+	stepX := func() {
+		goEast := x < dx
+		if m.cfg.Torus {
+			fwd := mod(dx-x, m.cfg.Width)
+			goEast = fwd <= m.cfg.Width-fwd
+		}
+		if goEast {
+			if m.cfg.Torus && x == m.cfg.Width-1 {
+				vcX = 1 // crossing the X dateline
+			}
+			route = append(route, chanKey{m.NodeAt(x, y), East, vcX})
+			x = x + 1
+			if m.cfg.Torus {
+				x = mod(x, m.cfg.Width)
+			}
+		} else {
+			if m.cfg.Torus && x == 0 {
+				vcX = 1
+			}
+			route = append(route, chanKey{m.NodeAt(x, y), West, vcX})
+			x = x - 1
+			if m.cfg.Torus {
+				x = mod(x, m.cfg.Width)
+			}
+		}
+	}
+	stepY := func() {
+		goSouth := y < dy
+		if m.cfg.Torus {
+			fwd := mod(dy-y, m.cfg.Height)
+			goSouth = fwd <= m.cfg.Height-fwd
+		}
+		if goSouth {
+			if m.cfg.Torus && y == m.cfg.Height-1 {
+				vcY = 1 // crossing the Y dateline
+			}
+			route = append(route, chanKey{m.NodeAt(x, y), South, vcY})
+			y = y + 1
+			if m.cfg.Torus {
+				y = mod(y, m.cfg.Height)
+			}
+		} else {
+			if m.cfg.Torus && y == 0 {
+				vcY = 1
+			}
+			route = append(route, chanKey{m.NodeAt(x, y), North, vcY})
+			y = y - 1
+			if m.cfg.Torus {
+				y = mod(y, m.cfg.Height)
+			}
+		}
+	}
+	for x != dx {
+		stepX()
+	}
+	for y != dy {
+		stepY()
+	}
+	route = append(route, chanKey{dst, Eject, 0})
+	return route
+}
+
+func mod(a, m int) int {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// cubeDir encodes a hypercube dimension as a channel direction.
+func cubeDir(d int) Dir { return Dir(int(Eject) + 1 + d) }
+
+// Hops reports the hop count (mesh channels, excluding inject/eject)
+// between two nodes.
+func (m *Mesh) Hops(src, dst NodeID) int {
+	if m.cfg.Hypercube {
+		diff := uint(int(src) ^ int(dst))
+		n := 0
+		for diff != 0 {
+			n += int(diff & 1)
+			diff >>= 1
+		}
+		return n
+	}
+	x1, y1 := m.Coord(src)
+	x2, y2 := m.Coord(dst)
+	dx, dy := abs(x1-x2), abs(y1-y2)
+	if m.cfg.Torus {
+		if w := m.cfg.Width - dx; w < dx {
+			dx = w
+		}
+		if w := m.cfg.Height - dy; w < dy {
+			dy = w
+		}
+	}
+	return dx + dy
+}
+
+// Diameter is the longest shortest-path hop count on the network.
+func (m *Mesh) Diameter() int {
+	if m.cfg.Hypercube {
+		d := 0
+		for n := m.cfg.Width * m.cfg.Height; n > 1; n >>= 1 {
+			d++
+		}
+		return d
+	}
+	if m.cfg.Torus {
+		return m.cfg.Width/2 + m.cfg.Height/2
+	}
+	return m.cfg.Width - 1 + m.cfg.Height - 1
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (m *Mesh) channelFor(k chanKey) *channel {
+	c, ok := m.channels[k]
+	if !ok {
+		c = &channel{}
+		m.channels[k] = c
+	}
+	return c
+}
+
+// message is an in-flight wormhole message.
+type message struct {
+	src, dst NodeID
+	flits    int
+	route    []chanKey
+	hop      int
+	injected sim.Time
+	done     func(deliveredAt sim.Time)
+	held     []*channel
+	release  sim.Time
+	relEv    *sim.Event
+}
+
+// FlitsFor converts a payload byte count to a flit count (at least one
+// flit: the head flit carries routing info even for empty payloads).
+func (m *Mesh) FlitsFor(bytes int) int {
+	if bytes < 0 {
+		panic("mesh: negative payload")
+	}
+	bpf := m.stats.BytesPerFlit
+	f := (bytes + bpf - 1) / bpf
+	if f == 0 {
+		f = 1
+	}
+	return f
+}
+
+// Send injects a point-to-point message at the current engine time.
+// done (optional) is called when the tail flit is ejected at dst.
+func (m *Mesh) Send(src, dst NodeID, bytes int, done func(sim.Time)) {
+	if !m.valid(src) || !m.valid(dst) {
+		panic(fmt.Sprintf("mesh: send %d->%d outside mesh", src, dst))
+	}
+	msg := &message{
+		src:      src,
+		dst:      dst,
+		flits:    m.FlitsFor(bytes),
+		route:    m.Route(src, dst),
+		injected: m.eng.Now(),
+		done:     done,
+	}
+	m.stats.currentInFlight++
+	if m.stats.currentInFlight > m.stats.PeakInFlight {
+		m.stats.PeakInFlight = m.stats.currentInFlight
+	}
+	m.advance(msg)
+}
+
+// advance tries to move msg's head flit across its next channel.
+func (m *Mesh) advance(msg *message) {
+	now := m.eng.Now()
+	// The virtual bus freezes p2p progress: "other on-going
+	// point-to-point messages are frozen in buffers."
+	if now < m.busFreeAt {
+		m.stats.FrozenByBus++
+		m.eng.At(m.busFreeAt, func() { m.advance(msg) })
+		return
+	}
+	if msg.hop >= len(msg.route) {
+		m.deliver(msg)
+		return
+	}
+	ch := m.channelFor(msg.route[msg.hop])
+	if ch.held {
+		m.stats.BlockedAcquires++
+		ch.waiters = append(ch.waiters, func() { m.advance(msg) })
+		return
+	}
+	if ch.freeAt > now {
+		m.stats.BlockedAcquires++
+		m.eng.At(ch.freeAt, func() { m.advance(msg) })
+		return
+	}
+	// Acquire: the channel is held until the tail drains (settled on
+	// delivery). XY dimension order makes the hold graph acyclic, so
+	// this cannot deadlock.
+	ch.held = true
+	msg.held = append(msg.held, ch)
+	msg.hop++
+	// Head flit crosses: router decision + wire propagation.
+	m.eng.After(m.cfg.RouterLatency+m.link.PropagationDelay(), func() { m.advance(msg) })
+}
+
+// deliver fires when the head flit ejects at dst; the tail drains after
+// (flits-1) launch intervals, which is when channels release and the
+// completion callback runs.
+func (m *Mesh) deliver(msg *message) {
+	drain := sim.Time(msg.flits-1) * m.link.LaunchInterval()
+	m.scheduleRelease(msg, m.eng.Now()+drain)
+}
+
+// scheduleRelease arms (or re-arms, after a bus freeze) the event that
+// releases msg's channels and completes delivery.
+func (m *Mesh) scheduleRelease(msg *message, release sim.Time) {
+	msg.release = release
+	m.draining[msg] = struct{}{}
+	msg.relEv = m.eng.At(release, func() {
+		delete(m.draining, msg)
+		for _, ch := range msg.held {
+			ch.held = false
+			ch.freeAt = release
+			waiters := ch.waiters
+			ch.waiters = nil
+			for _, w := range waiters {
+				w()
+			}
+		}
+		m.stats.currentInFlight--
+		m.stats.MessagesDelivered++
+		m.stats.FlitsDelivered += int64(msg.flits)
+		m.stats.TotalBytesDelivered += int64(msg.flits) * int64(m.stats.BytesPerFlit)
+		m.stats.DeliveredByDst[msg.dst]++
+		lat := release - msg.injected
+		m.stats.TotalLatency += lat
+		if lat > m.stats.MaxLatency {
+			m.stats.MaxLatency = lat
+		}
+		if msg.done != nil {
+			msg.done(release)
+		}
+	})
+}
+
+// Broadcast issues a V-Bus broadcast from src at the current engine
+// time. The network constructs a virtual bus (arbitration + freeze),
+// drives the message once — source and destinations are "connected
+// directly through the virtual bus connection without intervening
+// buffers" — and every other node receives it simultaneously. done
+// (optional) is called once at completion with the delivery time.
+func (m *Mesh) Broadcast(src NodeID, bytes int, done func(sim.Time)) {
+	if !m.valid(src) {
+		panic("mesh: broadcast from invalid node")
+	}
+	flits := m.FlitsFor(bytes)
+	now := m.eng.Now()
+	start := now
+	if m.busFreeAt > start {
+		start = m.busFreeAt // back-to-back broadcasts serialize on the bus
+	}
+	// Bus setup: arbitration plus driving the bus lines across the
+	// diameter of the mesh (no per-hop router latency: no buffering).
+	setup := m.cfg.BusArbitration + sim.Time(m.Diameter())*m.link.PropagationDelay()
+	// Stream all flits once over the bus.
+	stream := sim.Time(flits-1)*m.link.LaunchInterval() + m.link.PropagationDelay()
+	end := start + setup + stream
+	m.stats.BusOccupancy += end - now
+	m.busFreeAt = end
+	// Freeze p2p messages that are mid-drain: their tails stop moving
+	// for the bus window and resume afterwards.
+	busDur := end - start
+	for msg := range m.draining {
+		if msg.release > start {
+			msg.relEv.Cancel()
+			m.stats.FrozenByBus++
+			m.scheduleRelease(msg, msg.release+busDur)
+		}
+	}
+	m.eng.At(end, func() {
+		m.stats.BroadcastsDone++
+		m.stats.FlitsDelivered += int64(flits) * int64(m.Nodes()-1)
+		if done != nil {
+			done(end)
+		}
+	})
+}
+
+// P2PTime analytically reports the uncontended point-to-point time for
+// a payload between two nodes (used to calibrate the cluster model).
+func (m *Mesh) P2PTime(src, dst NodeID, bytes int) sim.Time {
+	hops := m.Hops(src, dst) + 2 // + inject/eject
+	head := sim.Time(hops) * (m.cfg.RouterLatency + m.link.PropagationDelay())
+	return head + sim.Time(m.FlitsFor(bytes)-1)*m.link.LaunchInterval()
+}
+
+// BroadcastTime analytically reports the uncontended V-Bus broadcast
+// time for a payload.
+func (m *Mesh) BroadcastTime(bytes int) sim.Time {
+	setup := m.cfg.BusArbitration + sim.Time(m.Diameter())*m.link.PropagationDelay()
+	stream := sim.Time(m.FlitsFor(bytes)-1)*m.link.LaunchInterval() + m.link.PropagationDelay()
+	return setup + stream
+}

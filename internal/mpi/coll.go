@@ -1,0 +1,174 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"vbuscluster/internal/sim"
+)
+
+// Op is a reduction operator (the MPI_SUM/MPI_MAX/... constants).
+type Op int
+
+// Reduction operators.
+const (
+	Sum Op = iota
+	Prod
+	Max
+	Min
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case Sum:
+		return a + b
+	case Prod:
+		return a * b
+	case Max:
+		return math.Max(a, b)
+	case Min:
+		return math.Min(a, b)
+	default:
+		panic(fmt.Sprintf("mpi: unknown op %d", int(o)))
+	}
+}
+
+// collSlot carries one in-flight collective's contributions and result
+// across the rendezvous generation.
+type collSlot struct {
+	vals      [][]float64
+	result    []float64
+	commCost  sim.Time
+	remaining int
+}
+
+// collective is the shared rendezvous: every rank contributes, the last
+// arrival runs finish (which sees all contributions and the latest
+// clock) to compute the released clock, the shared result and the
+// per-rank comm cost to book. All ranks return the shared result.
+func (w *World) collective(rank int, contrib []float64,
+	finish func(maxT sim.Time, vals [][]float64) (release sim.Time, result []float64, commCost sim.Time)) []float64 {
+
+	if w.n == 1 {
+		release, result, commCost := finish(w.cl.Clock(rank), [][]float64{contrib})
+		w.cl.SetAll(release)
+		w.cl.BookComm(rank, commCost, 0)
+		return result
+	}
+	w.mu.Lock()
+	gen := w.gen
+	slot, ok := w.slots[gen]
+	if !ok {
+		slot = &collSlot{vals: make([][]float64, w.n), remaining: w.n}
+		w.slots[gen] = slot
+	}
+	slot.vals[rank] = contrib
+	if t := w.cl.Clock(rank); t > w.maxT {
+		w.maxT = t
+	}
+	w.arrived++
+	if w.arrived == w.n {
+		release, result, commCost := finish(w.maxT, slot.vals)
+		slot.result = result
+		slot.commCost = commCost
+		w.cl.SetAll(release)
+		w.arrived = 0
+		w.maxT = 0
+		w.gen++
+		w.cond.Broadcast()
+	} else {
+		for gen == w.gen {
+			w.cond.Wait()
+		}
+	}
+	res := slot.result
+	cost := slot.commCost
+	slot.remaining--
+	if slot.remaining == 0 {
+		delete(w.slots, gen)
+	}
+	w.mu.Unlock()
+	w.cl.BookComm(rank, cost, 0)
+	return res
+}
+
+// Bcast broadcasts root's data to every rank (MPI_BCAST), using the
+// V-Bus hardware broadcast facility of the card: one bus construction,
+// one stream, every node listens — rather than a log2(P) software tree.
+// Every rank receives its own copy; root's input is not aliased.
+func (p *Proc) Bcast(root int, data []float64) []float64 {
+	w := p.w
+	if root < 0 || root >= w.n {
+		panic(fmt.Sprintf("mpi: Bcast root %d out of range", root))
+	}
+	card := w.cl.Card()
+	var contrib []float64
+	if p.rank == root {
+		contrib = data
+	}
+	res := w.collective(p.rank, contrib, func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time) {
+		payload := vals[root]
+		cost := card.SendSetup() + card.BroadcastTime(len(payload)*WordBytes, w.n)
+		return maxT + cost, append([]float64(nil), payload...), cost
+	})
+	return append([]float64(nil), res...)
+}
+
+// reduceCost models a binomial gather tree of vector messages.
+func (w *World) reduceCost(elems int) sim.Time {
+	card := w.cl.Card()
+	stages := 0
+	for p := 1; p < w.n; p *= 2 {
+		stages++
+	}
+	return sim.Time(stages) * (card.SendSetup() + card.ContigTime(elems*WordBytes, 1))
+}
+
+// Reduce combines each rank's vector element-wise with op; the combined
+// vector is returned on root, nil elsewhere (MPI_REDUCE).
+func (p *Proc) Reduce(op Op, root int, data []float64) []float64 {
+	w := p.w
+	if root < 0 || root >= w.n {
+		panic(fmt.Sprintf("mpi: Reduce root %d out of range", root))
+	}
+	res := w.collective(p.rank, data, func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time) {
+		out := append([]float64(nil), vals[0]...)
+		for r := 1; r < w.n; r++ {
+			v := vals[r]
+			if len(v) != len(out) {
+				panic(fmt.Sprintf("mpi: Reduce length mismatch: rank 0 has %d, rank %d has %d", len(out), r, len(v)))
+			}
+			for i := range out {
+				out[i] = op.apply(out[i], v[i])
+			}
+		}
+		cost := w.reduceCost(len(out))
+		return maxT + cost, out, cost
+	})
+	if p.rank != root {
+		return nil
+	}
+	return append([]float64(nil), res...)
+}
+
+// Allreduce is Reduce followed by a V-Bus broadcast of the result;
+// every rank receives the combined vector (MPI_ALLREDUCE).
+func (p *Proc) Allreduce(op Op, data []float64) []float64 {
+	w := p.w
+	card := w.cl.Card()
+	res := w.collective(p.rank, data, func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time) {
+		out := append([]float64(nil), vals[0]...)
+		for r := 1; r < w.n; r++ {
+			v := vals[r]
+			if len(v) != len(out) {
+				panic(fmt.Sprintf("mpi: Allreduce length mismatch: rank 0 has %d, rank %d has %d", len(out), r, len(v)))
+			}
+			for i := range out {
+				out[i] = op.apply(out[i], v[i])
+			}
+		}
+		cost := w.reduceCost(len(out)) + card.BroadcastTime(len(out)*WordBytes, w.n)
+		return maxT + cost, out, cost
+	})
+	return append([]float64(nil), res...)
+}

@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"fmt"
+
+	"vbuscluster/internal/sim"
+)
+
+// mbKey identifies one (source, destination, tag) mailbox.
+type mbKey struct {
+	src, dst, tag int
+}
+
+// pendingSend is a message in flight: the payload plus the virtual time
+// at which it has fully landed at the destination.
+type pendingSend struct {
+	data    []float64
+	readyAt sim.Time
+}
+
+// AnyTag matches any tag on the receive side (MPI_ANY_TAG).
+const AnyTag = -1
+
+// AnySource matches any source rank on the receive side
+// (MPI_ANY_SOURCE).
+const AnySource = -1
+
+// Send transmits data to rank dst with the given tag (MPI_SEND). The
+// payload is copied; the caller may reuse its buffer immediately. The
+// sender is charged the full transfer, so the message's arrival time
+// never exceeds the sender's post-call clock.
+func (p *Proc) Send(dst, tag int, data []float64) {
+	w := p.w
+	if dst < 0 || dst >= w.n {
+		panic(fmt.Sprintf("mpi: Send to rank %d out of range [0,%d)", dst, w.n))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: Send tag %d must be non-negative", tag))
+	}
+	bytes := len(data) * WordBytes
+	if dst == p.rank {
+		w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
+	} else {
+		card := w.cl.Card()
+		w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
+	}
+	item := &pendingSend{
+		data:    append([]float64(nil), data...),
+		readyAt: w.cl.Clock(p.rank),
+	}
+	w.mu.Lock()
+	k := mbKey{src: p.rank, dst: dst, tag: tag}
+	w.boxes[k] = append(w.boxes[k], item)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// match pops the first pending message matching (src, dst, tag) with
+// wildcards. Caller holds w.mu.
+func (w *World) match(src, dst, tag int) *pendingSend {
+	// Deterministic scan order for wildcards: ascending source, then
+	// ascending tag, is enforced by scanning ranks and known keys in
+	// order.
+	for s := 0; s < w.n; s++ {
+		if src != AnySource && s != src {
+			continue
+		}
+		if tag != AnyTag {
+			k := mbKey{src: s, dst: dst, tag: tag}
+			if q := w.boxes[k]; len(q) > 0 {
+				item := q[0]
+				w.boxes[k] = q[1:]
+				return item
+			}
+			continue
+		}
+		// AnyTag: find the lowest tag with a pending message from s.
+		best := -1
+		for k, q := range w.boxes {
+			if k.src != s || k.dst != dst || len(q) == 0 {
+				continue
+			}
+			if best == -1 || k.tag < best {
+				best = k.tag
+			}
+		}
+		if best >= 0 {
+			k := mbKey{src: s, dst: dst, tag: best}
+			q := w.boxes[k]
+			item := q[0]
+			w.boxes[k] = q[1:]
+			return item
+		}
+	}
+	return nil
+}
+
+// Recv blocks until a matching message arrives and returns its payload
+// (MPI_RECV). src may be AnySource and tag may be AnyTag. The
+// receiver's clock advances to the message arrival time if it was
+// ahead, plus a fixed receive-side processing charge.
+func (p *Proc) Recv(src, tag int) []float64 {
+	w := p.w
+	if src != AnySource && (src < 0 || src >= w.n) {
+		panic(fmt.Sprintf("mpi: Recv from rank %d out of range", src))
+	}
+	w.mu.Lock()
+	var item *pendingSend
+	for {
+		item = w.match(src, p.rank, tag)
+		if item != nil {
+			break
+		}
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+
+	// Waiting for the sender shows up as communication-stall time.
+	before := w.cl.Clock(p.rank)
+	w.cl.AdvanceTo(p.rank, item.readyAt)
+	stall := w.cl.Clock(p.rank) - before
+	cpu := w.cl.Params().CPU
+	w.cl.ChargeComm(p.rank, cpu.CallOverhead, 0)
+	w.cl.BookComm(p.rank, stall, 0)
+	return item.data
+}
+
+// Sendrecv performs a combined send and receive (MPI_SENDRECV): the
+// send is posted first, then the receive blocks, so exchanging
+// neighbors cannot deadlock.
+func (p *Proc) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
+	p.Send(dst, sendTag, data)
+	return p.Recv(src, recvTag)
+}
+
+// SendRegion is the two-sided transfer of an elems-word region: the
+// sender packs the region into a message buffer (a per-word CPU copy —
+// the cost one-sided DMA avoids), then transmits. data carries the
+// packed payload and may be nil in timing-only runs; elems governs the
+// charges either way. Strided regions must be packed by the caller.
+func (p *Proc) SendRegion(dst, tag, elems int, data []float64) {
+	w := p.w
+	if dst < 0 || dst >= w.n {
+		panic(fmt.Sprintf("mpi: SendRegion to rank %d out of range", dst))
+	}
+	bytes := elems * WordBytes
+	cpu := w.cl.Params().CPU
+	// Pack: user region → message buffer (booked as communication: it
+	// exists only to feed the send).
+	w.cl.ChargeComm(p.rank, sim.Time(bytes)*cpu.MemCopyPerByte, 0)
+	if dst == p.rank {
+		w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
+	} else {
+		card := w.cl.Card()
+		w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
+	}
+	item := &pendingSend{readyAt: w.cl.Clock(p.rank)}
+	if data != nil {
+		item.data = append([]float64(nil), data...)
+	} else {
+		item.data = make([]float64, 0)
+	}
+	w.mu.Lock()
+	k := mbKey{src: p.rank, dst: dst, tag: tag}
+	w.boxes[k] = append(w.boxes[k], item)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// RecvRegion receives a region sent with SendRegion and charges the
+// receiver's unpack copy — the second processor's involvement that
+// makes two-sided communication costlier than MPI_PUT/MPI_GET ("two
+// processors are needed for MPI_SEND/MPI_RECEIVE"). It returns the
+// payload (empty in timing-only runs).
+func (p *Proc) RecvRegion(src, tag, elems int) []float64 {
+	data := p.Recv(src, tag)
+	cpu := p.w.cl.Params().CPU
+	p.w.cl.ChargeComm(p.rank, sim.Time(elems*WordBytes)*cpu.MemCopyPerByte, 0)
+	return data
+}

@@ -1,0 +1,232 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Win is an MPI-2 memory window (MPI_WIN): each rank exposes a region
+// of its private memory that remote ranks may access with Put/Get
+// without the owner's involvement. Windows are created collectively,
+// identified by name (the compiler uses the array name).
+type Win struct {
+	world *World
+	name  string
+
+	mu   sync.Mutex // guards bufs wiring during creation
+	bufs [][]float64
+
+	applyMu []sync.Mutex // per-target apply serialization
+	lockMu  []sync.Mutex // MPI_Win_lock exclusive locks
+}
+
+// WinCreate collectively creates (or attaches to) the window named
+// name, exposing local as this rank's region (MPI_WIN_CREATE). Every
+// rank must call it; it synchronizes like a barrier.
+func (p *Proc) WinCreate(name string, local []float64) *Win {
+	w := p.w
+	w.mu.Lock()
+	win, ok := w.wins[name]
+	if !ok {
+		win = &Win{
+			world:   w,
+			name:    name,
+			bufs:    make([][]float64, w.n),
+			applyMu: make([]sync.Mutex, w.n),
+			lockMu:  make([]sync.Mutex, w.n),
+		}
+		w.wins[name] = win
+	}
+	w.mu.Unlock()
+	win.mu.Lock()
+	win.bufs[p.rank] = local
+	win.mu.Unlock()
+	p.Barrier()
+	return win
+}
+
+// WinFree collectively destroys the window (MPI_WIN_FREE).
+func (p *Proc) WinFree(win *Win) {
+	p.Barrier()
+	if p.rank == 0 {
+		w := p.w
+		w.mu.Lock()
+		delete(w.wins, win.name)
+		w.mu.Unlock()
+	}
+	p.Barrier()
+}
+
+// Name reports the window's collective name.
+func (win *Win) Name() string { return win.name }
+
+// Local returns the calling rank's exposed region.
+func (win *Win) Local(rank int) []float64 { return win.bufs[rank] }
+
+func (win *Win) target(rank int) []float64 {
+	if rank < 0 || rank >= len(win.bufs) {
+		panic(fmt.Sprintf("mpi: window %q target rank %d out of range", win.name, rank))
+	}
+	b := win.bufs[rank]
+	if b == nil {
+		panic(fmt.Sprintf("mpi: window %q has no region on rank %d", win.name, rank))
+	}
+	return b
+}
+
+// chargeTransfer charges the origin rank for moving elems words to/from
+// target: local copies cost memcpy, remote contiguous transfers cost
+// DMA setup + wire, remote strided transfers cost the per-element PIO
+// path.
+func (p *Proc) chargeTransfer(target, elems int, strided bool) {
+	bytes := elems * WordBytes
+	if target == p.rank {
+		p.w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
+		return
+	}
+	card := p.w.cl.Card()
+	var cost = card.SendSetup()
+	if strided {
+		cost += card.StridedTime(elems, WordBytes, p.hops(target))
+	} else {
+		cost += card.ContigTime(bytes, p.hops(target))
+	}
+	p.w.cl.ChargeComm(p.rank, cost, bytes)
+}
+
+// Put transfers data into target's window region starting at
+// targetOff, using the contiguous DMA path (contiguous MPI_PUT).
+func (p *Proc) Put(win *Win, target, targetOff int, data []float64) {
+	buf := win.target(target)
+	if targetOff < 0 || targetOff+len(data) > len(buf) {
+		panic(fmt.Sprintf("mpi: Put %q rank %d [%d,%d) outside window size %d",
+			win.name, target, targetOff, targetOff+len(data), len(buf)))
+	}
+	p.chargeTransfer(target, len(data), false)
+	win.applyMu[target].Lock()
+	copy(buf[targetOff:], data)
+	win.applyMu[target].Unlock()
+}
+
+// PutStrided transfers data into target's window with a constant
+// element stride: data[i] lands at targetOff + i*stride (strided
+// MPI_PUT, the programmed-I/O path).
+func (p *Proc) PutStrided(win *Win, target, targetOff, stride int, data []float64) {
+	if stride == 1 {
+		p.Put(win, target, targetOff, data)
+		return
+	}
+	if stride <= 0 {
+		panic(fmt.Sprintf("mpi: PutStrided stride %d must be positive", stride))
+	}
+	buf := win.target(target)
+	if len(data) > 0 {
+		last := targetOff + (len(data)-1)*stride
+		if targetOff < 0 || last >= len(buf) {
+			panic(fmt.Sprintf("mpi: PutStrided %q rank %d last index %d outside window size %d",
+				win.name, target, last, len(buf)))
+		}
+	}
+	p.chargeTransfer(target, len(data), true)
+	win.applyMu[target].Lock()
+	for i, v := range data {
+		buf[targetOff+i*stride] = v
+	}
+	win.applyMu[target].Unlock()
+}
+
+// Get reads elems words from target's window starting at targetOff
+// into dst (contiguous MPI_GET). dst must have length >= elems.
+func (p *Proc) Get(win *Win, target, targetOff int, dst []float64) {
+	buf := win.target(target)
+	if targetOff < 0 || targetOff+len(dst) > len(buf) {
+		panic(fmt.Sprintf("mpi: Get %q rank %d [%d,%d) outside window size %d",
+			win.name, target, targetOff, targetOff+len(dst), len(buf)))
+	}
+	p.chargeTransfer(target, len(dst), false)
+	win.applyMu[target].Lock()
+	copy(dst, buf[targetOff:targetOff+len(dst)])
+	win.applyMu[target].Unlock()
+}
+
+// GetStrided reads len(dst) words with a constant stride from target's
+// window: dst[i] = window[targetOff + i*stride] (strided MPI_GET).
+func (p *Proc) GetStrided(win *Win, target, targetOff, stride int, dst []float64) {
+	if stride == 1 {
+		p.Get(win, target, targetOff, dst)
+		return
+	}
+	if stride <= 0 {
+		panic(fmt.Sprintf("mpi: GetStrided stride %d must be positive", stride))
+	}
+	buf := win.target(target)
+	if len(dst) > 0 {
+		last := targetOff + (len(dst)-1)*stride
+		if targetOff < 0 || last >= len(buf) {
+			panic(fmt.Sprintf("mpi: GetStrided %q rank %d last index %d outside window size %d",
+				win.name, target, last, len(buf)))
+		}
+	}
+	p.chargeTransfer(target, len(dst), true)
+	win.applyMu[target].Lock()
+	for i := range dst {
+		dst[i] = buf[targetOff+i*stride]
+	}
+	win.applyMu[target].Unlock()
+}
+
+// Accumulate adds data element-wise into target's window starting at
+// targetOff (MPI_ACCUMULATE with MPI_SUM). The per-target apply lock
+// makes concurrent accumulations from different origins atomic.
+func (p *Proc) Accumulate(win *Win, target, targetOff int, data []float64) {
+	buf := win.target(target)
+	if targetOff < 0 || targetOff+len(data) > len(buf) {
+		panic(fmt.Sprintf("mpi: Accumulate %q rank %d [%d,%d) outside window size %d",
+			win.name, target, targetOff, targetOff+len(data), len(buf)))
+	}
+	p.chargeTransfer(target, len(data), false)
+	win.applyMu[target].Lock()
+	for i, v := range data {
+		buf[targetOff+i] += v
+	}
+	win.applyMu[target].Unlock()
+}
+
+// Fence completes all outstanding one-sided operations on the window
+// and synchronizes all ranks (MPI_WIN_FENCE). Because transfer time is
+// charged to the origin, synchronizing every clock to the global
+// maximum guarantees all PUTs issued before the fence have landed in
+// virtual time as well as in memory.
+func (p *Proc) Fence(win *Win) {
+	p.Barrier()
+}
+
+// Lock acquires an exclusive lock on target's region of the window
+// (MPI_WIN_LOCK). Used for passive-target critical sections such as
+// reductions into shared variables.
+func (p *Proc) Lock(win *Win, target int) {
+	win.lockMu[target].Lock()
+	card := p.w.cl.Card()
+	p.w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
+}
+
+// Unlock releases the exclusive lock (MPI_WIN_UNLOCK).
+func (p *Proc) Unlock(win *Win, target int) {
+	card := p.w.cl.Card()
+	p.w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
+	win.lockMu[target].Unlock()
+}
+
+// ChargePutContig charges the cost of a contiguous PUT/GET of elems
+// words to target without moving data. The interpreter's timing-only
+// mode uses these so large experiments cost the same virtual time as
+// full execution without touching real arrays.
+func (p *Proc) ChargePutContig(target, elems int) {
+	p.chargeTransfer(target, elems, false)
+}
+
+// ChargePutStrided charges the cost of a strided PUT/GET of elems words
+// to target without moving data.
+func (p *Proc) ChargePutStrided(target, elems int) {
+	p.chargeTransfer(target, elems, true)
+}

@@ -1,0 +1,137 @@
+// Package mpi implements the MPI-2 subset the paper's environment
+// provides on the V-Bus PC-cluster: the traditional two-sided
+// SEND/RECEIVE of MPI-1 plus the MPI-2 one-sided extensions — memory
+// windows, MPI_PUT/MPI_GET in contiguous (DMA) and strided (programmed
+// I/O) flavors, fences, locks — and collectives that exploit the V-Bus
+// hardware broadcast.
+//
+// Each MPI process is a goroutine holding a *Proc handle. Data really
+// moves between Go buffers; time is virtual: every operation charges
+// the calling rank's clock in the underlying cluster.Cluster with the
+// NIC cost model, and synchronizing operations (barrier, fence,
+// collectives) reconcile the clocks. Charging the full transfer time to
+// the origin rank makes the fence-time reconciliation sound: data
+// always lands at or before the origin's post-call clock.
+//
+// The element type of all buffers is float64 — the machine word of the
+// Fortran system built on top (REAL and INTEGER values both travel as
+// 8-byte words, as the compiler's code generator emits them).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/sim"
+)
+
+// WordBytes is the wire size of one element.
+const WordBytes = 8
+
+// World is a communicator spanning every process of the cluster (the
+// analogue of MPI_COMM_WORLD).
+type World struct {
+	cl *cluster.Cluster
+	n  int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// Collective rendezvous state (one collective in flight at a time,
+	// as MPI ordering rules require).
+	arrived int
+	gen     uint64
+	maxT    sim.Time
+	slots   map[uint64]*collSlot
+
+	// Window registry (windows are created collectively by name).
+	wins map[string]*Win
+
+	// Two-sided mailboxes.
+	boxes map[mbKey][]*pendingSend
+
+	barrierCost sim.Time
+}
+
+// NewWorld creates the communicator for all ranks of c.
+func NewWorld(c *cluster.Cluster) *World {
+	w := &World{
+		cl:    c,
+		n:     c.N(),
+		slots: make(map[uint64]*collSlot),
+		wins:  make(map[string]*Win),
+		boxes: make(map[mbKey][]*pendingSend),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	// Barrier = gather over log2(n) p2p stages + V-Bus release
+	// broadcast. Precomputed once; charged at every barrier/fence.
+	card := c.Card()
+	stages := 0
+	for p := 1; p < w.n; p *= 2 {
+		stages++
+	}
+	w.barrierCost = sim.Time(stages)*(card.SendSetup()+card.ContigTime(WordBytes, 1)) +
+		card.BroadcastTime(WordBytes, w.n)
+	// Even a single-process barrier is a library call.
+	if floor := c.Params().CPU.CallOverhead; w.barrierCost < floor {
+		w.barrierCost = floor
+	}
+	return w
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Cluster exposes the underlying machine model.
+func (w *World) Cluster() *cluster.Cluster { return w.cl }
+
+// BarrierCost reports the charged cost of one barrier.
+func (w *World) BarrierCost() sim.Time { return w.barrierCost }
+
+// Proc is rank-local handle through which a process issues MPI calls.
+// A Proc must only be used from its owning goroutine.
+type Proc struct {
+	w    *World
+	rank int
+}
+
+// Rank returns a handle for the given rank.
+func (w *World) Rank(r int) *Proc {
+	if r < 0 || r >= w.n {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.n))
+	}
+	return &Proc{w: w, rank: r}
+}
+
+// Rank reports the calling process's rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size reports the communicator size.
+func (p *Proc) Size() int { return p.w.n }
+
+// World returns the communicator.
+func (p *Proc) World() *World { return p.w }
+
+// Wtime reports the calling rank's virtual clock (MPI_WTIME).
+func (p *Proc) Wtime() sim.Time { return p.w.cl.Clock(p.rank) }
+
+// Barrier blocks until every rank has entered (MPI_BARRIER). On
+// release, all clocks advance to the latest arrival plus the barrier's
+// communication cost, which is booked as communication on every rank.
+func (p *Proc) Barrier() {
+	w := p.w
+	w.collective(p.rank, nil, func(maxT sim.Time, _ [][]float64) (sim.Time, []float64, sim.Time) {
+		return maxT + w.barrierCost, nil, w.barrierCost
+	})
+}
+
+// hops reports mesh distance from this rank to target.
+func (p *Proc) hops(target int) int { return p.w.cl.Hops(p.rank, target) }
+
+// localCopyCost is the cost of a rank-local data movement (no NIC):
+// call overhead plus a memory copy.
+func (p *Proc) localCopyCost(bytes int) sim.Time {
+	cpu := p.w.cl.Params().CPU
+	return cpu.CallOverhead + sim.Time(bytes)*cpu.MemCopyPerByte
+}

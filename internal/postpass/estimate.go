@@ -1,0 +1,77 @@
+package postpass
+
+import (
+	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/lmad"
+	"vbuscluster/internal/sim"
+)
+
+// EstimateCommCost predicts the total data scattering/collecting time
+// of the SPMD program on the given machine without executing it, by
+// pricing every rank's transfer plan with the NIC cost model — the
+// §5.6 "precise analysis of data access pattern" turned into a static
+// cost estimate. It mirrors the interpreter's charging exactly (master
+// performs all scatters, each slave its own collects, rank-local moves
+// are skipped), so the estimate equals the measured TotalXferTime for
+// any program whose region structure is execution-independent.
+func EstimateCommCost(p *Program, params cluster.Params) sim.Time {
+	card := params.Card
+	procs := p.Opts.NumProcs
+	hops := func(a, b int) int {
+		ax, ay := a%params.MeshWidth, a/params.MeshWidth
+		bx, by := b%params.MeshWidth, b/params.MeshWidth
+		dx, dy := ax-bx, ay-by
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		return dx + dy
+	}
+	pricePlan := func(plan []lmad.Transfer, target int) sim.Time {
+		var t sim.Time
+		for _, tr := range plan {
+			t += card.SendSetup()
+			if tr.Stride > 1 {
+				t += card.StridedTime(int(tr.Elems), 8, hops(0, target))
+			} else {
+				t += card.ContigTime(int(tr.Elems)*8, hops(0, target))
+			}
+		}
+		return t
+	}
+	var total sim.Time
+	for _, r := range p.Regions {
+		if r.Par == nil {
+			continue
+		}
+		price := func(ops []*CommOp, rank int, target int) sim.Time {
+			var t sim.Time
+			coarse := map[string][]lmad.Transfer{}
+			var order []string
+			for _, op := range ops {
+				plan := RankPlan(op, r.Par.Ctx, rank, procs, r.Par.Schedule)
+				if op.Grain == lmad.Coarse {
+					if _, ok := coarse[op.Sym.Name]; !ok {
+						order = append(order, op.Sym.Name)
+					}
+					coarse[op.Sym.Name] = append(coarse[op.Sym.Name], plan...)
+					continue
+				}
+				t += pricePlan(plan, target)
+			}
+			for _, name := range order {
+				t += pricePlan(lmad.MergeContiguous(coarse[name]), target)
+			}
+			return t
+		}
+		for dst := 1; dst < procs; dst++ {
+			total += price(r.Par.Scatters, dst, dst)
+		}
+		for rank := 1; rank < procs; rank++ {
+			total += price(r.Par.Collects, rank, rank)
+		}
+	}
+	return total
+}

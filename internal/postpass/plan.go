@@ -1,0 +1,96 @@
+package postpass
+
+import (
+	"vbuscluster/internal/analysis"
+	"vbuscluster/internal/f77"
+	"vbuscluster/internal/lmad"
+)
+
+// BlockPart computes rank's balanced block partition of trips
+// iterations: the half-open trip range [start, start+count).
+func BlockPart(trips int64, rank, procs int) (start, count int64) {
+	lo := trips * int64(rank) / int64(procs)
+	hi := trips * int64(rank+1) / int64(procs)
+	return lo, hi - lo
+}
+
+// RankTrips enumerates the 0-based trip indices rank executes under the
+// given schedule.
+func RankTrips(trips int64, rank, procs int, sched f77.Schedule) []int64 {
+	var out []int64
+	if sched == f77.SchedCyclic {
+		for k := int64(rank); k < trips; k += int64(procs) {
+			out = append(out, k)
+		}
+		return out
+	}
+	lo, n := BlockPart(trips, rank, procs)
+	for k := lo; k < lo+n; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// RankPlan computes the §5.4/§5.6 communication plan for one op and one
+// rank: the op's access region restricted to the rank's partition of
+// the parallel dimension, expanded into MPI_PUT/MPI_GET transfers at
+// the op's effective granularity. A replicated op (ParallelDim == -1)
+// plans the whole region for every rank. An empty plan means the rank
+// moves nothing.
+func RankPlan(op *CommOp, ctx analysis.LoopCtx, rank, procs int, sched f77.Schedule) []lmad.Transfer {
+	l := op.Acc.L
+	pd := op.ParallelDim
+	if pd < 0 {
+		return lmad.Plan(l, -1, op.Grain)
+	}
+	trips := l.Dims[pd].Trips()
+	switch sched {
+	case f77.SchedCyclic:
+		phase := int64(rank) % int64(procs)
+		if op.Reversed {
+			// Loop trip k maps to lattice position trips-1-k, and k
+			// ranges over a full residue class mod procs, so the
+			// positions form the cyclic class with mirrored phase:
+			// (trips-1-rank) mod procs.
+			phase = (trips - 1 - int64(rank)) % int64(procs)
+			if phase < 0 {
+				phase += int64(procs)
+			}
+		}
+		part, ok := l.CycleDim(pd, phase, int64(procs))
+		if !ok {
+			return nil
+		}
+		newPD := pd
+		if part.Rank() < l.Rank() {
+			newPD = -1 // the dimension collapsed to a single trip
+		}
+		return lmad.Plan(part, newPD, op.Grain)
+	default:
+		start, count := BlockPart(trips, rank, procs)
+		if count == 0 {
+			return nil
+		}
+		if op.Reversed {
+			// Loop trip k maps to lattice position trips-1-k, so the
+			// block [start, start+count) maps to
+			// [trips-start-count, trips-start).
+			start = trips - start - count
+		}
+		part := l.RestrictDim(pd, start, count)
+		newPD := pd
+		if part.Rank() < l.Rank() {
+			newPD = -1
+		}
+		return lmad.Plan(part, newPD, op.Grain)
+	}
+}
+
+// PlanBytes sums the wire elements of a plan.
+func PlanBytes(plan []lmad.Transfer) int64 {
+	var n int64
+	for _, t := range plan {
+		n += t.Elems
+	}
+	return n
+}

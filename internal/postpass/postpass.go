@@ -1,0 +1,542 @@
+// Package postpass implements the MPI-2 postpass of §5 — the paper's
+// new Polaris back end targeting the V-Bus cluster. It consumes the
+// analyzed main unit (parallel loops marked, reductions and privates
+// annotated) and produces an SPMD program description:
+//
+//   - MPI environment generation (§5.1): one memory window per variable
+//     accessed remotely;
+//   - AVPG construction (§5.2) and elimination of redundant scatter /
+//     collect communication at region boundaries;
+//   - work partitioning (§5.3): BLOCK for square loops, CYCLIC for
+//     triangular ones;
+//   - data scattering & collecting (§5.4): ReadOnly → scatter,
+//     WriteFirst → collect, ReadWrite → both, driven by split LMADs;
+//   - SPMDization (§5.5): barrier/fence points at region boundaries;
+//   - communication optimization (§5.6): fine/middle/coarse grain with
+//     the overlapped-region race check that forces fine-grain
+//     collecting when approximate regions of different slaves overlap.
+//
+// The result is interpreted by internal/interp on the simulated
+// cluster; the per-rank communication plans are computed here so the
+// compiler, the interpreter, and the tests all share one source of
+// truth.
+package postpass
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vbuscluster/internal/analysis"
+	"vbuscluster/internal/avpg"
+	"vbuscluster/internal/f77"
+	"vbuscluster/internal/lmad"
+)
+
+// Options configures the postpass.
+type Options struct {
+	// NumProcs is the SPMD process count (master + slaves).
+	NumProcs int
+	// Grain is the requested communication granularity (§5.6: "it is up
+	// to the user that selects the optimal granularity").
+	Grain lmad.Grain
+	// LiveOutAll treats every array as live at program end, forcing the
+	// final writes to be collected to the master (needed whenever the
+	// caller inspects results; the AVPG still eliminates interior
+	// communication).
+	LiveOutAll bool
+	// LockReductions combines recognized reductions through an
+	// MPI_WIN_LOCK critical section on the master's window (§3:
+	// "Locks are useful for establishing critical sections where global
+	// operations using shared variables, such as reduction operations,
+	// are performed") instead of an Allreduce tree. Serialized but
+	// faithful to the paper's target-code description.
+	LockReductions bool
+	// PullScatter makes the slaves GET their regions from the master's
+	// windows instead of the master PUTting to every slave: with
+	// one-sided communication either end can drive the transfer (§2.2),
+	// and pulling parallelizes the scatter across the slaves instead of
+	// serializing it on the master.
+	PullScatter bool
+	// TwoSided generates MPI-1 style SEND/RECEIVE pairs for data
+	// scattering/collecting instead of one-sided PUT/GET: both
+	// processors participate and every region is packed/unpacked
+	// through message buffers. This is the baseline the paper's §2.2
+	// one-sided design argues against; it exists for the ablation.
+	TwoSided bool
+}
+
+// CommOp is one data-scattering or data-collecting obligation for one
+// array access region within a parallel region.
+type CommOp struct {
+	Sym *f77.Symbol
+	// Acc is the access expanded over the full loop nest (parallel loop
+	// included).
+	Acc analysis.Access
+	// ParallelDim indexes Acc.L.Dims at the parallel loop's dimension;
+	// -1 means the access is invariant in the parallel loop
+	// (replicated: every slave gets/needs the whole region).
+	ParallelDim int
+	// Reversed notes a negative-coefficient parallel dimension: trip k
+	// of the loop maps to lattice position trips-1-k.
+	Reversed bool
+	// Type is the §4.2 classification that created the op.
+	Type lmad.AccType
+	// Grain is the effective granularity (may be forced to Fine by the
+	// §5.6 race check on collects).
+	Grain lmad.Grain
+	// RaceFallback records that the §5.6 overlap check demoted this op.
+	RaceFallback bool
+}
+
+// Region is one schedulable unit of the SPMD program.
+type Region struct {
+	// Par is nil for a sequential (master-only) region.
+	Par *ParInfo
+	// Stmts are the statements of a sequential region.
+	Stmts []f77.Stmt
+}
+
+// ParInfo carries everything the interpreter needs to run one parallel
+// region.
+type ParInfo struct {
+	Loop *f77.DoLoop
+	Ctx  analysis.LoopCtx
+	// Scatters run at region entry (master → slaves), Collects at exit
+	// (slaves → master).
+	Scatters []*CommOp
+	Collects []*CommOp
+	// ScalarBcast lists scalars the slaves read (scattered as
+	// one-element windows).
+	Reductions []*f77.Reduction
+	Schedule   f77.Schedule
+}
+
+// Program is the SPMD translation of one Fortran program.
+type Program struct {
+	Source  *f77.Program
+	Main    *f77.Unit
+	Regions []*Region
+	// Windows lists every symbol that needs an MPI window, in
+	// deterministic order.
+	Windows []*f77.Symbol
+	Graph   *avpg.Graph
+	Opts    Options
+	// Eliminated counts region-boundary comm ops removed by the AVPG.
+	EliminatedScatters int
+	EliminatedCollects int
+}
+
+// Translate runs the postpass over an analyzed program (the front end
+// must have run: see analysis.FrontEnd).
+func Translate(prog *f77.Program, opts Options) (*Program, error) {
+	if opts.NumProcs < 1 {
+		return nil, fmt.Errorf("postpass: need at least one process")
+	}
+	main := prog.Main()
+	if main == nil {
+		return nil, fmt.Errorf("postpass: no main program unit")
+	}
+	p := &Program{Source: prog, Main: main, Opts: opts}
+
+	// Control flow that could jump across region boundaries defeats the
+	// barrier-per-region SPMD structure (§5.5 inserts synchronization at
+	// exactly these control-flow points). If any GOTO targets a label
+	// carried by a top-level statement, keep the whole program as one
+	// sequential region rather than risk a jump out of a region.
+	topLabels := map[int]bool{}
+	for _, s := range main.Body {
+		if s.Label() != 0 {
+			topLabels[s.Label()] = true
+		}
+	}
+	crossJump := false
+	f77.WalkStmts(main.Body, func(s f77.Stmt) bool {
+		if g, ok := s.(*f77.Goto); ok && topLabels[g.Target] {
+			crossJump = true
+		}
+		return true
+	})
+	if crossJump {
+		p.Regions = append(p.Regions, &Region{Stmts: main.Body})
+		p.buildGraph()
+		return p, nil
+	}
+
+	// ---- Region segmentation (§5.5): top-level parallel loops become
+	// parallel regions; everything else is sequential master code.
+	var seq []f77.Stmt
+	flush := func() {
+		if len(seq) > 0 {
+			p.Regions = append(p.Regions, &Region{Stmts: seq})
+			seq = nil
+		}
+	}
+	for _, s := range main.Body {
+		loop, ok := s.(*f77.DoLoop)
+		if !ok || !loop.Parallel {
+			seq = append(seq, s)
+			continue
+		}
+		info, err := buildParInfo(loop, opts)
+		if err != nil {
+			// Unanalyzable for communication generation: run serially.
+			seq = append(seq, s)
+			continue
+		}
+		flush()
+		p.Regions = append(p.Regions, &Region{Par: info})
+	}
+	flush()
+
+	// ---- AVPG (§5.2) + elimination.
+	p.buildGraph()
+	p.eliminate()
+
+	// ---- MPI environment generation (§5.1): windows for every symbol
+	// that appears in any remaining comm op.
+	winSet := map[*f77.Symbol]bool{}
+	for _, r := range p.Regions {
+		if r.Par == nil {
+			continue
+		}
+		for _, op := range append(append([]*CommOp{}, r.Par.Scatters...), r.Par.Collects...) {
+			winSet[op.Sym] = true
+		}
+		if opts.LockReductions {
+			// The reduction scalars need windows for the lock-based
+			// critical sections.
+			for _, red := range r.Par.Reductions {
+				winSet[red.Sym] = true
+			}
+		}
+	}
+	for sym := range winSet {
+		p.Windows = append(p.Windows, sym)
+	}
+	sort.Slice(p.Windows, func(i, j int) bool { return p.Windows[i].Name < p.Windows[j].Name })
+	return p, nil
+}
+
+// buildParInfo analyzes one parallel loop for communication generation.
+func buildParInfo(loop *f77.DoLoop, opts Options) (*ParInfo, error) {
+	ctx, err := analysis.ResolveLoop(loop, nil)
+	if err != nil {
+		return nil, err
+	}
+	if !ctx.Exact {
+		return nil, fmt.Errorf("postpass: loop %s bounds not compile-time constant", loop.Var.Name)
+	}
+	skip := map[*f77.Symbol]bool{loop.Var: true}
+	for _, r := range loop.Reductions {
+		skip[r.Sym] = true
+	}
+	for _, pv := range loop.Private {
+		skip[pv] = true
+	}
+	ri := analysis.Region(loop.Body, []analysis.LoopCtx{ctx}, skip)
+	if !ri.OK {
+		return nil, fmt.Errorf("postpass: %s", ri.WhyNot)
+	}
+	info := &ParInfo{Loop: loop, Ctx: ctx, Reductions: loop.Reductions, Schedule: loop.Schedule}
+
+	mk := func(acc analysis.Access, typ lmad.AccType) *CommOp {
+		op := &CommOp{Sym: acc.Sym, Acc: acc, Type: typ, Grain: opts.Grain}
+		op.ParallelDim = acc.DimOf(loop.Var)
+		if op.ParallelDim >= 0 {
+			// Negative coefficient: WithDim flipped the offset; the
+			// loop's trip order runs backwards along the lattice.
+			if c := acc.Coeffs[loop.Var]; c*ctx.Step < 0 {
+				op.Reversed = true
+			}
+		}
+		return op
+	}
+
+	// §5.4: ReadOnly → scatter; WriteFirst → collect; ReadWrite → both.
+	seen := map[string]bool{}
+	for _, typ := range []lmad.AccType{lmad.ReadOnly, lmad.WriteFirst, lmad.ReadWrite} {
+		for _, acc := range ri.AccessesOf(typ) {
+			key := fmt.Sprintf("%v|%s", typ, acc.L.String())
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			op := mk(acc, typ)
+			switch typ {
+			case lmad.ReadOnly:
+				info.Scatters = append(info.Scatters, op)
+			case lmad.WriteFirst:
+				info.Collects = append(info.Collects, op)
+			case lmad.ReadWrite:
+				info.Scatters = append(info.Scatters, op)
+				col := mk(acc, typ)
+				info.Collects = append(info.Collects, col)
+			}
+		}
+	}
+
+	// §5.6 race check ("we implemented a routine to check the upper and
+	// lower bound of approximate regions"): approximate-grain collects
+	// must not let a slave's transfer overwrite master data it does not
+	// own. Checked per array across every collect op.
+	demoteUnsafeCollects(info, opts.NumProcs)
+	return info, nil
+}
+
+// demoteUnsafeCollects applies the §5.6 safety rule per array:
+//
+//	(a) the approximate regions transferred by different slaves — and
+//	    the master's own exact write region — must be pairwise
+//	    disjoint, and
+//	(b) every element inside a slave's approximate region must carry a
+//	    valid value on that slave: either the slave wrote it (exact
+//	    write set of any collect op) or it was scattered to the slave
+//	    at region entry (so collecting it returns the master's value).
+//
+// A violation demotes every collect op of the array to fine grain
+// (exact regions are disjoint by the parallelism proof).
+func demoteUnsafeCollects(info *ParInfo, procs int) {
+	if procs == 1 {
+		return
+	}
+	type iv struct{ lo, hi int64 }
+	byArray := map[*f77.Symbol][]*CommOp{}
+	for _, op := range info.Collects {
+		byArray[op.Sym] = append(byArray[op.Sym], op)
+	}
+	const coverLimit = 1 << 22
+	for sym, ops := range byArray {
+		approx := false
+		for _, op := range ops {
+			if op.Grain != lmad.Fine {
+				approx = true
+			}
+		}
+		if !approx {
+			continue
+		}
+		demote := func() {
+			for _, op := range ops {
+				if op.Grain != lmad.Fine {
+					op.Grain = lmad.Fine
+					op.RaceFallback = true
+				}
+			}
+		}
+		// Per-rank transferred intervals (master: exact writes, since
+		// it transfers nothing but its results must not be clobbered).
+		boxes := make([][]iv, procs)
+		safe := true
+		for r := 0; r < procs && safe; r++ {
+			for _, op := range ops {
+				grain := op.Grain
+				if r == 0 {
+					grain = lmad.Fine
+				}
+				shadow := *op
+				shadow.Grain = grain
+				plan := RankPlan(&shadow, info.Ctx, r, procs, info.Schedule)
+				if grain == lmad.Coarse {
+					plan = lmad.MergeContiguous(plan)
+				}
+				for _, tr := range plan {
+					boxes[r] = append(boxes[r], iv{tr.Offset, tr.Offset + (tr.Elems-1)*tr.Stride})
+				}
+			}
+		}
+		// (a) pairwise disjointness across ranks.
+		for a := 0; a < procs && safe; a++ {
+			for b := a + 1; b < procs && safe; b++ {
+				for _, x := range boxes[a] {
+					for _, y := range boxes[b] {
+						if x.lo <= y.hi && y.lo <= x.hi {
+							safe = false
+						}
+					}
+				}
+			}
+		}
+		if !safe {
+			demote()
+			continue
+		}
+		// (b) slave-side validity: box elements ⊆ writes ∪ scattered.
+		var scatters []*CommOp
+		for _, sop := range info.Scatters {
+			if sop.Sym == sym {
+				scatters = append(scatters, sop)
+			}
+		}
+		for r := 1; r < procs && safe; r++ {
+			var need int64
+			for _, b := range boxes[r] {
+				need += b.hi - b.lo + 1
+			}
+			if need > coverLimit {
+				safe = false
+				break
+			}
+			covered := map[int64]bool{}
+			markPlan := func(op *CommOp, grain lmad.Grain) {
+				shadow := *op
+				shadow.Grain = grain
+				for _, tr := range RankPlan(&shadow, info.Ctx, r, procs, info.Schedule) {
+					for i := int64(0); i < tr.Elems; i++ {
+						if int64(len(covered)) > coverLimit {
+							return
+						}
+						covered[tr.Offset+i*tr.Stride] = true
+					}
+				}
+			}
+			for _, op := range ops {
+				markPlan(op, lmad.Fine) // exact writes
+			}
+			for _, sop := range scatters {
+				markPlan(sop, sop.Grain)
+			}
+			for _, b := range boxes[r] {
+				for e := b.lo; e <= b.hi && safe; e++ {
+					if !covered[e] {
+						safe = false
+					}
+				}
+			}
+		}
+		if !safe {
+			demote()
+		}
+	}
+}
+
+// buildGraph records array usage per region into the AVPG, with a
+// virtual trailing region for live-out values.
+func (p *Program) buildGraph() {
+	n := len(p.Regions) + 1 // +1 virtual end region
+	g := avpg.New(n)
+	for i, r := range p.Regions {
+		if r.Par != nil {
+			for _, op := range r.Par.Scatters {
+				g.Record(i, op.Sym.Name, true, false)
+			}
+			for _, op := range r.Par.Collects {
+				g.Record(i, op.Sym.Name, false, true)
+			}
+			continue
+		}
+		// Sequential region: the master touches data directly; record
+		// reads and writes so liveness sees them.
+		f77.WalkStmts(r.Stmts, func(s f77.Stmt) bool {
+			if a, ok := s.(*f77.Assign); ok {
+				g.Record(i, a.LHS.Sym.Name, false, true)
+			}
+			f77.StmtExprs(s, func(e f77.Expr) {
+				f77.WalkExpr(e, func(sub f77.Expr) {
+					switch v := sub.(type) {
+					case *f77.VarExpr:
+						g.Record(i, v.Sym.Name, true, false)
+					case *f77.ArrayExpr:
+						g.Record(i, v.Sym.Name, true, false)
+					}
+				})
+			})
+			return true
+		})
+	}
+	if p.Opts.LiveOutAll {
+		// The virtual end region reads everything ever written.
+		for _, a := range g.Arrays() {
+			g.Record(n-1, a, true, false)
+		}
+	}
+	p.Graph = g
+}
+
+// eliminate drops redundant comm ops using the AVPG (§5.2): a collect
+// whose value is dead afterwards, and a scatter whose slave copies are
+// already fresh (nothing wrote the array since the last scatter).
+func (p *Program) eliminate() {
+	fresh := map[string]bool{} // array → slaves hold the master's current value
+	for i, r := range p.Regions {
+		if r.Par == nil {
+			// Master writes invalidate slave copies.
+			f77.WalkStmts(r.Stmts, func(s f77.Stmt) bool {
+				if a, ok := s.(*f77.Assign); ok {
+					fresh[a.LHS.Sym.Name] = false
+				}
+				return true
+			})
+			continue
+		}
+		var keptS []*CommOp
+		for _, op := range r.Par.Scatters {
+			if fresh[op.Sym.Name] {
+				p.EliminatedScatters++
+				continue
+			}
+			keptS = append(keptS, op)
+		}
+		r.Par.Scatters = keptS
+		// After scatter, slaves are fresh for those arrays — but a
+		// partitioned scatter only delivers each slave its own part, so
+		// freshness holds for identical access patterns. Conservative:
+		// mark fresh only for replicated scatters.
+		for _, op := range keptS {
+			if op.ParallelDim < 0 {
+				fresh[op.Sym.Name] = true
+			}
+		}
+		var keptC []*CommOp
+		for _, op := range r.Par.Collects {
+			if !p.Graph.NeedCollect(i, op.Sym.Name) {
+				p.EliminatedCollects++
+				continue
+			}
+			keptC = append(keptC, op)
+		}
+		r.Par.Collects = keptC
+		// Writes during the region make slave copies of the written
+		// arrays stale (each slave only has its own part up to date).
+		for _, op := range keptC {
+			fresh[op.Sym.Name] = false
+		}
+	}
+}
+
+// String renders a compact report of the translation.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SPMD program: %d regions, %d windows, grain=%v, P=%d",
+		len(p.Regions), len(p.Windows), p.Opts.Grain, p.Opts.NumProcs)
+	if p.Opts.LockReductions {
+		sb.WriteString(", lock-reductions")
+	}
+	if p.Opts.PullScatter {
+		sb.WriteString(", pull-scatter")
+	}
+	if p.Opts.TwoSided {
+		sb.WriteString(", two-sided")
+	}
+	sb.WriteByte('\n')
+	for i, r := range p.Regions {
+		if r.Par == nil {
+			fmt.Fprintf(&sb, "  region %d: sequential (%d statements)\n", i, len(r.Stmts))
+			continue
+		}
+		fmt.Fprintf(&sb, "  region %d: parallel DO %s = %d,%d,%d schedule=%v\n",
+			i, r.Par.Loop.Var.Name, r.Par.Ctx.From, r.Par.Ctx.To, r.Par.Ctx.Step, r.Par.Schedule)
+		for _, op := range r.Par.Scatters {
+			fmt.Fprintf(&sb, "    scatter %-10s %v %s\n", op.Sym.Name, op.Type, op.Acc.L)
+		}
+		for _, op := range r.Par.Collects {
+			extra := ""
+			if op.RaceFallback {
+				extra = " (race check → fine)"
+			}
+			fmt.Fprintf(&sb, "    collect %-10s %v %s grain=%v%s\n", op.Sym.Name, op.Type, op.Acc.L, op.Grain, extra)
+		}
+	}
+	fmt.Fprintf(&sb, "  AVPG eliminated %d scatters, %d collects\n", p.EliminatedScatters, p.EliminatedCollects)
+	return sb.String()
+}

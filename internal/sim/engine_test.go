@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroEngineUsable(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("zero engine Now = %v, want 0", e.Now())
+	}
+	ran := false
+	e.After(5*Nanosecond, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+	if e.Now() != 5*Nanosecond {
+		t.Fatalf("Now = %v, want 5ns", e.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-time events fired out of scheduling order: %v", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSchedulingFromEvent(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	e.At(10, func() {
+		trace = append(trace, e.Now())
+		e.After(15, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 25 {
+		t.Fatalf("trace = %v, want [10 25]", trace)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*10, func() { count++ })
+	}
+	remaining := e.RunUntil(55)
+	if count != 5 {
+		t.Fatalf("fired %d events by t=55, want 5", count)
+	}
+	if !remaining {
+		t.Fatal("RunUntil reported no remaining events")
+	}
+	if e.Now() != 55 {
+		t.Fatalf("Now = %v, want 55", e.Now())
+	}
+	if e.RunUntil(1000) {
+		t.Fatal("RunUntil reported remaining events after draining")
+	}
+	if count != 10 {
+		t.Fatalf("fired %d events total, want 10", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("idle RunUntil left Now = %v, want 500", e.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(100)
+	e.RunFor(100)
+	if e.Now() != 200 {
+		t.Fatalf("Now = %v, want 200", e.Now())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired = %d, want 7", e.Fired())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ps"},
+		{2 * Nanosecond, "2ns"},
+		{3 * Microsecond, "3us"},
+		{4 * Millisecond, "4ms"},
+		{5 * Second, "5s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	// Bounded to ~16s of virtual time: beyond 2^53 ps float64 cannot
+	// represent Time exactly and the round trip legitimately drifts.
+	f := func(us uint32) bool {
+		t := Time(us%16_000_000) * Microsecond
+		return FromSeconds(t.Seconds()) == t
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of
+// insertion order.
+func TestOrderProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fireTimes []Time
+		for i := 0; i < n; i++ {
+			e.At(Time(rng.Intn(1000)), func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.Run()
+		if len(fireTimes) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

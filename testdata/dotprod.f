@@ -1,0 +1,25 @@
+C     Dot product with a sum reduction over common-block vectors.
+      PROGRAM DOT
+      INTEGER N
+      PARAMETER (N = 1000)
+      REAL X(N), Y(N), S
+      COMMON /VECS/ X, Y
+      INTEGER I
+      CALL FILL
+      S = 0.0
+      DO I = 1, N
+        S = S + X(I) * Y(I)
+      ENDDO
+      PRINT *, 'DOT', S
+      END
+
+      SUBROUTINE FILL
+      INTEGER N, I
+      PARAMETER (N = 1000)
+      REAL X(N), Y(N)
+      COMMON /VECS/ X, Y
+      DO I = 1, N
+        X(I) = REAL(I) * 0.001
+        Y(I) = REAL(N - I + 1) * 0.001
+      ENDDO
+      END

@@ -1,0 +1,25 @@
+C     The paper's Figure 4 access pattern: REAL A(14,*) with a triply
+C     nested loop and strides {364,14,3}.
+      PROGRAM FIG4
+      REAL A(14,60)
+      INTEGER I, J, K
+      DO I = 1, 14
+        DO J = 1, 60
+          A(I,J) = 0.0
+        ENDDO
+      ENDDO
+      CALL TOUCH(A)
+      PRINT *, A(1,1), A(4,1)
+      END
+
+      SUBROUTINE TOUCH(A)
+      REAL A(14,*)
+      INTEGER I, J, K
+      DO I = 1, 2
+        DO J = 1, 2
+          DO K = 1, 10, 3
+            A(K, J+26*(I-1)) = REAL(K + 100*J + 10000*I)
+          ENDDO
+        ENDDO
+      ENDDO
+      END

@@ -1,0 +1,37 @@
+C     Jacobi relaxation: two parallel sweeps per iteration, ping-pong
+C     buffers, convergence via a MAX reduction.
+      PROGRAM JACOBI
+      INTEGER N
+      PARAMETER (N = 48)
+      REAL U(N,N), V(N,N), DIFF
+      INTEGER I, J
+      DO I = 1, N
+        DO J = 1, N
+          U(I,J) = 0.0
+          V(I,J) = 0.0
+        ENDDO
+      ENDDO
+      DO I = 1, N
+        U(I,1) = 100.0
+        U(I,N) = 100.0
+        V(I,1) = 100.0
+        V(I,N) = 100.0
+      ENDDO
+      DO I = 2, N-1
+        DO J = 2, N-1
+          V(I,J) = 0.25 * (U(I-1,J) + U(I+1,J) + U(I,J-1) + U(I,J+1))
+        ENDDO
+      ENDDO
+      DO I = 2, N-1
+        DO J = 2, N-1
+          U(I,J) = 0.25 * (V(I-1,J) + V(I+1,J) + V(I,J-1) + V(I,J+1))
+        ENDDO
+      ENDDO
+      DIFF = 0.0
+      DO I = 2, N-1
+        DO J = 2, N-1
+          DIFF = MAX(DIFF, ABS(U(I,J) - V(I,J)))
+        ENDDO
+      ENDDO
+      PRINT *, 'DIFF', DIFF
+      END

@@ -1,0 +1,22 @@
+C     Triangular update (cyclic schedule) plus a serial recurrence.
+      PROGRAM TRI
+      INTEGER N
+      PARAMETER (N = 24)
+      REAL A(N,N), D(N)
+      INTEGER I, J
+      DO I = 1, N
+        DO J = 1, N
+          A(I,J) = 0.0
+        ENDDO
+        D(I) = REAL(I)
+      ENDDO
+      DO I = 1, N
+        DO J = I, N
+          A(J,I) = REAL(I) + REAL(J) * 0.5
+        ENDDO
+      ENDDO
+      DO I = 2, N
+        D(I) = D(I) + D(I-1) * 0.5
+      ENDDO
+      PRINT *, A(N,1), D(N)
+      END
