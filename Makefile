@@ -1,0 +1,31 @@
+# Repository CI entry points. `make ci` is the gate: formatting, vet,
+# build, tests, and a quick end-to-end benchmark smoke run.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test smoke bench
+
+ci: fmt vet build test smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+smoke:
+	$(GO) run ./cmd/vbbench -table 1 -quick
+	$(GO) run ./cmd/vbbench -table 1 -quick -fabric ideal > /dev/null
+	$(GO) run ./cmd/vbcc -passes testdata/jacobi.f > /dev/null
+
+bench:
+	$(GO) test -bench=. -benchmem .

@@ -34,7 +34,7 @@ func BenchmarkTable1MM(b *testing.B) {
 			b.Run(fmt.Sprintf("n=%d/procs=%d", size, procs), func(b *testing.B) {
 				var speedup float64
 				for i := 0; i < b.N; i++ {
-					rows, err := bench.Table1([]int{size}, []int{procs}, lmad.Fine)
+					rows, err := bench.Table1([]int{size}, []int{procs}, lmad.Fine, "")
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -260,7 +260,7 @@ func BenchmarkAblationPushVsPull(b *testing.B) {
 func BenchmarkAblationVBusVsEthernet(b *testing.B) {
 	run := func(b *testing.B, card nic.Card) sim.Time {
 		params := cluster.DefaultParams()
-		params.Card = card
+		params.Fabric = card
 		c, err := core.Compile(bench.MMSource(256), core.Options{
 			NumProcs: 4, Grain: lmad.Coarse, Params: &params,
 		})

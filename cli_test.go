@@ -107,4 +107,62 @@ func TestCLIEndToEnd(t *testing.T) {
 			t.Fatalf("bench output:\n%s", out)
 		}
 	})
+
+	t.Run("vbcc-passes", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "vbcc"), "-passes", "testdata/jacobi.f")
+		if !strings.Contains(out, "pass pipeline:") {
+			t.Fatalf("no pipeline table:\n%s", out)
+		}
+		for _, pass := range []string{
+			"parse", "inline", "const-prop", "induction", "parallel-detect",
+			"partition", "spmdize", "scatter-collect", "grain-opt", "avpg", "env-gen",
+		} {
+			if !strings.Contains(out, pass) {
+				t.Fatalf("pipeline missing pass %q:\n%s", pass, out)
+			}
+		}
+	})
+
+	t.Run("vbcc-dump-after", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "vbcc"), "-dump-after", "inline", "testdata/jacobi.f")
+		if !strings.Contains(out, "IR after inline") {
+			t.Fatalf("no IR dump:\n%s", out)
+		}
+	})
+
+	t.Run("vbrun-fabric", func(t *testing.T) {
+		vbrun := filepath.Join(bins, "vbrun")
+		vbus := run(t, vbrun, "-fabric", "vbus", "-mode", "timing", "testdata/jacobi.f")
+		eth := run(t, vbrun, "-fabric", "ethernet", "-mode", "timing", "testdata/jacobi.f")
+		ideal := run(t, vbrun, "-fabric", "ideal", "-mode", "timing", "testdata/jacobi.f")
+		for name, out := range map[string]string{"vbus": vbus, "ethernet": eth, "ideal": ideal} {
+			if !strings.Contains(out, "virtual time:") {
+				t.Fatalf("%s run produced no report:\n%s", name, out)
+			}
+		}
+		if vbus == eth {
+			t.Fatal("vbus and ethernet runs reported identical timing")
+		}
+		if !strings.Contains(ideal, "comm 0") {
+			t.Fatalf("ideal backend charged communication time:\n%s", ideal)
+		}
+	})
+
+	t.Run("vbrun-fabric-unknown", func(t *testing.T) {
+		cmd := exec.Command(filepath.Join(bins, "vbrun"), "-fabric", "no-such-fabric", "testdata/jacobi.f")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("unknown fabric accepted:\n%s", out)
+		}
+		if !strings.Contains(string(out), "unknown backend") {
+			t.Fatalf("unhelpful error:\n%s", out)
+		}
+	})
+
+	t.Run("vbbench-fabric", func(t *testing.T) {
+		out := run(t, filepath.Join(bins, "vbbench"), "-table", "1", "-quick", "-fabric", "ideal")
+		if !strings.Contains(out, "Table 1") {
+			t.Fatalf("bench output:\n%s", out)
+		}
+	})
 }

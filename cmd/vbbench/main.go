@@ -14,10 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"vbuscluster/internal/bench"
 	"vbuscluster/internal/core"
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/lmad"
+	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
 )
 
 func main() {
@@ -28,6 +31,7 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "reduced problem sizes (fast)")
 	procs := flag.Int("procs", 4, "processor count for table 2")
+	fabric := flag.String("fabric", "", "interconnect backend: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
 	flag.Parse()
 
 	runT1 := *table == 1 || *all
@@ -45,7 +49,7 @@ func main() {
 		if *quick {
 			sizes = []int{64, 128, 256}
 		}
-		rows, err := bench.Table1(sizes, []int{1, 2, 4}, lmad.Fine)
+		rows, err := bench.Table1(sizes, []int{1, 2, 4}, lmad.Fine, *fabric)
 		check(err)
 		fmt.Println(bench.FormatTable1(rows))
 		fmt.Println("raw cells:")
@@ -61,7 +65,7 @@ func main() {
 		if *quick {
 			mmN, swimN, cfftM = 128, 128, 9
 		}
-		rows, err := bench.Table2(bench.Table2Benchmarks(mmN, swimN, cfftM), *procs)
+		rows, err := bench.Table2(bench.Table2Benchmarks(mmN, swimN, cfftM), *procs, *fabric)
 		check(err)
 		fmt.Println(bench.FormatTable2(rows))
 		fmt.Println("raw cells:")
@@ -90,7 +94,7 @@ func main() {
 				continue // Table 1 covers MM
 			}
 			for _, p := range []int{1, 2, 4} {
-				c, err := core.Compile(src, core.Options{NumProcs: p, Grain: lmad.Coarse})
+				c, err := core.Compile(src, core.Options{NumProcs: p, Grain: lmad.Coarse, Fabric: *fabric})
 				check(err)
 				s, err := c.Speedup()
 				check(err)
@@ -104,7 +108,7 @@ func main() {
 			mmN = 128
 		}
 		for _, p := range []int{1, 2, 4, 8, 16} {
-			c, err := core.Compile(bench.MMSource(mmN), core.Options{NumProcs: p})
+			c, err := core.Compile(bench.MMSource(mmN), core.Options{NumProcs: p, Fabric: *fabric})
 			check(err)
 			s, err := c.Speedup()
 			check(err)
@@ -118,7 +122,7 @@ func main() {
 		if *quick {
 			n = 1 << 12
 		}
-		points, err := bench.Crossover(n, []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}, *procs)
+		points, err := bench.Crossover(n, []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}, *procs, *fabric)
 		check(err)
 		fmt.Println(bench.FormatCrossover(points))
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vbcc [-procs N] [-grain fine|middle|coarse] [-explain] [-avpg] file.f
+//	vbcc [-procs N] [-grain fine|middle|coarse] [-passes] [-explain] [-avpg] file.f
 //
 // With no file, source is read from standard input.
 package main
@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"vbuscluster/internal/analysis"
 	"vbuscluster/internal/core"
 	"vbuscluster/internal/f77"
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/lmad"
+	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
 	"vbuscluster/internal/postpass"
 )
 
@@ -30,6 +33,9 @@ func main() {
 	emit := flag.Bool("emit", false, "print the transformed program (inlined, loops annotated) as Fortran source")
 	spmd := flag.Bool("spmd", false, "print the generated SPMD program (Fortran 77 with MPI-2 calls)")
 	diagram := flag.Bool("diagram", false, "print access-movement diagrams for each communicated region (the paper's Fig. 2-4 pictures)")
+	passes := flag.Bool("passes", false, "print the pass pipeline with per-pass wall time")
+	dumpAfter := flag.String("dump-after", "", "dump the IR after the named pass (a name from -passes, or 'all')")
+	fabric := flag.String("fabric", "", "interconnect backend priced by auto-grain: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
 	flag.Parse()
 
 	auto := *grainName == "auto"
@@ -50,8 +56,42 @@ func main() {
 		check(err)
 	}
 
-	c, err := core.Compile(string(src), core.Options{NumProcs: *procs, Grain: grain, AutoGrain: auto})
+	if *dumpAfter != "" && *dumpAfter != "all" {
+		known := false
+		for _, p := range core.Passes() {
+			if p.Name == *dumpAfter {
+				known = true
+				break
+			}
+		}
+		if !known {
+			var names []string
+			for _, p := range core.Passes() {
+				names = append(names, p.Name)
+			}
+			check(fmt.Errorf("unknown pass %q for -dump-after (passes: %s, or 'all')", *dumpAfter, strings.Join(names, ", ")))
+		}
+	}
+	var trace *core.PassTrace
+	if *passes || *dumpAfter != "" {
+		trace = &core.PassTrace{DumpAfter: *dumpAfter}
+	}
+	c, err := core.Compile(string(src), core.Options{
+		NumProcs:  *procs,
+		Grain:     grain,
+		AutoGrain: auto,
+		Fabric:    *fabric,
+		Trace:     trace,
+	})
 	check(err)
+	if *passes {
+		fmt.Println("pass pipeline:")
+		fmt.Print(trace.String())
+		fmt.Println()
+	}
+	for _, d := range trace.DumpsList() {
+		fmt.Printf("--- IR after %s:\n%s\n", d.Pass, d.Text)
+	}
 	if auto {
 		fmt.Fprintf(os.Stderr, "auto-grain selected: %v\n", c.Grain())
 	}

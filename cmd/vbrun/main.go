@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vbrun [-procs N] [-grain g] [-seq] [-mode full|timing] file.f
+//	vbrun [-procs N] [-grain g] [-fabric vbus|ethernet|ideal] [-seq] [-mode full|timing] file.f
 package main
 
 import (
@@ -12,10 +12,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"vbuscluster/internal/core"
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/interp"
 	"vbuscluster/internal/lmad"
+	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
 )
 
 func main() {
@@ -24,6 +27,7 @@ func main() {
 	seq := flag.Bool("seq", false, "run the sequential baseline instead of the SPMD program")
 	profile := flag.Bool("profile", false, "print the per-region virtual-time profile")
 	modeName := flag.String("mode", "full", "execution mode: full or timing")
+	fabric := flag.String("fabric", "", "interconnect backend: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
 	flag.Parse()
 
 	auto := *grainName == "auto"
@@ -53,7 +57,7 @@ func main() {
 		check(err)
 	}
 
-	c, err := core.Compile(string(src), core.Options{NumProcs: *procs, Grain: grain, AutoGrain: auto})
+	c, err := core.Compile(string(src), core.Options{NumProcs: *procs, Grain: grain, AutoGrain: auto, Fabric: *fabric})
 	check(err)
 	if auto {
 		fmt.Fprintf(os.Stderr, "auto-grain selected: %v\n", c.Grain())

@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	rows, err := bench.Table1([]int{64, 128, 256}, []int{1, 2, 4}, lmad.Fine)
+	rows, err := bench.Table1([]int{64, 128, 256}, []int{1, 2, 4}, lmad.Fine, "")
 	if err != nil {
 		log.Fatal(err)
 	}

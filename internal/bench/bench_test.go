@@ -100,7 +100,7 @@ func TestCFFTSourceCorrect(t *testing.T) {
 func TestTable1Shape(t *testing.T) {
 	// 64² is still comm-dominated (like the paper's 256² cell, where 2
 	// nodes manage only 1.086); 128² shows real scaling.
-	rows, err := Table1([]int{64, 128}, []int{1, 2, 4}, lmad.Coarse)
+	rows, err := Table1([]int{64, 128}, []int{1, 2, 4}, lmad.Coarse, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestTable1Shape(t *testing.T) {
 // ---- Table 2 shape (the §6 findings) ----
 
 func TestTable2Shape(t *testing.T) {
-	rows, err := Table2(Table2Benchmarks(64, 64, 9), 4)
+	rows, err := Table2(Table2Benchmarks(64, 64, 9), 4, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFormatting(t *testing.T) {
-	rows, err := Table1([]int{16}, []int{1, 2}, lmad.Coarse)
+	rows, err := Table1([]int{16}, []int{1, 2}, lmad.Coarse, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestFormatting(t *testing.T) {
 	if !strings.Contains(out, "16*16") || !strings.Contains(out, "# of Nodes") {
 		t.Fatalf("table 1 render:\n%s", out)
 	}
-	rows2, err := Table2(map[string]string{"CFFT2INIT(M=6)": CFFTSource(6)}, 2)
+	rows2, err := Table2(map[string]string{"CFFT2INIT(M=6)": CFFTSource(6)}, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestMicroShapes(t *testing.T) {
 // PIOPerElement / wireTimePerElement + 1 ≈ 7 under the default
 // calibration.
 func TestCrossoverShape(t *testing.T) {
-	points, err := Crossover(1<<12, []int{2, 4, 16, 32}, 4)
+	points, err := Crossover(1<<12, []int{2, 4, 16, 32}, 4, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,6 +285,67 @@ func TestCrossoverShape(t *testing.T) {
 		}
 		if got != c.want {
 			t.Fatalf("stride %d: advisor chose %v, want %v", c.stride, got, c.want)
+		}
+	}
+}
+
+// ---- Cross-backend regression ----
+
+// TestFabricOrdering pins the relative cost of the interconnect
+// backends on the paper's MM benchmark: Fast Ethernet must be strictly
+// more expensive than the V-Bus card at every granularity (the paper's
+// "four times higher bandwidth and much lower latency" claim), and the
+// ideal backend must report zero communication time (it isolates
+// compute scaling).
+func TestFabricOrdering(t *testing.T) {
+	src := MMSource(256)
+	xfer := func(fabric string, grain lmad.Grain) float64 {
+		t.Helper()
+		c, err := core.Compile(src, core.Options{NumProcs: 4, Grain: grain, Fabric: fabric})
+		if err != nil {
+			t.Fatalf("%s/%v: %v", fabric, grain, err)
+		}
+		res, err := c.RunParallel(core.Timing)
+		if err != nil {
+			t.Fatalf("%s/%v run: %v", fabric, grain, err)
+		}
+		return res.Report.TotalXferTime().Seconds()
+	}
+	for _, grain := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
+		vbus := xfer("vbus", grain)
+		eth := xfer("ethernet", grain)
+		if eth <= vbus {
+			t.Errorf("grain %v: ethernet comm %.6fs <= vbus comm %.6fs, want strictly higher", grain, eth, vbus)
+		}
+		if ideal := xfer("ideal", grain); ideal != 0 {
+			t.Errorf("grain %v: ideal backend comm %.6fs, want 0", grain, ideal)
+		}
+	}
+}
+
+// TestFabricSameNumerics checks that swapping the interconnect changes
+// only virtual time, never computed values: the full-mode MM result is
+// bit-identical across backends.
+func TestFabricSameNumerics(t *testing.T) {
+	src := MMSource(16)
+	var ref []float64
+	for _, fabric := range []string{"vbus", "ethernet", "ideal"} {
+		c, err := core.Compile(src, core.Options{NumProcs: 4, Grain: lmad.Coarse, Fabric: fabric})
+		if err != nil {
+			t.Fatalf("%s: %v", fabric, err)
+		}
+		res, err := c.RunParallel(core.Full)
+		if err != nil {
+			t.Fatalf("%s run: %v", fabric, err)
+		}
+		if ref == nil {
+			ref = res.Mem["C"]
+			continue
+		}
+		for i, v := range res.Mem["C"] {
+			if v != ref[i] {
+				t.Fatalf("%s: C[%d] = %g differs from vbus %g", fabric, i, v, ref[i])
+			}
 		}
 	}
 }

@@ -47,14 +47,16 @@ type CrossoverPoint struct {
 // large strides where dense approximations ship mostly padding; middle
 // and coarse win at small strides, where one dense DMA beats
 // per-element programmed I/O — the crossover is where
-// stride · wireTimePerElement ≈ PIOPerElement.
-func Crossover(n int, strides []int, procs int) ([]CrossoverPoint, error) {
+// stride · wireTimePerElement ≈ PIOPerElement. fabric selects the
+// interconnect backend ("" = default V-Bus; the crossover moves with
+// the card's per-element vs per-message cost ratio).
+func Crossover(n int, strides []int, procs int, fabric string) ([]CrossoverPoint, error) {
 	var out []CrossoverPoint
 	for _, s := range strides {
 		pt := CrossoverPoint{Stride: s}
 		best := sim.MaxTime
 		for _, grain := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
-			c, err := core.Compile(StrideSource(n, s), core.Options{NumProcs: procs, Grain: grain})
+			c, err := core.Compile(StrideSource(n, s), core.Options{NumProcs: procs, Grain: grain, Fabric: fabric})
 			if err != nil {
 				return nil, fmt.Errorf("bench: stride %d: %w", s, err)
 			}

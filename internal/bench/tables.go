@@ -21,14 +21,15 @@ type Table1Row struct {
 
 // Table1 reproduces "Table 1. Total execution time of the MM code":
 // speedups of MM for sizes × node counts, at the given granularity
-// (the paper's best: coarse).
-func Table1(sizes []int, procs []int, grain lmad.Grain) ([]Table1Row, error) {
+// (the paper's best: coarse). fabric selects the interconnect backend
+// ("" = the default V-Bus machine).
+func Table1(sizes []int, procs []int, grain lmad.Grain, fabric string) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, n := range sizes {
 		src := MMSource(n)
 		var seq sim.Time
 		{
-			c, err := core.Compile(src, core.Options{NumProcs: 1, Grain: grain})
+			c, err := core.Compile(src, core.Options{NumProcs: 1, Grain: grain, Fabric: fabric})
 			if err != nil {
 				return nil, fmt.Errorf("bench: MM %d: %w", n, err)
 			}
@@ -39,7 +40,7 @@ func Table1(sizes []int, procs []int, grain lmad.Grain) ([]Table1Row, error) {
 			seq = res.Elapsed
 		}
 		for _, p := range procs {
-			c, err := core.Compile(src, core.Options{NumProcs: p, Grain: grain})
+			c, err := core.Compile(src, core.Options{NumProcs: p, Grain: grain, Fabric: fabric})
 			if err != nil {
 				return nil, fmt.Errorf("bench: MM %d/%d: %w", n, p, err)
 			}
@@ -124,11 +125,12 @@ func Table2Benchmarks(mmN, swimN, cfftM int) map[string]string {
 // Table2 reproduces "Table 2. Communication time for matrix
 // multiplication, swim and CFFT2INIT of TFFT": the communication time
 // of each benchmark on procs processors at the three granularities.
-func Table2(benchmarks map[string]string, procs int) ([]Table2Row, error) {
+// fabric selects the interconnect backend ("" = default V-Bus).
+func Table2(benchmarks map[string]string, procs int, fabric string) ([]Table2Row, error) {
 	var rows []Table2Row
 	for name, src := range benchmarks {
 		for _, grain := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
-			c, err := core.Compile(src, core.Options{NumProcs: procs, Grain: grain})
+			c, err := core.Compile(src, core.Options{NumProcs: procs, Grain: grain, Fabric: fabric})
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s/%v: %w", name, grain, err)
 			}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/nic"
 	"vbuscluster/internal/sim"
 )
@@ -58,8 +59,10 @@ func DefaultCPUParams() CPUParams {
 // Params bundles everything the runtime needs to cost operations.
 type Params struct {
 	CPU CPUParams
-	// Card is the NIC cost model shared by all nodes.
-	Card nic.Card
+	// Fabric is the interconnect cost model shared by all nodes — the
+	// pluggable machine-layer seam. Any registered backend (vbus,
+	// ethernet, ideal, ...) slots in here; see ParamsForFabric.
+	Fabric interconnect.Interconnect
 	// MeshWidth/MeshHeight place the nodes. Nodes beyond the process
 	// count stay idle.
 	MeshWidth, MeshHeight int
@@ -77,10 +80,51 @@ func DefaultParams() Params {
 	}
 	return Params{
 		CPU:        DefaultCPUParams(),
-		Card:       card,
+		Fabric:     card,
 		MeshWidth:  2,
 		MeshHeight: 2,
 	}
+}
+
+// ParamsForFabric is DefaultParams with the interconnect swapped for
+// the named registered backend ("vbus", "ethernet", "ideal", ...).
+// The empty name means the default machine.
+func ParamsForFabric(name string) (Params, error) {
+	p := DefaultParams()
+	if name == "" {
+		return p, nil
+	}
+	ic, err := interconnect.New(name)
+	if err != nil {
+		return Params{}, fmt.Errorf("cluster: %w", err)
+	}
+	p.Fabric = ic
+	return p, nil
+}
+
+// Hops reports the mesh hop distance between the nodes of two ranks
+// placed row-major on the params' mesh. It is the single geometry
+// helper shared by the runtime's charging and the compiler's static
+// cost estimator, so the two cannot disagree.
+func (p Params) Hops(a, b int) int {
+	ax, ay := a%p.MeshWidth, a/p.MeshWidth
+	bx, by := b%p.MeshWidth, b/p.MeshWidth
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	if p.Torus {
+		if w := p.MeshWidth - dx; w < dx {
+			dx = w
+		}
+		if h := p.MeshHeight - dy; h < dy {
+			dy = h
+		}
+	}
+	return dx + dy
 }
 
 // Cluster is a set of processes with virtual clocks placed on a mesh.
@@ -110,8 +154,8 @@ func New(n int, params Params) (*Cluster, error) {
 	if cap := params.MeshWidth * params.MeshHeight; n > cap {
 		return nil, fmt.Errorf("cluster: %d processes exceed %d mesh nodes", n, cap)
 	}
-	if params.Card == nil {
-		return nil, fmt.Errorf("cluster: nil NIC card")
+	if params.Fabric == nil {
+		return nil, fmt.Errorf("cluster: nil interconnect backend")
 	}
 	return &Cluster{
 		params:    params,
@@ -131,30 +175,11 @@ func (c *Cluster) N() int { return c.n }
 // Params returns the cost parameters.
 func (c *Cluster) Params() Params { return c.params }
 
-// Card returns the NIC cost model.
-func (c *Cluster) Card() nic.Card { return c.params.Card }
+// Fabric returns the interconnect cost model.
+func (c *Cluster) Fabric() interconnect.Interconnect { return c.params.Fabric }
 
 // Hops reports the mesh hop distance between two ranks' nodes.
-func (c *Cluster) Hops(a, b int) int {
-	ax, ay := a%c.params.MeshWidth, a/c.params.MeshWidth
-	bx, by := b%c.params.MeshWidth, b/c.params.MeshWidth
-	dx, dy := ax-bx, ay-by
-	if dx < 0 {
-		dx = -dx
-	}
-	if dy < 0 {
-		dy = -dy
-	}
-	if c.params.Torus {
-		if w := c.params.MeshWidth - dx; w < dx {
-			dx = w
-		}
-		if h := c.params.MeshHeight - dy; h < dy {
-			dy = h
-		}
-	}
-	return dx + dy
-}
+func (c *Cluster) Hops(a, b int) int { return c.params.Hops(a, b) }
 
 func (c *Cluster) check(rank int) {
 	if rank < 0 || rank >= c.n {

@@ -24,7 +24,7 @@ func TestValidation(t *testing.T) {
 		t.Fatal("5 processes on a 2x2 mesh accepted")
 	}
 	p := DefaultParams()
-	p.Card = nil
+	p.Fabric = nil
 	if _, err := New(2, p); err == nil {
 		t.Fatal("nil card accepted")
 	}

@@ -13,6 +13,8 @@ package core
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"vbuscluster/internal/analysis"
 	"vbuscluster/internal/cluster"
@@ -67,6 +69,13 @@ type Options struct {
 	// Params overrides the machine model (default cluster.DefaultParams
 	// widened to fit NumProcs).
 	Params *cluster.Params
+	// Fabric selects a registered interconnect backend by name ("vbus",
+	// "ethernet", "ideal", ...) when Params is nil. Empty means the
+	// default V-Bus machine. See internal/interconnect.
+	Fabric string
+	// Trace, when non-nil, collects per-pass timing and optional IR
+	// dumps as the pipeline runs (vbcc -passes).
+	Trace *PassTrace
 }
 
 func (o Options) withDefaults() Options {
@@ -85,50 +94,115 @@ type Compiled struct {
 	opts Options
 }
 
-// Compile runs the whole pipeline on Fortran 77 source.
+// Compile runs the whole pipeline on Fortran 77 source, as the
+// ordered, named pass sequence reported by Passes(): the front-end
+// analysis passes, then the postpass stages (repeated per candidate
+// grain under AutoGrain, then grain-select prices them).
 func Compile(src string, opts Options) (*Compiled, error) {
 	opts = opts.withDefaults()
-	prog, err := f77.Parse(src)
-	if err != nil {
+	if opts.Params == nil && opts.Fabric != "" {
+		params, err := cluster.ParamsForFabric(opts.Fabric)
+		if err != nil {
+			return nil, err
+		}
+		opts.Params = &params
+	}
+	tr := opts.Trace
+
+	// ---- Front end (Figure 1 FE box), one pass at a time.
+	var prog *f77.Program
+	if err := tr.run("parse", func() (string, error) {
+		var err error
+		prog, err = f77.Parse(src)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d units", len(prog.Units)), nil
+	}, func() string { return f77.Format(prog) }); err != nil {
 		return nil, err
 	}
-	if err := analysis.FrontEnd(prog); err != nil {
+	if err := tr.run("inline", func() (string, error) {
+		if err := analysis.InlineCalls(prog); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d units after inlining", len(prog.Units)), nil
+	}, func() string { return f77.Format(prog) }); err != nil {
 		return nil, err
 	}
-	translate := func(g lmad.Grain) (*postpass.Program, error) {
-		return postpass.Translate(prog, postpass.Options{
+	main := prog.Main()
+	tr.run("const-prop", func() (string, error) {
+		analysis.PropagateConstants(main)
+		return "", nil
+	}, func() string { return f77.Format(prog) })
+	tr.run("induction", func() (string, error) {
+		analysis.SubstituteInductions(main)
+		analysis.PropagateConstants(main) // fold the induction temporaries' initial values
+		return "", nil
+	}, func() string { return f77.Format(prog) })
+	tr.run("parallel-detect", func() (string, error) {
+		analysis.DetectParallel(main)
+		n := 0
+		if main != nil {
+			f77.WalkStmts(main.Body, func(s f77.Stmt) bool {
+				if l, ok := s.(*f77.DoLoop); ok && l.Parallel {
+					n++
+				}
+				return true
+			})
+		}
+		return fmt.Sprintf("%d parallel loops", n), nil
+	}, func() string { return f77.Format(prog) })
+
+	// ---- MPI-2 postpass, staged (internal/postpass).
+	translate := func(g lmad.Grain, annotate string) (*postpass.Program, error) {
+		var hook postpass.StageHook
+		if tr != nil {
+			hook = func(stage string, wall time.Duration, note string, p *postpass.Program) {
+				if annotate != "" {
+					if note != "" {
+						note += ", "
+					}
+					note += annotate
+				}
+				tr.record(stage, wall, note, func() string { return p.String() })
+			}
+		}
+		return postpass.TranslateStaged(prog, postpass.Options{
 			NumProcs:       opts.NumProcs,
 			Grain:          g,
 			LiveOutAll:     !opts.NoLiveOut,
 			LockReductions: opts.LockReductions,
 			PullScatter:    opts.PullScatter,
 			TwoSided:       opts.TwoSided,
-		})
+		}, hook)
 	}
 	if opts.AutoGrain {
-		params := cluster.DefaultParams()
-		if opts.Params != nil {
-			params = *opts.Params
-		}
-		if params.MeshWidth*params.MeshHeight < opts.NumProcs {
-			params.MeshWidth, params.MeshHeight = MeshFor(opts.NumProcs)
-		}
-		var best *postpass.Program
-		var bestCost sim.Time
+		params := machineParams(opts.Params, opts.NumProcs)
+		var cands []*postpass.Program
 		for _, g := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
-			pp, err := translate(g)
+			pp, err := translate(g, "grain="+g.String())
 			if err != nil {
 				return nil, err
 			}
-			cost := postpass.EstimateCommCost(pp, params)
-			if best == nil || cost < bestCost {
-				best, bestCost = pp, cost
-			}
+			cands = append(cands, pp)
 		}
+		var best *postpass.Program
+		var bestCost sim.Time
+		tr.run("grain-select", func() (string, error) {
+			var parts []string
+			for _, pp := range cands {
+				cost := postpass.EstimateCommCost(pp, params)
+				parts = append(parts, fmt.Sprintf("%s=%v", pp.Opts.Grain, cost))
+				if best == nil || cost < bestCost {
+					best, bestCost = pp, cost
+				}
+			}
+			return fmt.Sprintf("%s -> picked %s", strings.Join(parts, ", "), best.Opts.Grain), nil
+		}, nil)
 		opts.Grain = best.Opts.Grain
 		return &Compiled{Prog: prog, SPMD: best, opts: opts}, nil
 	}
-	pp, err := translate(opts.Grain)
+	pp, err := translate(opts.Grain, "")
 	if err != nil {
 		return nil, err
 	}
@@ -150,18 +224,25 @@ func MeshFor(n int) (w, h int) {
 	return w, h
 }
 
-// clusterFor builds the machine for n processes.
-func (c *Compiled) clusterFor(n int) (*cluster.Cluster, error) {
-	var params cluster.Params
-	if c.opts.Params != nil {
-		params = *c.opts.Params
-	} else {
-		params = cluster.DefaultParams()
+// machineParams resolves the machine model for n processes: the
+// override (or the default parameters) with the mesh widened to the
+// smallest near-square geometry that fits n. Both the AutoGrain
+// pricing and cluster construction go through here so the compiler
+// prices exactly the machine the program will run on.
+func machineParams(override *cluster.Params, n int) cluster.Params {
+	params := cluster.DefaultParams()
+	if override != nil {
+		params = *override
 	}
 	if params.MeshWidth*params.MeshHeight < n {
 		params.MeshWidth, params.MeshHeight = MeshFor(n)
 	}
-	return cluster.New(n, params)
+	return params
+}
+
+// clusterFor builds the machine for n processes.
+func (c *Compiled) clusterFor(n int) (*cluster.Cluster, error) {
+	return cluster.New(n, machineParams(c.opts.Params, n))
 }
 
 // RunSequential executes the baseline on one processor.

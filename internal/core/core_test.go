@@ -86,7 +86,8 @@ func TestFullModeResultsAgree(t *testing.T) {
 
 func TestMeshFor(t *testing.T) {
 	cases := []struct{ n, w, h int }{
-		{1, 1, 1}, {2, 2, 1}, {3, 2, 2}, {4, 2, 2}, {5, 3, 2}, {9, 3, 3}, {16, 4, 4},
+		{1, 1, 1}, {2, 2, 1}, {3, 2, 2}, {4, 2, 2}, {5, 3, 2}, {7, 3, 3},
+		{9, 3, 3}, {16, 4, 4}, {17, 5, 4},
 	}
 	for _, c := range cases {
 		w, h := MeshFor(c.n)
@@ -95,6 +96,13 @@ func TestMeshFor(t *testing.T) {
 		}
 		if w != c.w || h != c.h {
 			t.Fatalf("MeshFor(%d) = %dx%d, want %dx%d", c.n, w, h, c.w, c.h)
+		}
+		// Near-square: sides differ by at most one, and no row is wasted.
+		if w-h < 0 || w-h > 1 {
+			t.Fatalf("MeshFor(%d) = %dx%d not near-square", c.n, w, h)
+		}
+		if w*(h-1) >= c.n {
+			t.Fatalf("MeshFor(%d) = %dx%d has an empty row", c.n, w, h)
 		}
 	}
 }
@@ -105,7 +113,7 @@ func TestCustomParams(t *testing.T) {
 		t.Fatal(err)
 	}
 	params := cluster.DefaultParams()
-	params.Card = card
+	params.Fabric = card
 	cEth, err := Compile(testSrc, Options{NumProcs: 4, Grain: lmad.Fine, Params: &params})
 	if err != nil {
 		t.Fatal(err)

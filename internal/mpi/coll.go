@@ -101,7 +101,7 @@ func (p *Proc) Bcast(root int, data []float64) []float64 {
 	if root < 0 || root >= w.n {
 		panic(fmt.Sprintf("mpi: Bcast root %d out of range", root))
 	}
-	card := w.cl.Card()
+	card := w.cl.Fabric()
 	var contrib []float64
 	if p.rank == root {
 		contrib = data
@@ -116,7 +116,7 @@ func (p *Proc) Bcast(root int, data []float64) []float64 {
 
 // reduceCost models a binomial gather tree of vector messages.
 func (w *World) reduceCost(elems int) sim.Time {
-	card := w.cl.Card()
+	card := w.cl.Fabric()
 	stages := 0
 	for p := 1; p < w.n; p *= 2 {
 		stages++
@@ -155,7 +155,7 @@ func (p *Proc) Reduce(op Op, root int, data []float64) []float64 {
 // every rank receives the combined vector (MPI_ALLREDUCE).
 func (p *Proc) Allreduce(op Op, data []float64) []float64 {
 	w := p.w
-	card := w.cl.Card()
+	card := w.cl.Fabric()
 	res := w.collective(p.rank, data, func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time) {
 		out := append([]float64(nil), vals[0]...)
 		for r := 1; r < w.n; r++ {

@@ -41,7 +41,7 @@ func (p *Proc) Send(dst, tag int, data []float64) {
 	if dst == p.rank {
 		w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
 	} else {
-		card := w.cl.Card()
+		card := w.cl.Fabric()
 		w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
 	}
 	item := &pendingSend{
@@ -151,7 +151,7 @@ func (p *Proc) SendRegion(dst, tag, elems int, data []float64) {
 	if dst == p.rank {
 		w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
 	} else {
-		card := w.cl.Card()
+		card := w.cl.Fabric()
 		w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
 	}
 	item := &pendingSend{readyAt: w.cl.Clock(p.rank)}

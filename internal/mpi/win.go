@@ -84,7 +84,7 @@ func (p *Proc) chargeTransfer(target, elems int, strided bool) {
 		p.w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
 		return
 	}
-	card := p.w.cl.Card()
+	card := p.w.cl.Fabric()
 	var cost = card.SendSetup()
 	if strided {
 		cost += card.StridedTime(elems, WordBytes, p.hops(target))
@@ -206,13 +206,13 @@ func (p *Proc) Fence(win *Win) {
 // reductions into shared variables.
 func (p *Proc) Lock(win *Win, target int) {
 	win.lockMu[target].Lock()
-	card := p.w.cl.Card()
+	card := p.w.cl.Fabric()
 	p.w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
 }
 
 // Unlock releases the exclusive lock (MPI_WIN_UNLOCK).
 func (p *Proc) Unlock(win *Win, target int) {
-	card := p.w.cl.Card()
+	card := p.w.cl.Fabric()
 	p.w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
 	win.lockMu[target].Unlock()
 }

@@ -7,8 +7,11 @@
 //
 // Each MPI process is a goroutine holding a *Proc handle. Data really
 // moves between Go buffers; time is virtual: every operation charges
-// the calling rank's clock in the underlying cluster.Cluster with the
-// NIC cost model, and synchronizing operations (barrier, fence,
+// the calling rank's clock in the underlying cluster.Cluster with its
+// pluggable interconnect cost model (internal/interconnect) — the same
+// interface the compiler's static estimator prices against, so runtime
+// and compile-time comm costs agree backend by backend — and
+// synchronizing operations (barrier, fence,
 // collectives) reconcile the clocks. Charging the full transfer time to
 // the origin rank makes the fence-time reconciliation sound: data
 // always lands at or before the origin's post-call clock.
@@ -66,7 +69,7 @@ func NewWorld(c *cluster.Cluster) *World {
 	w.cond = sync.NewCond(&w.mu)
 	// Barrier = gather over log2(n) p2p stages + V-Bus release
 	// broadcast. Precomputed once; charged at every barrier/fence.
-	card := c.Card()
+	card := c.Fabric()
 	stages := 0
 	for p := 1; p < w.n; p *= 2 {
 		stages++

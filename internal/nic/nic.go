@@ -26,34 +26,24 @@ import (
 	"math/bits"
 
 	"vbuscluster/internal/fabric"
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/mesh"
 	"vbuscluster/internal/sim"
 )
 
-// Card is the cost model of one NIC type.
-type Card interface {
-	// Name identifies the card model.
-	Name() string
-	// SendSetup is the per-message software overhead on the sender
-	// (driver + message-queue handling), charged before any data moves.
-	SendSetup() sim.Time
-	// ContigTime is the time for a contiguous payload of the given size
-	// to move from the sender's user buffer into the receiver's memory
-	// over the given hop distance, excluding SendSetup.
-	ContigTime(bytes, hops int) sim.Time
-	// StridedTime is like ContigTime for a strided region of elems
-	// elements of elemSize bytes, using the element-by-element path.
-	StridedTime(elems, elemSize, hops int) sim.Time
-	// PerElementOverhead is the extra sender-side cost per element of
-	// the strided (PIO) path. Exposed for the compiler's cost model.
-	PerElementOverhead() sim.Time
-	// BroadcastTime is the time for a payload to reach every one of
-	// nodes nodes, excluding SendSetup.
-	BroadcastTime(bytes, nodes int) sim.Time
-	// SmallMessageLatency is the one-way latency of a minimal message
-	// across one hop, including setup: the paper's headline latency
-	// comparison number.
-	SmallMessageLatency() sim.Time
+// Card is the cost model of one NIC type. It is an alias of the
+// machine-layer Interconnect seam (internal/interconnect), kept so the
+// card models read naturally as NICs; both cards here register as
+// interconnect backends ("vbus", "ethernet") in init.
+type Card = interconnect.Interconnect
+
+func init() {
+	interconnect.Register("vbus", func() (interconnect.Interconnect, error) {
+		return NewVBus(DefaultVBusConfig())
+	})
+	interconnect.Register("ethernet", func() (interconnect.Interconnect, error) {
+		return NewEthernet(DefaultEthernetConfig())
+	})
 }
 
 // VBusConfig parameterizes the V-Bus card model.
@@ -187,6 +177,14 @@ func (v *VBus) SmallMessageLatency() sim.Time {
 	return v.SendSetup() + v.wireTime(8, 1)
 }
 
+// Caps implements Card: the §2.2 V-Bus data paths — DMA for
+// contiguous transfers, programmed I/O per element for strided ones,
+// the hardware virtual-bus broadcast, and wormhole routing whose cost
+// grows with mesh distance.
+func (v *VBus) Caps() interconnect.Caps {
+	return interconnect.Caps{DMAContig: true, PIOStrided: true, HardwareBroadcast: true, HopSensitive: true}
+}
+
 // MeshConfig adapts the card's physics into a mesh.Config for the
 // flit-level simulator, so microbenchmarks and the cost model share one
 // parameterization.
@@ -281,6 +279,13 @@ func (e *Ethernet) BroadcastTime(bytes, nodes int) sim.Time {
 // SmallMessageLatency implements Card.
 func (e *Ethernet) SmallMessageLatency() sim.Time {
 	return e.SendSetup() + e.wireTime(8)
+}
+
+// Caps implements Card: a kernel-mediated shared medium — no DMA
+// fast path, per-element packing on strided sends, software-tree
+// broadcasts, and no sensitivity to mesh placement.
+func (e *Ethernet) Caps() interconnect.Caps {
+	return interconnect.Caps{DMAContig: false, PIOStrided: true, HardwareBroadcast: false, HopSensitive: false}
 }
 
 // Compile-time interface checks.

@@ -8,35 +8,24 @@ import (
 
 // EstimateCommCost predicts the total data scattering/collecting time
 // of the SPMD program on the given machine without executing it, by
-// pricing every rank's transfer plan with the NIC cost model — the
+// pricing every rank's transfer plan with the machine's interconnect
+// cost model (any registered backend, not just the V-Bus card) — the
 // §5.6 "precise analysis of data access pattern" turned into a static
 // cost estimate. It mirrors the interpreter's charging exactly (master
 // performs all scatters, each slave its own collects, rank-local moves
 // are skipped), so the estimate equals the measured TotalXferTime for
 // any program whose region structure is execution-independent.
 func EstimateCommCost(p *Program, params cluster.Params) sim.Time {
-	card := params.Card
+	card := params.Fabric
 	procs := p.Opts.NumProcs
-	hops := func(a, b int) int {
-		ax, ay := a%params.MeshWidth, a/params.MeshWidth
-		bx, by := b%params.MeshWidth, b/params.MeshWidth
-		dx, dy := ax-bx, ay-by
-		if dx < 0 {
-			dx = -dx
-		}
-		if dy < 0 {
-			dy = -dy
-		}
-		return dx + dy
-	}
 	pricePlan := func(plan []lmad.Transfer, target int) sim.Time {
 		var t sim.Time
 		for _, tr := range plan {
 			t += card.SendSetup()
 			if tr.Stride > 1 {
-				t += card.StridedTime(int(tr.Elems), 8, hops(0, target))
+				t += card.StridedTime(int(tr.Elems), 8, params.Hops(0, target))
 			} else {
-				t += card.ContigTime(int(tr.Elems)*8, hops(0, target))
+				t += card.ContigTime(int(tr.Elems)*8, params.Hops(0, target))
 			}
 		}
 		return t

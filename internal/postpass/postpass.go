@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"vbuscluster/internal/analysis"
 	"vbuscluster/internal/avpg"
@@ -127,9 +128,36 @@ type Program struct {
 	EliminatedCollects int
 }
 
+// Stage names of the postpass interior, in execution order. The core
+// compiler pipeline surfaces them (with the front-end passes) through
+// vbcc -passes.
+const (
+	StagePartition      = "partition"
+	StageSPMDize        = "spmdize"
+	StageScatterCollect = "scatter-collect"
+	StageGrainOpt       = "grain-opt"
+	StageAVPG           = "avpg"
+	StageEnvGen         = "env-gen"
+)
+
+// StageHook observes one completed stage of the postpass: the stage
+// name, its wall-clock duration, a short human note, and the program
+// under construction (for IR/LMAD dumps). Hooks are observational; they
+// must not mutate p.
+type StageHook func(stage string, wall time.Duration, note string, p *Program)
+
 // Translate runs the postpass over an analyzed program (the front end
 // must have run: see analysis.FrontEnd).
 func Translate(prog *f77.Program, opts Options) (*Program, error) {
+	return TranslateStaged(prog, opts, nil)
+}
+
+// TranslateStaged is Translate with a per-stage hook: the interior of
+// the postpass runs as a named, ordered stage pipeline (partition →
+// spmdize → scatter-collect → grain-opt → avpg → env-gen), and hook —
+// when non-nil — is invoked after each stage with its timing. This is
+// the seam instrumentation and future pass-reordering PRs plug into.
+func TranslateStaged(prog *f77.Program, opts Options, hook StageHook) (*Program, error) {
 	if opts.NumProcs < 1 {
 		return nil, fmt.Errorf("postpass: need at least one process")
 	}
@@ -137,89 +165,88 @@ func Translate(prog *f77.Program, opts Options) (*Program, error) {
 	if main == nil {
 		return nil, fmt.Errorf("postpass: no main program unit")
 	}
-	p := &Program{Source: prog, Main: main, Opts: opts}
+	t := &translator{p: &Program{Source: prog, Main: main, Opts: opts}}
+	for _, st := range []struct {
+		name string
+		run  func() string
+	}{
+		{StagePartition, t.partition},
+		{StageSPMDize, t.spmdize},
+		{StageScatterCollect, t.scatterCollect},
+		{StageGrainOpt, t.grainOpt},
+		{StageAVPG, t.avpg},
+		{StageEnvGen, t.envGen},
+	} {
+		start := time.Now()
+		note := st.run()
+		if hook != nil {
+			hook(st.name, time.Since(start), note, t.p)
+		}
+	}
+	return t.p, nil
+}
 
-	// Control flow that could jump across region boundaries defeats the
-	// barrier-per-region SPMD structure (§5.5 inserts synchronization at
-	// exactly these control-flow points). If any GOTO targets a label
-	// carried by a top-level statement, keep the whole program as one
-	// sequential region rather than risk a jump out of a region.
+// translator carries the intermediate state threaded between stages.
+type translator struct {
+	p *Program
+	// crossJump notes a GOTO targeting a top-level label, which forces
+	// the whole program into one sequential region.
+	crossJump bool
+	// cands holds the partition analysis of each viable parallel loop.
+	cands map[*f77.DoLoop]*parCandidate
+}
+
+// parCandidate is the partition stage's result for one parallel loop.
+type parCandidate struct {
+	ctx analysis.LoopCtx
+	ri  analysis.RegionInfo
+}
+
+// partition (§5.3) resolves every top-level parallel loop's bounds and
+// builds its region summary — the analysis that decides whether the
+// loop's iteration space can be split across ranks at all. Loops that
+// fail stay sequential. It also detects control flow that could jump
+// across region boundaries, which defeats the barrier-per-region SPMD
+// structure (§5.5 inserts synchronization at exactly these
+// control-flow points): if any GOTO targets a label carried by a
+// top-level statement, the whole program is kept as one sequential
+// region rather than risk a jump out of a region.
+func (t *translator) partition() string {
+	main := t.p.Main
 	topLabels := map[int]bool{}
 	for _, s := range main.Body {
 		if s.Label() != 0 {
 			topLabels[s.Label()] = true
 		}
 	}
-	crossJump := false
 	f77.WalkStmts(main.Body, func(s f77.Stmt) bool {
 		if g, ok := s.(*f77.Goto); ok && topLabels[g.Target] {
-			crossJump = true
+			t.crossJump = true
 		}
 		return true
 	})
-	if crossJump {
-		p.Regions = append(p.Regions, &Region{Stmts: main.Body})
-		p.buildGraph()
-		return p, nil
+	if t.crossJump {
+		return "cross-region GOTO: whole program stays sequential"
 	}
-
-	// ---- Region segmentation (§5.5): top-level parallel loops become
-	// parallel regions; everything else is sequential master code.
-	var seq []f77.Stmt
-	flush := func() {
-		if len(seq) > 0 {
-			p.Regions = append(p.Regions, &Region{Stmts: seq})
-			seq = nil
-		}
-	}
+	t.cands = map[*f77.DoLoop]*parCandidate{}
+	total := 0
 	for _, s := range main.Body {
 		loop, ok := s.(*f77.DoLoop)
 		if !ok || !loop.Parallel {
-			seq = append(seq, s)
 			continue
 		}
-		info, err := buildParInfo(loop, opts)
-		if err != nil {
-			// Unanalyzable for communication generation: run serially.
-			seq = append(seq, s)
-			continue
-		}
-		flush()
-		p.Regions = append(p.Regions, &Region{Par: info})
-	}
-	flush()
-
-	// ---- AVPG (§5.2) + elimination.
-	p.buildGraph()
-	p.eliminate()
-
-	// ---- MPI environment generation (§5.1): windows for every symbol
-	// that appears in any remaining comm op.
-	winSet := map[*f77.Symbol]bool{}
-	for _, r := range p.Regions {
-		if r.Par == nil {
-			continue
-		}
-		for _, op := range append(append([]*CommOp{}, r.Par.Scatters...), r.Par.Collects...) {
-			winSet[op.Sym] = true
-		}
-		if opts.LockReductions {
-			// The reduction scalars need windows for the lock-based
-			// critical sections.
-			for _, red := range r.Par.Reductions {
-				winSet[red.Sym] = true
-			}
+		total++
+		if cand, err := partitionLoop(loop); err == nil {
+			t.cands[loop] = cand
 		}
 	}
-	for sym := range winSet {
-		p.Windows = append(p.Windows, sym)
-	}
-	sort.Slice(p.Windows, func(i, j int) bool { return p.Windows[i].Name < p.Windows[j].Name })
-	return p, nil
+	return fmt.Sprintf("%d/%d parallel loops partitionable", len(t.cands), total)
 }
 
-// buildParInfo analyzes one parallel loop for communication generation.
-func buildParInfo(loop *f77.DoLoop, opts Options) (*ParInfo, error) {
+// partitionLoop analyzes one parallel loop for communication
+// generation: exact compile-time bounds plus an analyzable region
+// summary over the full nest.
+func partitionLoop(loop *f77.DoLoop) (*parCandidate, error) {
 	ctx, err := analysis.ResolveLoop(loop, nil)
 	if err != nil {
 		return nil, err
@@ -238,50 +265,165 @@ func buildParInfo(loop *f77.DoLoop, opts Options) (*ParInfo, error) {
 	if !ri.OK {
 		return nil, fmt.Errorf("postpass: %s", ri.WhyNot)
 	}
-	info := &ParInfo{Loop: loop, Ctx: ctx, Reductions: loop.Reductions, Schedule: loop.Schedule}
+	return &parCandidate{ctx: ctx, ri: ri}, nil
+}
 
-	mk := func(acc analysis.Access, typ lmad.AccType) *CommOp {
-		op := &CommOp{Sym: acc.Sym, Acc: acc, Type: typ, Grain: opts.Grain}
-		op.ParallelDim = acc.DimOf(loop.Var)
-		if op.ParallelDim >= 0 {
-			// Negative coefficient: WithDim flipped the offset; the
-			// loop's trip order runs backwards along the lattice.
-			if c := acc.Coeffs[loop.Var]; c*ctx.Step < 0 {
-				op.Reversed = true
-			}
-		}
-		return op
+// spmdize (§5.5) segments the main body into schedulable regions:
+// partitionable top-level parallel loops become parallel regions with
+// barrier/fence points at their boundaries; everything else is
+// sequential master code.
+func (t *translator) spmdize() string {
+	p := t.p
+	if t.crossJump {
+		p.Regions = append(p.Regions, &Region{Stmts: p.Main.Body})
+		return "1 region (sequential)"
 	}
-
-	// §5.4: ReadOnly → scatter; WriteFirst → collect; ReadWrite → both.
-	seen := map[string]bool{}
-	for _, typ := range []lmad.AccType{lmad.ReadOnly, lmad.WriteFirst, lmad.ReadWrite} {
-		for _, acc := range ri.AccessesOf(typ) {
-			key := fmt.Sprintf("%v|%s", typ, acc.L.String())
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			op := mk(acc, typ)
-			switch typ {
-			case lmad.ReadOnly:
-				info.Scatters = append(info.Scatters, op)
-			case lmad.WriteFirst:
-				info.Collects = append(info.Collects, op)
-			case lmad.ReadWrite:
-				info.Scatters = append(info.Scatters, op)
-				col := mk(acc, typ)
-				info.Collects = append(info.Collects, col)
-			}
+	var seq []f77.Stmt
+	flush := func() {
+		if len(seq) > 0 {
+			p.Regions = append(p.Regions, &Region{Stmts: seq})
+			seq = nil
 		}
 	}
+	par := 0
+	for _, s := range p.Main.Body {
+		loop, ok := s.(*f77.DoLoop)
+		if !ok || !loop.Parallel {
+			seq = append(seq, s)
+			continue
+		}
+		cand, ok := t.cands[loop]
+		if !ok {
+			// Unanalyzable for communication generation: run serially.
+			seq = append(seq, s)
+			continue
+		}
+		flush()
+		par++
+		p.Regions = append(p.Regions, &Region{Par: &ParInfo{
+			Loop:       loop,
+			Ctx:        cand.ctx,
+			Reductions: loop.Reductions,
+			Schedule:   loop.Schedule,
+		}})
+	}
+	flush()
+	return fmt.Sprintf("%d regions (%d parallel)", len(p.Regions), par)
+}
 
-	// §5.6 race check ("we implemented a routine to check the upper and
-	// lower bound of approximate regions"): approximate-grain collects
-	// must not let a slave's transfer overwrite master data it does not
-	// own. Checked per array across every collect op.
-	demoteUnsafeCollects(info, opts.NumProcs)
-	return info, nil
+// scatterCollect (§5.4) generates the communication obligations of
+// each parallel region from its split LMADs: ReadOnly → scatter;
+// WriteFirst → collect; ReadWrite → both.
+func (t *translator) scatterCollect() string {
+	scatters, collects := 0, 0
+	for _, r := range t.p.Regions {
+		if r.Par == nil {
+			continue
+		}
+		info := r.Par
+		cand := t.cands[info.Loop]
+		mk := func(acc analysis.Access, typ lmad.AccType) *CommOp {
+			op := &CommOp{Sym: acc.Sym, Acc: acc, Type: typ, Grain: t.p.Opts.Grain}
+			op.ParallelDim = acc.DimOf(info.Loop.Var)
+			if op.ParallelDim >= 0 {
+				// Negative coefficient: WithDim flipped the offset; the
+				// loop's trip order runs backwards along the lattice.
+				if c := acc.Coeffs[info.Loop.Var]; c*cand.ctx.Step < 0 {
+					op.Reversed = true
+				}
+			}
+			return op
+		}
+		seen := map[string]bool{}
+		for _, typ := range []lmad.AccType{lmad.ReadOnly, lmad.WriteFirst, lmad.ReadWrite} {
+			for _, acc := range cand.ri.AccessesOf(typ) {
+				key := fmt.Sprintf("%v|%s", typ, acc.L.String())
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				op := mk(acc, typ)
+				switch typ {
+				case lmad.ReadOnly:
+					info.Scatters = append(info.Scatters, op)
+				case lmad.WriteFirst:
+					info.Collects = append(info.Collects, op)
+				case lmad.ReadWrite:
+					info.Scatters = append(info.Scatters, op)
+					col := mk(acc, typ)
+					info.Collects = append(info.Collects, col)
+				}
+			}
+		}
+		scatters += len(info.Scatters)
+		collects += len(info.Collects)
+	}
+	return fmt.Sprintf("%d scatters, %d collects", scatters, collects)
+}
+
+// grainOpt runs the §5.6 race check ("we implemented a routine to
+// check the upper and lower bound of approximate regions"):
+// approximate-grain collects must not let a slave's transfer overwrite
+// master data it does not own. Checked per array across every collect
+// op of every parallel region; violations demote to fine grain.
+func (t *translator) grainOpt() string {
+	for _, r := range t.p.Regions {
+		if r.Par != nil {
+			demoteUnsafeCollects(r.Par, t.p.Opts.NumProcs)
+		}
+	}
+	demoted := 0
+	for _, r := range t.p.Regions {
+		if r.Par == nil {
+			continue
+		}
+		for _, op := range r.Par.Collects {
+			if op.RaceFallback {
+				demoted++
+			}
+		}
+	}
+	if demoted > 0 {
+		return fmt.Sprintf("race check demoted %d collects to fine", demoted)
+	}
+	return "no demotions"
+}
+
+// avpg builds the array-value-propagation graph (§5.2) and eliminates
+// the region-boundary communication it proves redundant.
+func (t *translator) avpg() string {
+	t.p.buildGraph()
+	t.p.eliminate()
+	return fmt.Sprintf("eliminated %d scatters, %d collects",
+		t.p.EliminatedScatters, t.p.EliminatedCollects)
+}
+
+// envGen is the MPI environment generation (§5.1): one memory window
+// for every symbol that appears in any remaining comm op (plus the
+// reduction scalars under lock-based combining).
+func (t *translator) envGen() string {
+	p := t.p
+	winSet := map[*f77.Symbol]bool{}
+	for _, r := range p.Regions {
+		if r.Par == nil {
+			continue
+		}
+		for _, op := range append(append([]*CommOp{}, r.Par.Scatters...), r.Par.Collects...) {
+			winSet[op.Sym] = true
+		}
+		if p.Opts.LockReductions {
+			// The reduction scalars need windows for the lock-based
+			// critical sections.
+			for _, red := range r.Par.Reductions {
+				winSet[red.Sym] = true
+			}
+		}
+	}
+	for sym := range winSet {
+		p.Windows = append(p.Windows, sym)
+	}
+	sort.Slice(p.Windows, func(i, j int) bool { return p.Windows[i].Name < p.Windows[j].Name })
+	return fmt.Sprintf("%d windows", len(p.Windows))
 }
 
 // demoteUnsafeCollects applies the §5.6 safety rule per array:
