@@ -1,11 +1,12 @@
 # Repository CI entry points. `make ci` is the gate: formatting, vet,
-# build, tests, and a quick end-to-end benchmark smoke run.
+# build, tests (including the race detector), and end-to-end smoke runs
+# of the benchmark tables and the tracing pipeline.
 
 GO ?= go
 
-.PHONY: ci fmt vet build test smoke bench
+.PHONY: ci fmt vet build test race smoke trace-smoke bench
 
-ci: fmt vet build test smoke
+ci: fmt vet build test race smoke trace-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -22,10 +23,20 @@ build:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
 smoke:
 	$(GO) run ./cmd/vbbench -table 1 -quick
 	$(GO) run ./cmd/vbbench -table 1 -quick -fabric ideal > /dev/null
 	$(GO) run ./cmd/vbcc -passes testdata/jacobi.f > /dev/null
+
+# Run a traced program end to end and validate that the exported
+# Chrome trace-event JSON parses (vbtrace exits non-zero otherwise).
+trace-smoke:
+	$(GO) run ./cmd/vbrun -trace /tmp/vbus-trace-smoke.json -profile -mode timing testdata/jacobi.f > /dev/null
+	$(GO) run ./cmd/vbtrace /tmp/vbus-trace-smoke.json
+	@rm -f /tmp/vbus-trace-smoke.json
 
 bench:
 	$(GO) test -bench=. -benchmem .

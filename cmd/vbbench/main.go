@@ -7,6 +7,7 @@
 //	vbbench -table 1            # MM speedups, paper sizes (256..1024)
 //	vbbench -table 2            # comm time by granularity, paper sizes
 //	vbbench -micro              # §2 SKWP / latency / broadcast claims
+//	vbbench -profile            # comm matrices of the Table 2 programs
 //	vbbench -all -quick         # everything at reduced sizes
 package main
 
@@ -32,15 +33,18 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced problem sizes (fast)")
 	procs := flag.Int("procs", 4, "processor count for table 2")
 	fabric := flag.String("fabric", "", "interconnect backend: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
+	profile := flag.Bool("profile", false, "print the traced communication matrix of each Table 2 program")
 	flag.Parse()
 
+	check(validateFabric(*fabric))
 	runT1 := *table == 1 || *all
 	runT2 := *table == 2 || *all
 	runMicro := *micro || *all
 	runCross := *crossover || *all
 	runExtra := *extra || *all
-	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra or -all")
+	runProfile := *profile || *all
+	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile or -all")
 		os.Exit(2)
 	}
 
@@ -80,6 +84,17 @@ func main() {
 		res, err := bench.RunMicro()
 		check(err)
 		fmt.Println(res)
+	}
+
+	if runProfile {
+		mmN, swimN, cfftM := 1024, 512, 11
+		if *quick {
+			mmN, swimN, cfftM = 128, 128, 9
+		}
+		out, err := bench.CommProfiles(bench.Table2Benchmarks(mmN, swimN, cfftM), *procs, lmad.Coarse, *fabric)
+		check(err)
+		fmt.Println("Communication matrices of the Table 2 programs (accounted bytes, origin row -> peer column):")
+		fmt.Println(out)
 	}
 
 	if runExtra {
@@ -126,6 +141,21 @@ func main() {
 		check(err)
 		fmt.Println(bench.FormatCrossover(points))
 	}
+}
+
+// validateFabric fails fast on a mistyped -fabric, before any
+// benchmark starts running.
+func validateFabric(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, n := range interconnect.Names() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q for -fabric (registered: %s)",
+		name, strings.Join(interconnect.Names(), ", "))
 }
 
 func check(err error) {

@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	vbcc [-procs N] [-grain fine|middle|coarse] [-passes] [-explain] [-avpg] file.f
+//	vbcc [-procs N] [-grain fine|middle|coarse] [-passes] [-explain] [-avpg] [-trace out.json] file.f
 //
-// With no file, source is read from standard input.
+// With no file, source is read from standard input. -trace exports the
+// pass pipeline's timings as Chrome trace-event JSON (a "compiler"
+// track loadable in Perfetto — the same file format vbrun -trace
+// writes for whole runs).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"vbuscluster/internal/lmad"
 	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
 	"vbuscluster/internal/postpass"
+	vbtrace "vbuscluster/internal/trace"
 )
 
 func main() {
@@ -36,8 +40,10 @@ func main() {
 	passes := flag.Bool("passes", false, "print the pass pipeline with per-pass wall time")
 	dumpAfter := flag.String("dump-after", "", "dump the IR after the named pass (a name from -passes, or 'all')")
 	fabric := flag.String("fabric", "", "interconnect backend priced by auto-grain: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
+	traceOut := flag.String("trace", "", "write the pass pipeline's timings as Chrome trace-event JSON to this file")
 	flag.Parse()
 
+	check(validateFabric(*fabric))
 	auto := *grainName == "auto"
 	var grain lmad.Grain
 	if !auto {
@@ -73,7 +79,7 @@ func main() {
 		}
 	}
 	var trace *core.PassTrace
-	if *passes || *dumpAfter != "" {
+	if *passes || *dumpAfter != "" || *traceOut != "" {
 		trace = &core.PassTrace{DumpAfter: *dumpAfter}
 	}
 	c, err := core.Compile(string(src), core.Options{
@@ -135,6 +141,30 @@ func main() {
 		fmt.Println("\nAVPG (array-value-propagation graph):")
 		fmt.Print(c.SPMD.Graph.String())
 	}
+	if *traceOut != "" {
+		rec := vbtrace.New()
+		trace.AddToRecorder(rec)
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(rec.WriteChrome(f))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "vbcc: wrote %d pass spans to %s\n", rec.Len(), *traceOut)
+	}
+}
+
+// validateFabric fails fast on a mistyped -fabric, before any source
+// is read or compiled.
+func validateFabric(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, n := range interconnect.Names() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q for -fabric (registered: %s)",
+		name, strings.Join(interconnect.Names(), ", "))
 }
 
 func check(err error) {

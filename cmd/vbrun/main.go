@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	vbrun [-procs N] [-grain g] [-fabric vbus|ethernet|ideal] [-seq] [-mode full|timing] file.f
+//	vbrun [-procs N] [-grain g] [-fabric vbus|ethernet|ideal] [-seq] [-mode full|timing] [-trace out.json] [-profile] file.f
+//
+// -trace writes the run's per-rank event timeline (plus the compiler's
+// pass spans as a "compiler" track) as Chrome trace-event JSON,
+// loadable in Perfetto or chrome://tracing. -profile prints the
+// derived per-rank counters and the communication matrix.
 package main
 
 import (
@@ -19,17 +24,20 @@ import (
 	"vbuscluster/internal/interp"
 	"vbuscluster/internal/lmad"
 	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
+	"vbuscluster/internal/trace"
 )
 
 func main() {
 	procs := flag.Int("procs", 4, "SPMD process count (ignored with -seq)")
 	grainName := flag.String("grain", "fine", "communication granularity: fine, middle, coarse or auto")
 	seq := flag.Bool("seq", false, "run the sequential baseline instead of the SPMD program")
-	profile := flag.Bool("profile", false, "print the per-region virtual-time profile")
+	profile := flag.Bool("profile", false, "print the per-region, per-rank and communication-matrix profiles")
 	modeName := flag.String("mode", "full", "execution mode: full or timing")
 	fabric := flag.String("fabric", "", "interconnect backend: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
+	traceOut := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
 	flag.Parse()
 
+	check(validateFabric(*fabric))
 	auto := *grainName == "auto"
 	var grain lmad.Grain
 	if !auto {
@@ -57,7 +65,22 @@ func main() {
 		check(err)
 	}
 
-	c, err := core.Compile(string(src), core.Options{NumProcs: *procs, Grain: grain, AutoGrain: auto, Fabric: *fabric})
+	var rec *trace.Recorder
+	if *traceOut != "" || *profile {
+		rec = trace.New()
+	}
+	var passTrace *core.PassTrace
+	if *traceOut != "" {
+		passTrace = &core.PassTrace{}
+	}
+	c, err := core.Compile(string(src), core.Options{
+		NumProcs:  *procs,
+		Grain:     grain,
+		AutoGrain: auto,
+		Fabric:    *fabric,
+		Trace:     passTrace,
+		Recorder:  rec,
+	})
 	check(err)
 	if auto {
 		fmt.Fprintf(os.Stderr, "auto-grain selected: %v\n", c.Grain())
@@ -76,12 +99,40 @@ func main() {
 		fmt.Println("--- per-region profile:")
 		fmt.Print(interp.FormatRegions(res.Regions))
 	}
+	if *profile && rec != nil {
+		fmt.Println("--- per-rank profile:")
+		fmt.Print(rec.Profile(res.Report.Clocks))
+	}
 	fmt.Printf("--- virtual time: %v", res.Elapsed)
 	if !*seq {
 		fmt.Printf("  (comm %v over %d ops, %d bytes)",
 			res.Report.TotalXferTime(), res.Report.TotalCommOps(), res.Report.TotalCommBytes())
 	}
 	fmt.Println()
+
+	if *traceOut != "" {
+		passTrace.AddToRecorder(rec)
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(rec.WriteChrome(f))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "vbrun: wrote %d trace events to %s\n", rec.Len(), *traceOut)
+	}
+}
+
+// validateFabric fails fast on a mistyped -fabric, before any source
+// is read or compiled.
+func validateFabric(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, n := range interconnect.Names() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q for -fabric (registered: %s)",
+		name, strings.Join(interconnect.Names(), ", "))
 }
 
 func check(err error) {

@@ -1,0 +1,95 @@
+// Command vbtrace validates and summarizes a Chrome trace-event JSON
+// file written by vbrun -trace or vbcc -trace. It exits non-zero when
+// the file does not parse or contains no events, which makes it the
+// CI smoke check for the tracing pipeline:
+//
+//	vbrun -trace out.json prog.f && vbtrace out.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type traceFile struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: vbtrace trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail(err.Error())
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("invalid trace JSON: " + err.Error())
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail("trace contains no events")
+	}
+	type track struct {
+		name   string
+		events int
+		bytes  int64
+		last   float64
+	}
+	tracks := map[int]*track{}
+	for _, ev := range tf.TraceEvents {
+		tr := tracks[ev.Tid]
+		if tr == nil {
+			tr = &track{}
+			tracks[ev.Tid] = tr
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				if n, ok := ev.Args["name"].(string); ok {
+					tr.name = n
+				}
+			}
+		case "X":
+			if ev.Dur < 0 {
+				fail(fmt.Sprintf("event %q on tid %d has negative duration", ev.Name, ev.Tid))
+			}
+			tr.events++
+			if b, ok := ev.Args["bytes"].(float64); ok {
+				tr.bytes += int64(b)
+			}
+			if end := ev.Ts + ev.Dur; end > tr.last {
+				tr.last = end
+			}
+		default:
+			fail(fmt.Sprintf("unexpected event phase %q", ev.Ph))
+		}
+	}
+	tids := make([]int, 0, len(tracks))
+	for tid := range tracks {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	fmt.Printf("%s: %d events\n", os.Args[1], len(tf.TraceEvents))
+	for _, tid := range tids {
+		tr := tracks[tid]
+		fmt.Printf("  %-10s %6d events  %12d bytes  span %.3fus\n", tr.name, tr.events, tr.bytes, tr.last)
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "vbtrace:", msg)
+	os.Exit(1)
+}

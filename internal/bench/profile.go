@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vbuscluster/internal/core"
+	"vbuscluster/internal/lmad"
+	"vbuscluster/internal/trace"
+)
+
+// CommMatrixFor runs one benchmark program with tracing on and returns
+// its N×N communication matrix (interconnect-accounted bytes, origin
+// row → peer column) — the communication-pattern view of the Table 2
+// workloads that the timing tables leave implicit.
+func CommMatrixFor(src string, procs int, grain lmad.Grain, fabric string) ([][]int64, error) {
+	rec := trace.New()
+	c, err := core.Compile(src, core.Options{NumProcs: procs, Grain: grain, Fabric: fabric, Recorder: rec})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.RunParallel(core.Timing); err != nil {
+		return nil, err
+	}
+	return rec.CommMatrix(procs), nil
+}
+
+// CommProfiles renders the communication matrix of every benchmark in
+// the set (sorted by name, so output is deterministic despite the map)
+// at the given granularity.
+func CommProfiles(benchmarks map[string]string, procs int, grain lmad.Grain, fabric string) (string, error) {
+	names := make([]string, 0, len(benchmarks))
+	for name := range benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		m, err := CommMatrixFor(benchmarks[name], procs, grain, fabric)
+		if err != nil {
+			return "", fmt.Errorf("bench: %s profile: %w", name, err)
+		}
+		fmt.Fprintf(&sb, "%s (grain=%v, %d procs) communication matrix (bytes):\n", name, grain, procs)
+		sb.WriteString(trace.FormatCommMatrix(m))
+	}
+	return sb.String(), nil
+}

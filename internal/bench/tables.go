@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"vbuscluster/internal/core"
@@ -127,8 +128,14 @@ func Table2Benchmarks(mmN, swimN, cfftM int) map[string]string {
 // of each benchmark on procs processors at the three granularities.
 // fabric selects the interconnect backend ("" = default V-Bus).
 func Table2(benchmarks map[string]string, procs int, fabric string) ([]Table2Row, error) {
+	names := make([]string, 0, len(benchmarks))
+	for name := range benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var rows []Table2Row
-	for name, src := range benchmarks {
+	for _, name := range names {
+		src := benchmarks[name]
 		for _, grain := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
 			c, err := core.Compile(src, core.Options{NumProcs: procs, Grain: grain, Fabric: fabric})
 			if err != nil {

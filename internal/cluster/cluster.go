@@ -16,6 +16,7 @@ import (
 	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/nic"
 	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
 )
 
 // CPUParams is the processor cost model. The defaults approximate a
@@ -133,6 +134,11 @@ type Cluster struct {
 	params Params
 	n      int
 
+	// rec is the optional event recorder. It is attached once, before
+	// the per-rank goroutines start, and read (nil-checked) on every
+	// operation, so tracing costs one pointer load when off.
+	rec *trace.Recorder
+
 	mu        sync.Mutex
 	clocks    []sim.Time
 	commTime  []sim.Time // communication time charged per rank
@@ -177,6 +183,14 @@ func (c *Cluster) Params() Params { return c.params }
 
 // Fabric returns the interconnect cost model.
 func (c *Cluster) Fabric() interconnect.Interconnect { return c.params.Fabric }
+
+// SetRecorder attaches an event recorder (nil detaches). It must be
+// called before the run's goroutines start issuing operations.
+func (c *Cluster) SetRecorder(r *trace.Recorder) { c.rec = r }
+
+// Recorder returns the attached event recorder, nil when tracing is
+// off.
+func (c *Cluster) Recorder() *trace.Recorder { return c.rec }
 
 // Hops reports the mesh hop distance between two ranks' nodes.
 func (c *Cluster) Hops(a, b int) int { return c.params.Hops(a, b) }

@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"strings"
 	"sync"
 	"testing"
 
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
 )
 
 func newTestCluster(t *testing.T, n int) *Cluster {
@@ -192,5 +195,36 @@ func TestTorusHops(t *testing.T) {
 	}
 	if got := c.Hops(0, 3); got != 1 {
 		t.Fatalf("torus row wrap hops = %d, want 1", got)
+	}
+}
+
+func TestRecorderAttachment(t *testing.T) {
+	c := newTestCluster(t, 2)
+	if c.Recorder() != nil {
+		t.Fatal("fresh cluster has a recorder attached")
+	}
+	rec := trace.New()
+	c.SetRecorder(rec)
+	if c.Recorder() != rec {
+		t.Fatal("SetRecorder did not attach")
+	}
+	c.SetRecorder(nil)
+	if c.Recorder() != nil {
+		t.Fatal("SetRecorder(nil) did not detach")
+	}
+}
+
+func TestParamsForFabricUnknownListsBackends(t *testing.T) {
+	if _, err := ParamsForFabric(""); err != nil {
+		t.Fatalf("empty fabric should mean default: %v", err)
+	}
+	_, err := ParamsForFabric("nonsense")
+	if err == nil {
+		t.Fatal("unknown fabric accepted")
+	}
+	for _, name := range interconnect.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered backend %q", err, name)
+		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"vbuscluster/internal/lmad"
 	"vbuscluster/internal/postpass"
 	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
 )
 
 // Mode re-exports the interpreter's execution fidelity.
@@ -76,6 +77,11 @@ type Options struct {
 	// Trace, when non-nil, collects per-pass timing and optional IR
 	// dumps as the pipeline runs (vbcc -passes).
 	Trace *PassTrace
+	// Recorder, when non-nil, is attached to every cluster the
+	// compiled program runs on, recording the per-rank event timeline
+	// (vbrun -trace / -profile). Attach a fresh recorder per run when
+	// timelines must not mix.
+	Recorder *trace.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -240,9 +246,15 @@ func machineParams(override *cluster.Params, n int) cluster.Params {
 	return params
 }
 
-// clusterFor builds the machine for n processes.
+// clusterFor builds the machine for n processes, with the compile
+// options' event recorder (if any) attached.
 func (c *Compiled) clusterFor(n int) (*cluster.Cluster, error) {
-	return cluster.New(n, machineParams(c.opts.Params, n))
+	cl, err := cluster.New(n, machineParams(c.opts.Params, n))
+	if err != nil {
+		return nil, err
+	}
+	cl.SetRecorder(c.opts.Recorder)
+	return cl, nil
 }
 
 // RunSequential executes the baseline on one processor.

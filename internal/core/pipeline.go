@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
 )
 
 // Pass identifies one named stage of the compiler pipeline. The
@@ -96,6 +99,33 @@ func (t *PassTrace) run(name string, fn func() (string, error), dump func() stri
 	}
 	t.record(name, time.Since(start), note, dump)
 	return nil
+}
+
+// AddToRecorder folds the executed passes into an event recorder as a
+// compiler track (rank -1): back-to-back spans whose lengths are the
+// passes' wall-clock times, so `vbrun -trace` / `vbcc -trace` export
+// compile and run phases into one Perfetto-loadable timeline. Safe on
+// a nil trace or nil recorder.
+func (t *PassTrace) AddToRecorder(r *trace.Recorder) {
+	if t == nil || r == nil {
+		return
+	}
+	var cursor sim.Time
+	for _, rec := range t.Records {
+		d := sim.Time(rec.Wall.Nanoseconds()) * sim.Nanosecond
+		if d < 0 {
+			d = 0
+		}
+		r.Add(trace.Event{
+			Rank:   trace.CompilerRank,
+			Op:     rec.Name,
+			Peer:   -1,
+			Begin:  cursor,
+			End:    cursor + d,
+			Detail: rec.Note,
+		})
+		cursor += d
+	}
 }
 
 // DumpsList returns the captured IR dumps; safe on a nil trace.

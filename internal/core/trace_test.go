@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"vbuscluster/internal/lmad"
+	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
+)
+
+// A recorder attached through Options flows to the run's cluster and
+// fills with events whose bytes reconcile with the run report.
+func TestRecorderWiring(t *testing.T) {
+	rec := trace.New()
+	c, err := Compile(testSrc, Options{NumProcs: 4, Grain: lmad.Fine, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunParallel(Timing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	byRank := map[int]int64{}
+	for _, e := range rec.Events() {
+		byRank[e.Rank] += e.Bytes
+	}
+	for r, want := range res.Report.CommBytes {
+		if byRank[r] != want {
+			t.Fatalf("rank %d traced %d bytes, report says %d", r, byRank[r], want)
+		}
+	}
+}
+
+// Attaching a recorder must not change virtual time or accounting by a
+// single picosecond — tracing is observation only.
+func TestRecorderDoesNotChangeTiming(t *testing.T) {
+	run := func(rec *trace.Recorder) (sim.Time, sim.Time, int64) {
+		c, err := Compile(testSrc, Options{NumProcs: 4, Grain: lmad.Fine, Recorder: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.RunParallel(Timing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed, res.Report.TotalXferTime(), res.Report.TotalCommBytes()
+	}
+	e0, x0, b0 := run(nil)
+	e1, x1, b1 := run(trace.New())
+	if e0 != e1 || x0 != x1 || b0 != b1 {
+		t.Fatalf("tracing perturbed the run: elapsed %v vs %v, xfer %v vs %v, bytes %d vs %d",
+			e0, e1, x0, x1, b0, b1)
+	}
+}
+
+// PassTrace.AddToRecorder lays the pass pipeline onto the compiler
+// track as contiguous spans in pipeline order.
+func TestPassTraceAddToRecorder(t *testing.T) {
+	pt := &PassTrace{}
+	if _, err := Compile(testSrc, Options{NumProcs: 4, Trace: pt}); err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.New()
+	pt.AddToRecorder(rec)
+	evs := rec.Events()
+	if len(evs) != len(pt.Records) {
+		t.Fatalf("recorder has %d spans, trace has %d passes", len(evs), len(pt.Records))
+	}
+	var cursor sim.Time
+	for i, e := range evs {
+		if e.Rank != trace.CompilerRank {
+			t.Fatalf("pass span %d on rank %d, want %d", i, e.Rank, trace.CompilerRank)
+		}
+		if e.Begin != cursor {
+			t.Fatalf("pass span %d begins at %v, want contiguous %v", i, e.Begin, cursor)
+		}
+		if e.End < e.Begin {
+			t.Fatalf("pass span %d has end < begin", i)
+		}
+		cursor = e.End
+	}
+	// Pass names must match the pipeline order.
+	for i, r := range pt.Records {
+		if evs[i].Op != r.Name {
+			t.Fatalf("span %d is %q, pipeline pass is %q", i, evs[i].Op, r.Name)
+		}
+	}
+	// nil safety both ways.
+	pt.AddToRecorder(nil)
+	(*PassTrace)(nil).AddToRecorder(rec)
+}

@@ -1,0 +1,79 @@
+package interconnect
+
+// Transport classifies the data path one runtime operation took — the
+// qualitative classes the paper's evaluation distinguishes (§2.2): the
+// DMA engine for contiguous one-sided transfers, the per-element
+// programmed-I/O path for strided ones, the hardware virtual-bus
+// broadcast, and wormhole-routed point-to-point messages. The tracing
+// subsystem (internal/trace) tags every recorded event with its
+// Transport so profiles can split time and bytes by path.
+type Transport uint8
+
+const (
+	// TransportNone marks events with no data path at all (compiler
+	// passes and other auxiliary tracks).
+	TransportNone Transport = iota
+	// TransportLocal is a rank-local memory copy; no NIC is involved.
+	TransportLocal
+	// TransportDMA is the contiguous one-sided transfer over the DMA
+	// engine: user buffer → remote memory without processor involvement.
+	TransportDMA
+	// TransportPIO is the strided per-element programmed-I/O path, the
+	// penalty the compiler's middle/coarse granularities avoid.
+	TransportPIO
+	// TransportP2P is a wormhole-routed point-to-point message: every
+	// two-sided SEND, and the contiguous path of fabrics without a DMA
+	// engine (kernel-mediated Ethernet).
+	TransportP2P
+	// TransportBcast is a one-to-all broadcast — the V-Bus hardware bus
+	// when the fabric has one, a software tree otherwise.
+	TransportBcast
+	// TransportSync is synchronization: barriers, fences, lock
+	// handshakes and receive-side waits. No payload moves.
+	TransportSync
+	// NumTransports sizes per-transport counter arrays.
+	NumTransports
+)
+
+// String names the transport class compactly ("dma", "pio", ...).
+func (t Transport) String() string {
+	switch t {
+	case TransportNone:
+		return "none"
+	case TransportLocal:
+		return "local"
+	case TransportDMA:
+		return "dma"
+	case TransportPIO:
+		return "pio"
+	case TransportP2P:
+		return "p2p"
+	case TransportBcast:
+		return "bcast"
+	case TransportSync:
+		return "sync"
+	default:
+		return "invalid"
+	}
+}
+
+// ContigTransport reports which class a contiguous remote transfer
+// travels on this fabric: the DMA engine when the card has one, a
+// CPU-mediated point-to-point message otherwise.
+func (c Caps) ContigTransport() Transport {
+	if c.DMAContig {
+		return TransportDMA
+	}
+	return TransportP2P
+}
+
+// StridedTransport reports which class a strided remote transfer
+// travels: the per-element programmed-I/O path when the card exposes
+// one, else whatever the contiguous path uses (an idealized fabric
+// moves strided data as cheaply as contiguous).
+func (c Caps) StridedTransport() Transport {
+	if c.PIOStrided {
+		return TransportPIO
+	}
+	return c.ContigTransport()
+}

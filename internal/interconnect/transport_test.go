@@ -1,0 +1,62 @@
+package interconnect
+
+import "testing"
+
+func TestTransportStrings(t *testing.T) {
+	want := map[Transport]string{
+		TransportNone:  "none",
+		TransportLocal: "local",
+		TransportDMA:   "dma",
+		TransportPIO:   "pio",
+		TransportP2P:   "p2p",
+		TransportBcast: "bcast",
+		TransportSync:  "sync",
+	}
+	if len(want) != int(NumTransports) {
+		t.Fatalf("test covers %d transports, NumTransports is %d", len(want), NumTransports)
+	}
+	for tr, s := range want {
+		if tr.String() != s {
+			t.Errorf("%d.String() = %q, want %q", tr, tr.String(), s)
+		}
+	}
+	if Transport(200).String() != "invalid" {
+		t.Errorf("out-of-range transport should stringify as invalid")
+	}
+}
+
+func TestCapsTransportSelection(t *testing.T) {
+	cases := []struct {
+		name    string
+		caps    Caps
+		contig  Transport
+		strided Transport
+	}{
+		{"dma+pio (vbus-like)", Caps{DMAContig: true, PIOStrided: true}, TransportDMA, TransportPIO},
+		{"pio only (ethernet-like)", Caps{PIOStrided: true}, TransportP2P, TransportPIO},
+		{"dma only (ideal-like)", Caps{DMAContig: true}, TransportDMA, TransportDMA},
+		{"bare", Caps{}, TransportP2P, TransportP2P},
+	}
+	for _, tc := range cases {
+		if got := tc.caps.ContigTransport(); got != tc.contig {
+			t.Errorf("%s: contig = %v, want %v", tc.name, got, tc.contig)
+		}
+		if got := tc.caps.StridedTransport(); got != tc.strided {
+			t.Errorf("%s: strided = %v, want %v", tc.name, got, tc.strided)
+		}
+	}
+}
+
+func TestRegisteredBackendTransports(t *testing.T) {
+	ic, err := New("ideal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := ic.Caps()
+	if caps.ContigTransport() != TransportDMA {
+		t.Errorf("ideal contig = %v, want dma", caps.ContigTransport())
+	}
+	if caps.StridedTransport() != TransportDMA {
+		t.Errorf("ideal strided = %v, want dma (no PIO penalty)", caps.StridedTransport())
+	}
+}

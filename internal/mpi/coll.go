@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
 )
 
 // Op is a reduction operator (the MPI_SUM/MPI_MAX/... constants).
@@ -106,11 +108,13 @@ func (p *Proc) Bcast(root int, data []float64) []float64 {
 	if p.rank == root {
 		contrib = data
 	}
+	rec, begin := p.traceBegin()
 	res := w.collective(p.rank, contrib, func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time) {
 		payload := vals[root]
 		cost := card.SendSetup() + card.BroadcastTime(len(payload)*WordBytes, w.n)
 		return maxT + cost, append([]float64(nil), payload...), cost
 	})
+	p.traceEnd(rec, begin, trace.OpBcast, root, 0, int64(len(res)*WordBytes), interconnect.TransportBcast)
 	return append([]float64(nil), res...)
 }
 
@@ -131,6 +135,7 @@ func (p *Proc) Reduce(op Op, root int, data []float64) []float64 {
 	if root < 0 || root >= w.n {
 		panic(fmt.Sprintf("mpi: Reduce root %d out of range", root))
 	}
+	rec, begin := p.traceBegin()
 	res := w.collective(p.rank, data, func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time) {
 		out := append([]float64(nil), vals[0]...)
 		for r := 1; r < w.n; r++ {
@@ -145,6 +150,7 @@ func (p *Proc) Reduce(op Op, root int, data []float64) []float64 {
 		cost := w.reduceCost(len(out))
 		return maxT + cost, out, cost
 	})
+	p.traceEnd(rec, begin, trace.OpReduce, root, 0, int64(len(data)*WordBytes), interconnect.TransportP2P)
 	if p.rank != root {
 		return nil
 	}
@@ -156,6 +162,7 @@ func (p *Proc) Reduce(op Op, root int, data []float64) []float64 {
 func (p *Proc) Allreduce(op Op, data []float64) []float64 {
 	w := p.w
 	card := w.cl.Fabric()
+	rec, begin := p.traceBegin()
 	res := w.collective(p.rank, data, func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time) {
 		out := append([]float64(nil), vals[0]...)
 		for r := 1; r < w.n; r++ {
@@ -170,5 +177,6 @@ func (p *Proc) Allreduce(op Op, data []float64) []float64 {
 		cost := w.reduceCost(len(out)) + card.BroadcastTime(len(out)*WordBytes, w.n)
 		return maxT + cost, out, cost
 	})
+	p.traceEnd(rec, begin, trace.OpAllreduce, -1, 0, int64(len(data)*WordBytes), interconnect.TransportBcast)
 	return append([]float64(nil), res...)
 }

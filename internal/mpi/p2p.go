@@ -3,7 +3,9 @@ package mpi
 import (
 	"fmt"
 
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
 )
 
 // mbKey identifies one (source, destination, tag) mailbox.
@@ -11,10 +13,13 @@ type mbKey struct {
 	src, dst, tag int
 }
 
-// pendingSend is a message in flight: the payload plus the virtual time
-// at which it has fully landed at the destination.
+// pendingSend is a message in flight: the payload, the sending rank
+// (reported to the receiver's trace as its peer even under AnySource
+// matching), and the virtual time at which it has fully landed at the
+// destination.
 type pendingSend struct {
 	data    []float64
+	src     int
 	readyAt sim.Time
 }
 
@@ -37,15 +42,19 @@ func (p *Proc) Send(dst, tag int, data []float64) {
 	if tag < 0 {
 		panic(fmt.Sprintf("mpi: Send tag %d must be non-negative", tag))
 	}
+	rec, begin := p.traceBegin()
 	bytes := len(data) * WordBytes
+	tr := interconnect.TransportLocal
 	if dst == p.rank {
 		w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
 	} else {
 		card := w.cl.Fabric()
+		tr = interconnect.TransportP2P
 		w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
 	}
 	item := &pendingSend{
 		data:    append([]float64(nil), data...),
+		src:     p.rank,
 		readyAt: w.cl.Clock(p.rank),
 	}
 	w.mu.Lock()
@@ -53,6 +62,7 @@ func (p *Proc) Send(dst, tag int, data []float64) {
 	w.boxes[k] = append(w.boxes[k], item)
 	w.cond.Broadcast()
 	w.mu.Unlock()
+	p.traceEnd(rec, begin, trace.OpSend, dst, int64(bytes), int64(bytes), tr)
 }
 
 // match pops the first pending message matching (src, dst, tag) with
@@ -104,6 +114,7 @@ func (p *Proc) Recv(src, tag int) []float64 {
 	if src != AnySource && (src < 0 || src >= w.n) {
 		panic(fmt.Sprintf("mpi: Recv from rank %d out of range", src))
 	}
+	rec, begin := p.traceBegin()
 	w.mu.Lock()
 	var item *pendingSend
 	for {
@@ -122,6 +133,7 @@ func (p *Proc) Recv(src, tag int) []float64 {
 	cpu := w.cl.Params().CPU
 	w.cl.ChargeComm(p.rank, cpu.CallOverhead, 0)
 	w.cl.BookComm(p.rank, stall, 0)
+	p.traceEnd(rec, begin, trace.OpRecv, item.src, 0, int64(len(item.data)*WordBytes), interconnect.TransportSync)
 	return item.data
 }
 
@@ -143,18 +155,21 @@ func (p *Proc) SendRegion(dst, tag, elems int, data []float64) {
 	if dst < 0 || dst >= w.n {
 		panic(fmt.Sprintf("mpi: SendRegion to rank %d out of range", dst))
 	}
+	rec, begin := p.traceBegin()
 	bytes := elems * WordBytes
 	cpu := w.cl.Params().CPU
 	// Pack: user region → message buffer (booked as communication: it
 	// exists only to feed the send).
 	w.cl.ChargeComm(p.rank, sim.Time(bytes)*cpu.MemCopyPerByte, 0)
+	tr := interconnect.TransportLocal
 	if dst == p.rank {
 		w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
 	} else {
 		card := w.cl.Fabric()
+		tr = interconnect.TransportP2P
 		w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
 	}
-	item := &pendingSend{readyAt: w.cl.Clock(p.rank)}
+	item := &pendingSend{src: p.rank, readyAt: w.cl.Clock(p.rank)}
 	if data != nil {
 		item.data = append([]float64(nil), data...)
 	} else {
@@ -165,6 +180,7 @@ func (p *Proc) SendRegion(dst, tag, elems int, data []float64) {
 	w.boxes[k] = append(w.boxes[k], item)
 	w.cond.Broadcast()
 	w.mu.Unlock()
+	p.traceEnd(rec, begin, trace.OpSend, dst, int64(bytes), int64(bytes), tr)
 }
 
 // RecvRegion receives a region sent with SendRegion and charges the
@@ -174,7 +190,9 @@ func (p *Proc) SendRegion(dst, tag, elems int, data []float64) {
 // payload (empty in timing-only runs).
 func (p *Proc) RecvRegion(src, tag, elems int) []float64 {
 	data := p.Recv(src, tag)
+	rec, begin := p.traceBegin()
 	cpu := p.w.cl.Params().CPU
 	p.w.cl.ChargeComm(p.rank, sim.Time(elems*WordBytes)*cpu.MemCopyPerByte, 0)
+	p.traceEnd(rec, begin, trace.OpUnpack, src, 0, int64(elems*WordBytes), interconnect.TransportLocal)
 	return data
 }

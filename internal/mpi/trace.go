@@ -1,0 +1,48 @@
+package mpi
+
+import (
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
+)
+
+// Tracing glue: every MPI operation brackets its body with
+// traceBegin/traceEnd, recording one interval [clock-at-entry,
+// clock-at-exit] on the calling rank's virtual timeline. Instrumented
+// operations never nest (Fence records through the shared barrier
+// body, Sendrecv through its Send and Recv halves), so the intervals
+// of one rank never overlap — the invariant the trace property tests
+// pin. With no recorder attached the cost is one nil check; the extra
+// Clock() reads are skipped entirely.
+
+// traceBegin returns the cluster's recorder and the calling rank's
+// clock. A nil recorder means tracing is off (and the clock is not
+// read).
+func (p *Proc) traceBegin() (*trace.Recorder, sim.Time) {
+	rec := p.w.cl.Recorder()
+	if rec == nil {
+		return nil, 0
+	}
+	return rec, p.w.cl.Clock(p.rank)
+}
+
+// traceEnd records the interval from begin to the rank's current
+// clock. bytes must be exactly what the operation charged through
+// cluster.ChargeComm/BookComm, so traced totals reconcile with the
+// cluster's interconnect-priced accounting; payload is the logical
+// payload size (they differ for collectives, which account no bytes).
+func (p *Proc) traceEnd(rec *trace.Recorder, begin sim.Time, op string, peer int, bytes, payload int64, tr interconnect.Transport) {
+	if rec == nil {
+		return
+	}
+	rec.Add(trace.Event{
+		Rank:      p.rank,
+		Op:        op,
+		Peer:      peer,
+		Bytes:     bytes,
+		Payload:   payload,
+		Transport: tr,
+		Begin:     begin,
+		End:       p.w.cl.Clock(p.rank),
+	})
+}

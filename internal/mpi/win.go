@@ -3,6 +3,9 @@ package mpi
 import (
 	"fmt"
 	"sync"
+
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/trace"
 )
 
 // Win is an MPI-2 memory window (MPI_WIN): each rank exposes a region
@@ -77,21 +80,29 @@ func (win *Win) target(rank int) []float64 {
 // chargeTransfer charges the origin rank for moving elems words to/from
 // target: local copies cost memcpy, remote contiguous transfers cost
 // DMA setup + wire, remote strided transfers cost the per-element PIO
-// path.
-func (p *Proc) chargeTransfer(target, elems int, strided bool) {
+// path. The traced transport class follows the fabric's capabilities
+// (a card without a DMA engine moves contiguous data as p2p messages).
+func (p *Proc) chargeTransfer(op string, target, elems int, strided bool) {
+	rec, begin := p.traceBegin()
 	bytes := elems * WordBytes
 	if target == p.rank {
 		p.w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
+		p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), interconnect.TransportLocal)
 		return
 	}
 	card := p.w.cl.Fabric()
-	var cost = card.SendSetup()
+	caps := card.Caps()
+	cost := card.SendSetup()
+	var tr interconnect.Transport
 	if strided {
 		cost += card.StridedTime(elems, WordBytes, p.hops(target))
+		tr = caps.StridedTransport()
 	} else {
 		cost += card.ContigTime(bytes, p.hops(target))
+		tr = caps.ContigTransport()
 	}
 	p.w.cl.ChargeComm(p.rank, cost, bytes)
+	p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), tr)
 }
 
 // Put transfers data into target's window region starting at
@@ -102,7 +113,7 @@ func (p *Proc) Put(win *Win, target, targetOff int, data []float64) {
 		panic(fmt.Sprintf("mpi: Put %q rank %d [%d,%d) outside window size %d",
 			win.name, target, targetOff, targetOff+len(data), len(buf)))
 	}
-	p.chargeTransfer(target, len(data), false)
+	p.chargeTransfer(trace.OpPut, target, len(data), false)
 	win.applyMu[target].Lock()
 	copy(buf[targetOff:], data)
 	win.applyMu[target].Unlock()
@@ -127,7 +138,7 @@ func (p *Proc) PutStrided(win *Win, target, targetOff, stride int, data []float6
 				win.name, target, last, len(buf)))
 		}
 	}
-	p.chargeTransfer(target, len(data), true)
+	p.chargeTransfer(trace.OpPutStrided, target, len(data), true)
 	win.applyMu[target].Lock()
 	for i, v := range data {
 		buf[targetOff+i*stride] = v
@@ -143,7 +154,7 @@ func (p *Proc) Get(win *Win, target, targetOff int, dst []float64) {
 		panic(fmt.Sprintf("mpi: Get %q rank %d [%d,%d) outside window size %d",
 			win.name, target, targetOff, targetOff+len(dst), len(buf)))
 	}
-	p.chargeTransfer(target, len(dst), false)
+	p.chargeTransfer(trace.OpGet, target, len(dst), false)
 	win.applyMu[target].Lock()
 	copy(dst, buf[targetOff:targetOff+len(dst)])
 	win.applyMu[target].Unlock()
@@ -167,7 +178,7 @@ func (p *Proc) GetStrided(win *Win, target, targetOff, stride int, dst []float64
 				win.name, target, last, len(buf)))
 		}
 	}
-	p.chargeTransfer(target, len(dst), true)
+	p.chargeTransfer(trace.OpGetStrided, target, len(dst), true)
 	win.applyMu[target].Lock()
 	for i := range dst {
 		dst[i] = buf[targetOff+i*stride]
@@ -184,7 +195,7 @@ func (p *Proc) Accumulate(win *Win, target, targetOff int, data []float64) {
 		panic(fmt.Sprintf("mpi: Accumulate %q rank %d [%d,%d) outside window size %d",
 			win.name, target, targetOff, targetOff+len(data), len(buf)))
 	}
-	p.chargeTransfer(target, len(data), false)
+	p.chargeTransfer(trace.OpAccumulate, target, len(data), false)
 	win.applyMu[target].Lock()
 	for i, v := range data {
 		buf[targetOff+i] += v
@@ -198,23 +209,27 @@ func (p *Proc) Accumulate(win *Win, target, targetOff int, data []float64) {
 // maximum guarantees all PUTs issued before the fence have landed in
 // virtual time as well as in memory.
 func (p *Proc) Fence(win *Win) {
-	p.Barrier()
+	p.barrier(trace.OpFence)
 }
 
 // Lock acquires an exclusive lock on target's region of the window
 // (MPI_WIN_LOCK). Used for passive-target critical sections such as
 // reductions into shared variables.
 func (p *Proc) Lock(win *Win, target int) {
+	rec, begin := p.traceBegin()
 	win.lockMu[target].Lock()
 	card := p.w.cl.Fabric()
 	p.w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
+	p.traceEnd(rec, begin, trace.OpLock, target, 0, 0, interconnect.TransportSync)
 }
 
 // Unlock releases the exclusive lock (MPI_WIN_UNLOCK).
 func (p *Proc) Unlock(win *Win, target int) {
+	rec, begin := p.traceBegin()
 	card := p.w.cl.Fabric()
 	p.w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
 	win.lockMu[target].Unlock()
+	p.traceEnd(rec, begin, trace.OpUnlock, target, 0, 0, interconnect.TransportSync)
 }
 
 // ChargePutContig charges the cost of a contiguous PUT/GET of elems
@@ -222,11 +237,11 @@ func (p *Proc) Unlock(win *Win, target int) {
 // mode uses these so large experiments cost the same virtual time as
 // full execution without touching real arrays.
 func (p *Proc) ChargePutContig(target, elems int) {
-	p.chargeTransfer(target, elems, false)
+	p.chargeTransfer(trace.OpPut, target, elems, false)
 }
 
 // ChargePutStrided charges the cost of a strided PUT/GET of elems words
 // to target without moving data.
 func (p *Proc) ChargePutStrided(target, elems int) {
-	p.chargeTransfer(target, elems, true)
+	p.chargeTransfer(trace.OpPutStrided, target, elems, true)
 }

@@ -26,7 +26,9 @@ import (
 	"sync"
 
 	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
 )
 
 // WordBytes is the wire size of one element.
@@ -122,11 +124,18 @@ func (p *Proc) Wtime() sim.Time { return p.w.cl.Clock(p.rank) }
 // Barrier blocks until every rank has entered (MPI_BARRIER). On
 // release, all clocks advance to the latest arrival plus the barrier's
 // communication cost, which is booked as communication on every rank.
-func (p *Proc) Barrier() {
+func (p *Proc) Barrier() { p.barrier(trace.OpBarrier) }
+
+// barrier is the shared barrier body, traced under the caller's op
+// name (MPI_BARRIER and MPI_WIN_FENCE synchronize identically but
+// profile differently).
+func (p *Proc) barrier(op string) {
 	w := p.w
+	rec, begin := p.traceBegin()
 	w.collective(p.rank, nil, func(maxT sim.Time, _ [][]float64) (sim.Time, []float64, sim.Time) {
 		return maxT + w.barrierCost, nil, w.barrierCost
 	})
+	p.traceEnd(rec, begin, op, -1, 0, 0, interconnect.TransportSync)
 }
 
 // hops reports mesh distance from this rank to target.

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/sim"
+)
+
+// Summary is the derived per-rank counter set.
+type Summary struct {
+	Rank int
+	// Ops is the number of traced runtime operations.
+	Ops int64
+	// OpCount counts events per operation name.
+	OpCount map[string]int64
+	// Bytes is the total interconnect-accounted bytes, equal to the
+	// rank's cluster.Report.CommBytes entry.
+	Bytes int64
+	// BytesByTransport splits Bytes by data path.
+	BytesByTransport [interconnect.NumTransports]int64
+	// TimeByTransport splits traced interval time by data path.
+	TimeByTransport [interconnect.NumTransports]sim.Time
+	// Transfer is the time spent moving data (all transports except
+	// sync); Wait is the time inside synchronizing ops (barriers,
+	// fences, locks, receive stalls); Compute is the remaining clock
+	// time outside any traced interval.
+	Transfer, Wait, Compute sim.Time
+	// Clock is the rank's final virtual clock (the last event end when
+	// no final clocks are supplied).
+	Clock sim.Time
+}
+
+// dataTransport reports whether t moves payload (vs synchronizes).
+func dataTransport(t interconnect.Transport) bool {
+	switch t {
+	case interconnect.TransportLocal, interconnect.TransportDMA,
+		interconnect.TransportPIO, interconnect.TransportP2P,
+		interconnect.TransportBcast:
+		return true
+	}
+	return false
+}
+
+// Summaries derives per-rank counters from the timeline. finalClocks,
+// when non-nil, supplies each rank's end-of-run clock (so trailing
+// compute after the last traced event is counted); it also fixes the
+// number of ranks reported. With nil clocks, ranks present in the
+// timeline are reported and each clock is its last event end.
+// CompilerRank events are excluded.
+func (r *Recorder) Summaries(finalClocks []sim.Time) []Summary {
+	evs := r.Events()
+	n := len(finalClocks)
+	if n == 0 {
+		for _, e := range evs {
+			if e.Rank >= n {
+				n = e.Rank + 1
+			}
+		}
+	}
+	out := make([]Summary, n)
+	for i := range out {
+		out[i].Rank = i
+		out[i].OpCount = map[string]int64{}
+		if finalClocks != nil {
+			out[i].Clock = finalClocks[i]
+		}
+	}
+	for _, e := range evs {
+		if e.Rank < 0 || e.Rank >= n {
+			continue
+		}
+		s := &out[e.Rank]
+		s.Ops++
+		s.OpCount[e.Op]++
+		s.Bytes += e.Bytes
+		s.BytesByTransport[e.Transport] += e.Bytes
+		s.TimeByTransport[e.Transport] += e.Duration()
+		if dataTransport(e.Transport) {
+			s.Transfer += e.Duration()
+		} else {
+			s.Wait += e.Duration()
+		}
+		if finalClocks == nil && e.End > s.Clock {
+			s.Clock = e.End
+		}
+	}
+	// Intervals of one rank never overlap, so the clock splits exactly
+	// into transfer + wait + (untraced) compute.
+	for i := range out {
+		out[i].Compute = out[i].Clock - out[i].Transfer - out[i].Wait
+		if out[i].Compute < 0 {
+			out[i].Compute = 0
+		}
+	}
+	return out
+}
+
+// CommMatrix builds the N×N communication matrix: cell [i][j] is the
+// interconnect-accounted bytes of operations initiated by rank i with
+// peer j (the diagonal holds rank-local copies). Collectives have no
+// single peer and do not appear.
+func (r *Recorder) CommMatrix(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	for _, e := range r.Events() {
+		if e.Rank < 0 || e.Rank >= n || e.Peer < 0 || e.Peer >= n {
+			continue
+		}
+		m[e.Rank][e.Peer] += e.Bytes
+	}
+	return m
+}
+
+// FormatCommMatrix renders a communication matrix as an aligned table
+// (rows are origins, columns peers).
+func FormatCommMatrix(m [][]int64) string {
+	n := len(m)
+	w := len("origin")
+	for i := range m {
+		for j := range m[i] {
+			if l := len(fmt.Sprintf("%d", m[i][j])); l > w {
+				w = l
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s", w, "origin")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&sb, "  %*s", w, fmt.Sprintf("->%d", j))
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%-*d", w, i)
+		for j := 0; j < n; j++ {
+			fmt.Fprintf(&sb, "  %*d", w, m[i][j])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// transportBreakdown renders the non-zero per-transport byte counts of
+// one summary, in transport order ("dma=8192 pio=1024").
+func transportBreakdown(s Summary) string {
+	var parts []string
+	for t := interconnect.Transport(0); t < interconnect.NumTransports; t++ {
+		if s.BytesByTransport[t] != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", t, s.BytesByTransport[t]))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// opBreakdown renders a summary's op counts sorted by name.
+func opBreakdown(s Summary) string {
+	names := make([]string, 0, len(s.OpCount))
+	for n := range s.OpCount {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, s.OpCount[n]))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Profile renders the text profile report: the per-rank counter table
+// (compute vs transfer vs wait, bytes by transport, op counts) and the
+// communication matrix. finalClocks is as in Summaries. Output is
+// deterministic for a given timeline.
+func (r *Recorder) Profile(finalClocks []sim.Time) string {
+	sums := r.Summaries(finalClocks)
+	var sb strings.Builder
+	sb.WriteString("rank  ops     compute        transfer       wait           bytes       by transport\n")
+	for _, s := range sums {
+		fmt.Fprintf(&sb, "%-5d %-7d %-14v %-14v %-14v %-11d %s\n",
+			s.Rank, s.Ops, s.Compute, s.Transfer, s.Wait, s.Bytes, transportBreakdown(s))
+	}
+	sb.WriteString("op counts:\n")
+	for _, s := range sums {
+		fmt.Fprintf(&sb, "  rank %d: %s\n", s.Rank, opBreakdown(s))
+	}
+	sb.WriteString("communication matrix (accounted bytes, origin row -> peer column):\n")
+	sb.WriteString(FormatCommMatrix(r.CommMatrix(len(sums))))
+	return sb.String()
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/sim"
+)
+
+// mkEvent builds a simple data event for rank with the given interval.
+func mkEvent(rank int, begin, end sim.Time, op string, peer int, bytes int64) Event {
+	return Event{Rank: rank, Op: op, Peer: peer, Bytes: bytes, Payload: bytes,
+		Transport: interconnect.TransportDMA, Begin: begin, End: end}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(mkEvent(0, 0, 1, OpPut, 1, 8))
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder recorded something")
+	}
+	if got := r.Profile(nil); got == "" {
+		t.Fatal("nil recorder profile should still render an (empty) table")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil recorder chrome export: %v", err)
+	}
+}
+
+// TestEventsDeterministicOrder records the same event set under many
+// goroutine interleavings and requires identical sorted output and
+// identical Chrome JSON bytes every time — the determinism guarantee
+// golden tests rely on.
+func TestEventsDeterministicOrder(t *testing.T) {
+	build := func(perm []int) *Recorder {
+		r := New()
+		var wg sync.WaitGroup
+		for _, i := range perm {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rank := i % 4
+				base := sim.Time(i/4) * 100
+				r.Add(mkEvent(rank, base, base+50, OpPut, (rank+1)%4, int64(8*i)))
+			}(i)
+		}
+		wg.Wait()
+		return r
+	}
+	perm1 := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	perm2 := []int{11, 3, 7, 0, 9, 1, 10, 4, 2, 8, 6, 5}
+	r1, r2 := build(perm1), build(perm2)
+	e1, e2 := r1.Events(), r2.Events()
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs across interleavings: %+v vs %+v", i, e1[i], e2[i])
+		}
+	}
+	var b1, b2 bytes.Buffer
+	if err := r1.WriteChrome(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteChrome(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("chrome export bytes differ across recording interleavings")
+	}
+}
+
+func TestEventsSortWithinRank(t *testing.T) {
+	r := New()
+	r.Add(mkEvent(1, 300, 400, OpGet, 0, 8))
+	r.Add(mkEvent(0, 100, 200, OpPut, 1, 8))
+	r.Add(mkEvent(1, 0, 50, OpPut, 0, 8))
+	r.Add(mkEvent(CompilerRank, 0, 10, "parse", -1, 0))
+	evs := r.Events()
+	if evs[0].Rank != CompilerRank {
+		t.Fatalf("compiler track should sort first, got rank %d", evs[0].Rank)
+	}
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.Rank > b.Rank || (a.Rank == b.Rank && a.Begin > b.Begin) {
+			t.Fatalf("events out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+}
+
+func TestChromeExportParses(t *testing.T) {
+	r := New()
+	r.Add(mkEvent(0, 0, 100, OpPut, 1, 64))
+	r.Add(Event{Rank: 0, Op: OpBarrier, Peer: -1, Transport: interconnect.TransportSync, Begin: 100, End: 250})
+	r.Add(mkEvent(1, 10, 20, OpGet, 0, 32))
+	r.Add(Event{Rank: CompilerRank, Op: "parse", Peer: -1, Begin: 0, End: 5, Detail: "2 units"})
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 1 process_name + 3 thread_name metadata + 4 events.
+	if len(out.TraceEvents) != 8 {
+		t.Fatalf("got %d trace events, want 8:\n%s", len(out.TraceEvents), buf.String())
+	}
+	names := map[string]bool{}
+	var sawCompiler bool
+	for _, ev := range out.TraceEvents {
+		names[ev.Name] = true
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Args["name"] == "compiler" {
+			sawCompiler = true
+		}
+		if ev.Ph == "X" && ev.Dur < 0 {
+			t.Fatalf("negative duration on %q", ev.Name)
+		}
+	}
+	if !sawCompiler {
+		t.Fatal("no compiler track metadata in export")
+	}
+	for _, want := range []string{OpPut, OpGet, OpBarrier, "parse"} {
+		if !names[want] {
+			t.Fatalf("export missing event %q", want)
+		}
+	}
+}
+
+func TestSummariesSplitTime(t *testing.T) {
+	r := New()
+	r.Add(mkEvent(0, 100, 300, OpPut, 1, 64))                                                                   // 200 transfer
+	r.Add(Event{Rank: 0, Op: OpBarrier, Peer: -1, Transport: interconnect.TransportSync, Begin: 300, End: 450}) // 150 wait
+	sums := r.Summaries([]sim.Time{500})
+	if len(sums) != 1 {
+		t.Fatalf("want 1 rank, got %d", len(sums))
+	}
+	s := sums[0]
+	if s.Transfer != 200 || s.Wait != 150 || s.Compute != 150 {
+		t.Fatalf("time split transfer=%v wait=%v compute=%v, want 200/150/150", s.Transfer, s.Wait, s.Compute)
+	}
+	if s.Bytes != 64 || s.BytesByTransport[interconnect.TransportDMA] != 64 {
+		t.Fatalf("byte counters wrong: %+v", s)
+	}
+	if s.Ops != 2 || s.OpCount[OpPut] != 1 || s.OpCount[OpBarrier] != 1 {
+		t.Fatalf("op counters wrong: %+v", s.OpCount)
+	}
+}
+
+func TestCommMatrix(t *testing.T) {
+	r := New()
+	r.Add(mkEvent(0, 0, 10, OpPut, 1, 100))
+	r.Add(mkEvent(0, 10, 20, OpPut, 2, 50))
+	r.Add(mkEvent(2, 0, 10, OpGet, 0, 30))
+	r.Add(mkEvent(1, 0, 5, OpSend, 1, 25)) // local, diagonal
+	r.Add(Event{Rank: 0, Op: OpBarrier, Peer: -1, Transport: interconnect.TransportSync, Begin: 20, End: 30})
+	m := r.CommMatrix(3)
+	want := [][]int64{{0, 100, 50}, {0, 25, 0}, {30, 0, 0}}
+	for i := range want {
+		for j := range want[i] {
+			if m[i][j] != want[i][j] {
+				t.Fatalf("matrix[%d][%d] = %d, want %d", i, j, m[i][j], want[i][j])
+			}
+		}
+	}
+	out := FormatCommMatrix(m)
+	if out == "" || len(out) < 10 {
+		t.Fatalf("matrix rendering too short: %q", out)
+	}
+}
