@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke trace-smoke bench
+.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke bench
 
-ci: fmt vet build test race smoke trace-smoke
+ci: fmt vet build test race smoke trace-smoke fault-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -37,6 +37,14 @@ trace-smoke:
 	$(GO) run ./cmd/vbrun -trace /tmp/vbus-trace-smoke.json -profile -mode timing testdata/jacobi.f > /dev/null
 	$(GO) run ./cmd/vbtrace /tmp/vbus-trace-smoke.json
 	@rm -f /tmp/vbus-trace-smoke.json
+
+# Determinism gate for the fault injector: the same seeded fault spec
+# must produce byte-identical output across two runs.
+fault-smoke:
+	$(GO) run ./cmd/vbrun -faults 'seed=1,flitdrop=1e-3' testdata/matmul.f > /tmp/vbus-fault-a.txt
+	$(GO) run ./cmd/vbrun -faults 'seed=1,flitdrop=1e-3' testdata/matmul.f > /tmp/vbus-fault-b.txt
+	cmp /tmp/vbus-fault-a.txt /tmp/vbus-fault-b.txt
+	@rm -f /tmp/vbus-fault-a.txt /tmp/vbus-fault-b.txt
 
 bench:
 	$(GO) test -bench=. -benchmem .

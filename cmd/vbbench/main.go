@@ -8,7 +8,12 @@
 //	vbbench -table 2            # comm time by granularity, paper sizes
 //	vbbench -micro              # §2 SKWP / latency / broadcast claims
 //	vbbench -profile            # comm matrices of the Table 2 programs
+//	vbbench -faultsweep         # completion time / bandwidth vs flit-drop rate
 //	vbbench -all -quick         # everything at reduced sizes
+//
+// -faults applies a deterministic fault-injection spec (see
+// internal/fault) to the Table 1/2 runs; -faultsweep runs its own
+// per-rate specs.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"vbuscluster/internal/bench"
 	"vbuscluster/internal/core"
+	"vbuscluster/internal/fault"
 	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/lmad"
 	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
@@ -34,17 +40,27 @@ func main() {
 	procs := flag.Int("procs", 4, "processor count for table 2")
 	fabric := flag.String("fabric", "", "interconnect backend: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
 	profile := flag.Bool("profile", false, "print the traced communication matrix of each Table 2 program")
+	faultSpec := flag.String("faults", "", "deterministic fault-injection spec for the table runs, e.g. 'seed=1,flitdrop=1e-3'")
+	faultSweep := flag.Bool("faultsweep", false, "sweep flit-drop rates on MM, verifying payloads and reporting bandwidth/retry overhead")
+	sweepSeed := flag.Uint64("faultseed", 1, "fault-injection seed for -faultsweep")
 	flag.Parse()
 
 	check(validateFabric(*fabric))
+	var tableOpts []bench.RunOption
+	if *faultSpec != "" {
+		inj, err := fault.FromString(*faultSpec)
+		check(err)
+		tableOpts = append(tableOpts, bench.WithFaults(inj))
+	}
 	runT1 := *table == 1 || *all
 	runT2 := *table == 2 || *all
 	runMicro := *micro || *all
 	runCross := *crossover || *all
 	runExtra := *extra || *all
 	runProfile := *profile || *all
-	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile or -all")
+	runSweep := *faultSweep || *all
+	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep or -all")
 		os.Exit(2)
 	}
 
@@ -53,7 +69,7 @@ func main() {
 		if *quick {
 			sizes = []int{64, 128, 256}
 		}
-		rows, err := bench.Table1(sizes, []int{1, 2, 4}, lmad.Fine, *fabric)
+		rows, err := bench.Table1(sizes, []int{1, 2, 4}, lmad.Fine, *fabric, tableOpts...)
 		check(err)
 		fmt.Println(bench.FormatTable1(rows))
 		fmt.Println("raw cells:")
@@ -69,7 +85,7 @@ func main() {
 		if *quick {
 			mmN, swimN, cfftM = 128, 128, 9
 		}
-		rows, err := bench.Table2(bench.Table2Benchmarks(mmN, swimN, cfftM), *procs, *fabric)
+		rows, err := bench.Table2(bench.Table2Benchmarks(mmN, swimN, cfftM), *procs, *fabric, tableOpts...)
 		check(err)
 		fmt.Println(bench.FormatTable2(rows))
 		fmt.Println("raw cells:")
@@ -84,6 +100,17 @@ func main() {
 		res, err := bench.RunMicro()
 		check(err)
 		fmt.Println(res)
+	}
+
+	if runSweep {
+		n := 64
+		if *quick {
+			n = 32
+		}
+		rates := []float64{0, 1e-4, 1e-3, 1e-2, 5e-2}
+		rows, err := bench.FaultSweep(n, *procs, *sweepSeed, rates, *fabric)
+		check(err)
+		fmt.Println(bench.FormatFaultSweep(rows))
 	}
 
 	if runProfile {

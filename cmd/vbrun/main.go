@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	vbrun [-procs N] [-grain g] [-fabric vbus|ethernet|ideal] [-seq] [-mode full|timing] [-trace out.json] [-profile] file.f
+//	vbrun [-procs N] [-grain g] [-fabric vbus|ethernet|ideal] [-seq] [-mode full|timing] [-trace out.json] [-profile] [-faults spec] file.f
 //
 // -trace writes the run's per-rank event timeline (plus the compiler's
 // pass spans as a "compiler" track) as Chrome trace-event JSON,
 // loadable in Perfetto or chrome://tracing. -profile prints the
 // derived per-rank counters and the communication matrix.
+//
+// -faults injects deterministic faults from a spec string such as
+// "seed=1,flitdrop=1e-3,linkdown=0-1@1ms+2ms" (see internal/fault for
+// the grammar). Same spec, same timeline: runs are replayable.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"strings"
 
 	"vbuscluster/internal/core"
+	"vbuscluster/internal/fault"
 	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/interp"
 	"vbuscluster/internal/lmad"
@@ -35,9 +40,16 @@ func main() {
 	modeName := flag.String("mode", "full", "execution mode: full or timing")
 	fabric := flag.String("fabric", "", "interconnect backend: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
 	traceOut := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
+	faultSpec := flag.String("faults", "", "deterministic fault-injection spec, e.g. 'seed=1,flitdrop=1e-3' (see internal/fault)")
 	flag.Parse()
 
 	check(validateFabric(*fabric))
+	var inj *fault.Injector
+	if *faultSpec != "" {
+		var err error
+		inj, err = fault.FromString(*faultSpec)
+		check(err)
+	}
 	auto := *grainName == "auto"
 	var grain lmad.Grain
 	if !auto {
@@ -80,6 +92,7 @@ func main() {
 		Fabric:    *fabric,
 		Trace:     passTrace,
 		Recorder:  rec,
+		Faults:    inj,
 	})
 	check(err)
 	if auto {

@@ -1,16 +1,21 @@
 // Command vbtrace validates and summarizes a Chrome trace-event JSON
-// file written by vbrun -trace or vbcc -trace. It exits non-zero when
-// the file does not parse or contains no events, which makes it the
-// CI smoke check for the tracing pipeline:
+// file written by vbrun -trace or vbcc -trace. It exits non-zero with
+// a clear message when the file is malformed, truncated, or contains
+// no events, which makes it the CI smoke check for the tracing
+// pipeline:
 //
 //	vbrun -trace out.json prog.f && vbtrace out.json
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 type traceFile struct {
@@ -35,12 +40,34 @@ func main() {
 	if err != nil {
 		fail(err.Error())
 	}
+	summary, err := validate(os.Args[1], data)
+	if err != nil {
+		fail(err.Error())
+	}
+	fmt.Print(summary)
+}
+
+// validate checks a trace file's structure and returns the printable
+// per-track summary. Every way the file can be wrong — empty,
+// truncated mid-object, trailing garbage, wrong shape, negative
+// durations, unknown phases — yields a descriptive error.
+func validate(name string, data []byte) (string, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return "", fmt.Errorf("%s: empty trace file", name)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
 	var tf traceFile
-	if err := json.Unmarshal(data, &tf); err != nil {
-		fail("invalid trace JSON: " + err.Error())
+	if err := dec.Decode(&tf); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+			return "", fmt.Errorf("%s: truncated trace JSON (file ends mid-object)", name)
+		}
+		return "", fmt.Errorf("%s: invalid trace JSON: %v", name, err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return "", fmt.Errorf("%s: trailing data after the trace object", name)
 	}
 	if len(tf.TraceEvents) == 0 {
-		fail("trace contains no events")
+		return "", fmt.Errorf("%s: trace contains no events", name)
 	}
 	type track struct {
 		name   string
@@ -49,7 +76,7 @@ func main() {
 		last   float64
 	}
 	tracks := map[int]*track{}
-	for _, ev := range tf.TraceEvents {
+	for i, ev := range tf.TraceEvents {
 		tr := tracks[ev.Tid]
 		if tr == nil {
 			tr = &track{}
@@ -64,7 +91,12 @@ func main() {
 			}
 		case "X":
 			if ev.Dur < 0 {
-				fail(fmt.Sprintf("event %q on tid %d has negative duration", ev.Name, ev.Tid))
+				return "", fmt.Errorf("%s: event %d (%q on tid %d) has negative duration %g",
+					name, i, ev.Name, ev.Tid, ev.Dur)
+			}
+			if ev.Ts < 0 {
+				return "", fmt.Errorf("%s: event %d (%q on tid %d) has negative timestamp %g",
+					name, i, ev.Name, ev.Tid, ev.Ts)
 			}
 			tr.events++
 			if b, ok := ev.Args["bytes"].(float64); ok {
@@ -74,7 +106,7 @@ func main() {
 				tr.last = end
 			}
 		default:
-			fail(fmt.Sprintf("unexpected event phase %q", ev.Ph))
+			return "", fmt.Errorf("%s: event %d has unexpected phase %q (want \"X\" or \"M\")", name, i, ev.Ph)
 		}
 	}
 	tids := make([]int, 0, len(tracks))
@@ -82,11 +114,13 @@ func main() {
 		tids = append(tids, tid)
 	}
 	sort.Ints(tids)
-	fmt.Printf("%s: %d events\n", os.Args[1], len(tf.TraceEvents))
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d events\n", name, len(tf.TraceEvents))
 	for _, tid := range tids {
 		tr := tracks[tid]
-		fmt.Printf("  %-10s %6d events  %12d bytes  span %.3fus\n", tr.name, tr.events, tr.bytes, tr.last)
+		fmt.Fprintf(&sb, "  %-10s %6d events  %12d bytes  span %.3fus\n", tr.name, tr.events, tr.bytes, tr.last)
 	}
+	return sb.String(), nil
 }
 
 func fail(msg string) {

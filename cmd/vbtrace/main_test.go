@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodTrace = `{"displayTimeUnit":"ns","traceEvents":[
+ {"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"rank 0"}},
+ {"name":"send","ph":"X","ts":0,"dur":10,"pid":1,"tid":0,"args":{"bytes":64}},
+ {"name":"recv","ph":"X","ts":12,"dur":5,"pid":1,"tid":1,"args":{"bytes":64}}
+]}`
+
+func TestValidateGood(t *testing.T) {
+	out, err := validate("t.json", []byte(goodTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3 events") || !strings.Contains(out, "rank 0") {
+		t.Errorf("summary missing expected content:\n%s", out)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name, data, wantErr string
+	}{
+		{"empty", "", "empty trace file"},
+		{"whitespace", "  \n\t ", "empty trace file"},
+		{"truncated", goodTrace[:len(goodTrace)/2], "truncated"},
+		{"truncated-tiny", `{"traceEvents":[{"name":`, "truncated"},
+		{"not-json", "not a trace", "invalid trace JSON"},
+		{"wrong-shape", `{"traceEvents": 42}`, "invalid trace JSON"},
+		{"trailing", goodTrace + `{"extra":1}`, "trailing data"},
+		{"no-events", `{"traceEvents":[]}`, "no events"},
+		{"negative-dur", `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-1,"tid":0}]}`, "negative duration"},
+		{"negative-ts", `{"traceEvents":[{"name":"x","ph":"X","ts":-5,"dur":1,"tid":0}]}`, "negative timestamp"},
+		{"bad-phase", `{"traceEvents":[{"name":"x","ph":"B","ts":0,"dur":1,"tid":0}]}`, "unexpected phase"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := validate("t.json", []byte(c.data))
+			if err == nil {
+				t.Fatalf("accepted %s input", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}

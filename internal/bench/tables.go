@@ -6,9 +6,27 @@ import (
 	"strings"
 
 	"vbuscluster/internal/core"
+	"vbuscluster/internal/fault"
 	"vbuscluster/internal/lmad"
 	"vbuscluster/internal/sim"
 )
+
+// RunOption adjusts the compile options of every program a table run
+// builds (vbbench -faults).
+type RunOption func(*core.Options)
+
+// WithFaults attaches a deterministic fault injector to every cluster
+// a table run executes on.
+func WithFaults(inj *fault.Injector) RunOption {
+	return func(o *core.Options) { o.Faults = inj }
+}
+
+func applyRunOptions(o core.Options, opts []RunOption) core.Options {
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
 
 // Table1Row is one cell of the paper's Table 1: MM speedup for one
 // matrix size on one node count.
@@ -24,13 +42,13 @@ type Table1Row struct {
 // speedups of MM for sizes × node counts, at the given granularity
 // (the paper's best: coarse). fabric selects the interconnect backend
 // ("" = the default V-Bus machine).
-func Table1(sizes []int, procs []int, grain lmad.Grain, fabric string) ([]Table1Row, error) {
+func Table1(sizes []int, procs []int, grain lmad.Grain, fabric string, opts ...RunOption) ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, n := range sizes {
 		src := MMSource(n)
 		var seq sim.Time
 		{
-			c, err := core.Compile(src, core.Options{NumProcs: 1, Grain: grain, Fabric: fabric})
+			c, err := core.Compile(src, applyRunOptions(core.Options{NumProcs: 1, Grain: grain, Fabric: fabric}, opts))
 			if err != nil {
 				return nil, fmt.Errorf("bench: MM %d: %w", n, err)
 			}
@@ -41,7 +59,7 @@ func Table1(sizes []int, procs []int, grain lmad.Grain, fabric string) ([]Table1
 			seq = res.Elapsed
 		}
 		for _, p := range procs {
-			c, err := core.Compile(src, core.Options{NumProcs: p, Grain: grain, Fabric: fabric})
+			c, err := core.Compile(src, applyRunOptions(core.Options{NumProcs: p, Grain: grain, Fabric: fabric}, opts))
 			if err != nil {
 				return nil, fmt.Errorf("bench: MM %d/%d: %w", n, p, err)
 			}
@@ -127,7 +145,7 @@ func Table2Benchmarks(mmN, swimN, cfftM int) map[string]string {
 // multiplication, swim and CFFT2INIT of TFFT": the communication time
 // of each benchmark on procs processors at the three granularities.
 // fabric selects the interconnect backend ("" = default V-Bus).
-func Table2(benchmarks map[string]string, procs int, fabric string) ([]Table2Row, error) {
+func Table2(benchmarks map[string]string, procs int, fabric string, opts ...RunOption) ([]Table2Row, error) {
 	names := make([]string, 0, len(benchmarks))
 	for name := range benchmarks {
 		names = append(names, name)
@@ -137,7 +155,7 @@ func Table2(benchmarks map[string]string, procs int, fabric string) ([]Table2Row
 	for _, name := range names {
 		src := benchmarks[name]
 		for _, grain := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
-			c, err := core.Compile(src, core.Options{NumProcs: procs, Grain: grain, Fabric: fabric})
+			c, err := core.Compile(src, applyRunOptions(core.Options{NumProcs: procs, Grain: grain, Fabric: fabric}, opts))
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s/%v: %w", name, grain, err)
 			}

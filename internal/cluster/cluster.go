@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"vbuscluster/internal/fault"
 	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/nic"
 	"vbuscluster/internal/sim"
@@ -70,6 +71,11 @@ type Params struct {
 	// Torus wraps the mesh in both dimensions, shortening worst-case
 	// hop distances (see mesh.Config.Torus for the flit-level model).
 	Torus bool
+	// Faults is the optional deterministic fault injector. Nil (the
+	// default) models the paper's perfect network: no retries, no
+	// outages, no slow or crashed nodes — and every charge is
+	// bit-identical to a build without the fault layer.
+	Faults *fault.Injector
 }
 
 // DefaultParams is the paper configuration: V-Bus cards on a 2x2 mesh
@@ -126,6 +132,48 @@ func (p Params) Hops(a, b int) int {
 		}
 	}
 	return dx + dy
+}
+
+// Path lists the mesh nodes a message from rank a's node to rank b's
+// node visits in order (endpoints included), following the same
+// dimension-ordered XY routing as the flit-level simulator: the X
+// coordinate is corrected first, then Y, taking the shorter wrap
+// direction on a torus (ties go to the positive direction). The fault
+// injector's link outages are resolved against this path.
+func (p Params) Path(a, b int) []int {
+	ax, ay := a%p.MeshWidth, a/p.MeshWidth
+	bx, by := b%p.MeshWidth, b/p.MeshWidth
+	path := []int{a}
+	x, y := ax, ay
+	// dir picks +1 or -1 along one axis: toward the destination on a
+	// plain mesh, the shorter wrap on a torus (ties go positive). The
+	// step counts match Params.Hops by construction.
+	dir := func(cur, dst, size int) int {
+		fwd := dst - cur
+		if fwd < 0 {
+			fwd += size
+		}
+		bwd := size - fwd
+		if !p.Torus {
+			if dst > cur {
+				return 1
+			}
+			return -1
+		}
+		if fwd <= bwd {
+			return 1
+		}
+		return -1
+	}
+	for x != bx {
+		x = (x + dir(x, bx, p.MeshWidth) + p.MeshWidth) % p.MeshWidth
+		path = append(path, y*p.MeshWidth+x)
+	}
+	for y != by {
+		y = (y + dir(y, by, p.MeshHeight) + p.MeshHeight) % p.MeshHeight
+		path = append(path, y*p.MeshWidth+x)
+	}
+	return path
 }
 
 // Cluster is a set of processes with virtual clocks placed on a mesh.
@@ -210,16 +258,25 @@ func (c *Cluster) Clock(rank int) sim.Time {
 }
 
 // ChargeCompute advances rank's clock by d and books it as computation.
+// A slow-node fault scales the charge: the injected factor models a
+// thermally throttled or overloaded node that still makes progress.
 func (c *Cluster) ChargeCompute(rank int, d sim.Time) {
 	c.check(rank)
 	if d < 0 {
 		panic("cluster: negative compute charge")
+	}
+	if f := c.params.Faults.SlowFactor(rank); f > 1 {
+		d = sim.Time(float64(d)*f + 0.5)
 	}
 	c.mu.Lock()
 	c.clocks[rank] += d
 	c.compTime[rank] += d
 	c.mu.Unlock()
 }
+
+// Faults returns the cluster's fault injector (nil when fault injection
+// is off — the nil injector is inert, so callers may use it directly).
+func (c *Cluster) Faults() *fault.Injector { return c.params.Faults }
 
 // ChargeComm advances rank's clock by d and books it as communication,
 // with bytes moved for throughput accounting.

@@ -19,6 +19,7 @@ import (
 	"vbuscluster/internal/analysis"
 	"vbuscluster/internal/cluster"
 	"vbuscluster/internal/f77"
+	"vbuscluster/internal/fault"
 	"vbuscluster/internal/interp"
 	"vbuscluster/internal/lmad"
 	"vbuscluster/internal/postpass"
@@ -82,6 +83,12 @@ type Options struct {
 	// (vbrun -trace / -profile). Attach a fresh recorder per run when
 	// timelines must not mix.
 	Recorder *trace.Recorder
+	// Faults, when non-nil, injects deterministic faults into every
+	// cluster the compiled program runs on (vbrun/vbbench -faults):
+	// flit drops and corruption priced through the reliable transport,
+	// link outages, slow and crashing nodes, V-Bus acquisition failures
+	// and per-operation deadlines. See internal/fault.
+	Faults *fault.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -249,7 +256,11 @@ func machineParams(override *cluster.Params, n int) cluster.Params {
 // clusterFor builds the machine for n processes, with the compile
 // options' event recorder (if any) attached.
 func (c *Compiled) clusterFor(n int) (*cluster.Cluster, error) {
-	cl, err := cluster.New(n, machineParams(c.opts.Params, n))
+	params := machineParams(c.opts.Params, n)
+	if c.opts.Faults != nil {
+		params.Faults = c.opts.Faults
+	}
+	cl, err := cluster.New(n, params)
 	if err != nil {
 		return nil, err
 	}

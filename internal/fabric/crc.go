@@ -1,0 +1,46 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+)
+
+// crcTable is the Castagnoli polynomial table — the FCS the V-Bus
+// card's FPGA appends to every packet on the wire.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the frame check sequence of a packet payload of
+// machine words (CRC-32C over the little-endian byte image, the order
+// the DMA engine streams them out in).
+func Checksum(words []float64) uint32 {
+	var buf [8]byte
+	crc := uint32(0)
+	for _, w := range words {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w))
+		crc = crc32.Update(crc, crcTable, buf[:])
+	}
+	return crc
+}
+
+// Verify reports whether the payload still matches its frame check
+// sequence.
+func Verify(words []float64, fcs uint32) bool {
+	return Checksum(words) == fcs
+}
+
+// FlipBit corrupts one bit of the payload in place — the single-event
+// upset the fault injector models. bit indexes the payload's bit image;
+// it is reduced modulo the payload size, so any non-negative value is
+// valid for a non-empty payload.
+func FlipBit(words []float64, bit int) {
+	if len(words) == 0 {
+		return
+	}
+	bit %= len(words) * 64
+	if bit < 0 {
+		bit += len(words) * 64
+	}
+	i, b := bit/64, uint(bit%64)
+	words[i] = math.Float64frombits(math.Float64bits(words[i]) ^ (1 << b))
+}

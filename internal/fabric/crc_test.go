@@ -1,0 +1,50 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumDetectsAnySingleBitFlip(t *testing.T) {
+	payload := []float64{0, 1, -1, 3.14159, 1e300, -1e-300, 42, 0.5}
+	fcs := Checksum(payload)
+	if !Verify(payload, fcs) {
+		t.Fatal("fresh payload fails its own FCS")
+	}
+	for bit := 0; bit < len(payload)*64; bit++ {
+		corrupted := append([]float64(nil), payload...)
+		FlipBit(corrupted, bit)
+		if Verify(corrupted, fcs) {
+			t.Fatalf("bit flip at %d undetected", bit)
+		}
+		// Flipping the same bit back must restore the payload.
+		FlipBit(corrupted, bit)
+		if !Verify(corrupted, fcs) {
+			t.Fatalf("double flip at %d does not restore the payload", bit)
+		}
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	f := func(words []float64) bool {
+		return Checksum(words) == Checksum(append([]float64(nil), words...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBitEdgeCases(t *testing.T) {
+	FlipBit(nil, 5) // must not panic
+	w := []float64{1}
+	FlipBit(w, -3)
+	FlipBit(w, -3)
+	if w[0] != 1 {
+		t.Errorf("negative bit index did not round-trip: %v", w[0])
+	}
+	FlipBit(w, 64) // reduces to bit 0
+	FlipBit(w, 0)
+	if w[0] != 1 {
+		t.Errorf("modular bit index did not round-trip: %v", w[0])
+	}
+}

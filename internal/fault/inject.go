@@ -1,0 +1,302 @@
+package fault
+
+import (
+	"vbuscluster/internal/sim"
+)
+
+// Fate is the injector's verdict on one packet transmission attempt.
+type Fate uint8
+
+const (
+	// Delivered means the packet arrives intact.
+	Delivered Fate = iota
+	// Dropped means the packet vanishes in the fabric; the sender
+	// discovers the loss only by ACK timeout.
+	Dropped
+	// Corrupted means the packet arrives but fails its CRC; the
+	// receiver NACKs immediately.
+	Corrupted
+)
+
+// String names the fate.
+func (f Fate) String() string {
+	switch f {
+	case Delivered:
+		return "delivered"
+	case Dropped:
+		return "dropped"
+	case Corrupted:
+		return "corrupted"
+	default:
+		return "invalid"
+	}
+}
+
+// Stream tags partition the injector's random decisions so distinct
+// fault classes never share a random value even for identical
+// identifiers.
+const (
+	streamDrop uint64 = 1 + iota
+	streamCorrupt
+	streamBus
+	streamMesh
+)
+
+// Injector makes every fault decision of a run. It is built from a
+// Spec and is stateless: each decision is a pure hash of the seed and
+// the decision's identity (source, destination, per-pair sequence
+// number, attempt), so concurrent ranks can consult it without locks
+// and two runs with the same spec make byte-identical decisions
+// regardless of goroutine interleaving.
+//
+// A nil *Injector is valid and injects nothing, so fault handling is
+// a nil check when off.
+type Injector struct {
+	spec Spec
+	// slowByRank is densely indexed for the hot ChargeCompute path.
+	slowByRank []float64
+	// crashByRank holds the earliest crash time per rank (MaxTime when
+	// the rank never crashes).
+	crashByRank []sim.Time
+}
+
+// New builds the injector for spec. A nil spec yields a nil injector.
+func New(spec *Spec) *Injector {
+	if spec == nil {
+		return nil
+	}
+	inj := &Injector{spec: *spec}
+	maxRank := -1
+	for _, sl := range spec.Slows {
+		if sl.Rank > maxRank {
+			maxRank = sl.Rank
+		}
+	}
+	for _, cr := range spec.Crashes {
+		if cr.Rank > maxRank {
+			maxRank = cr.Rank
+		}
+	}
+	inj.slowByRank = make([]float64, maxRank+1)
+	inj.crashByRank = make([]sim.Time, maxRank+1)
+	for i := range inj.slowByRank {
+		inj.slowByRank[i] = 1
+		inj.crashByRank[i] = sim.MaxTime
+	}
+	for _, sl := range spec.Slows {
+		if sl.Factor > inj.slowByRank[sl.Rank] {
+			inj.slowByRank[sl.Rank] = sl.Factor
+		}
+	}
+	for _, cr := range spec.Crashes {
+		if cr.At < inj.crashByRank[cr.Rank] {
+			inj.crashByRank[cr.Rank] = cr.At
+		}
+	}
+	return inj
+}
+
+// FromString parses spec and builds its injector.
+func FromString(spec string) (*Injector, error) {
+	s, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(s), nil
+}
+
+// Spec returns a copy of the injector's spec (the zero Spec on nil).
+func (inj *Injector) Spec() Spec {
+	if inj == nil {
+		return Spec{}
+	}
+	return inj.spec
+}
+
+// Enabled reports whether the injector can produce any fault at all.
+// Probabilistic faults require a non-zero seed; scheduled faults
+// (linkdown, slow, crash) and deadlines act regardless of seed.
+func (inj *Injector) Enabled() bool {
+	if inj == nil {
+		return false
+	}
+	s := &inj.spec
+	probabilistic := s.Seed != 0 && (s.FlitDrop > 0 || s.Corrupt > 0 || s.BusFail > 0)
+	return probabilistic || len(s.LinkDowns) > 0 || len(s.Slows) > 0 ||
+		len(s.Crashes) > 0 || s.Deadline > 0
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche mix with no detectable bias, used here as a keyed hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// uniform hashes the decision identity into [0,1).
+func (inj *Injector) uniform(stream uint64, ids ...uint64) float64 {
+	h := splitmix64(inj.spec.Seed ^ stream)
+	for _, id := range ids {
+		h = splitmix64(h ^ id)
+	}
+	// 53 high-quality mantissa bits → uniform double in [0,1).
+	return float64(h>>11) / (1 << 53)
+}
+
+// PacketFate decides what happens to the attempt-th transmission of
+// packet seq from src to dst. Drop is checked before corruption on an
+// independent random value; the same (seed, identifiers) always yields
+// the same fate, and because the decision compares a uniform value
+// against the rate, the set of dropped packets at rate p is a subset
+// of the set at any rate p' > p — completion time is monotone in the
+// injected rate by construction.
+func (inj *Injector) PacketFate(src, dst, seq, attempt int) Fate {
+	if inj == nil || inj.spec.Seed == 0 {
+		return Delivered
+	}
+	ids := []uint64{uint64(src), uint64(dst), uint64(seq), uint64(attempt)}
+	if inj.spec.FlitDrop > 0 && inj.uniform(streamDrop, ids...) < inj.spec.FlitDrop {
+		return Dropped
+	}
+	if inj.spec.Corrupt > 0 && inj.uniform(streamCorrupt, ids...) < inj.spec.Corrupt {
+		return Corrupted
+	}
+	return Delivered
+}
+
+// MeshFate is PacketFate on the flit-level simulator's stream: the two
+// simulators must not share random values or their fault patterns
+// would be correlated.
+func (inj *Injector) MeshFate(src, dst, seq, attempt int) Fate {
+	if inj == nil || inj.spec.Seed == 0 {
+		return Delivered
+	}
+	ids := []uint64{uint64(src), uint64(dst), uint64(seq), uint64(attempt)}
+	if inj.spec.FlitDrop > 0 && inj.uniform(streamMesh, ids...) < inj.spec.FlitDrop {
+		return Dropped
+	}
+	if inj.spec.Corrupt > 0 && inj.uniform(streamMesh+16, ids...) < inj.spec.Corrupt {
+		return Corrupted
+	}
+	return Delivered
+}
+
+// BusAcquireFail decides whether the attempt-th acquisition of the
+// virtual bus for broadcast seq times out.
+func (inj *Injector) BusAcquireFail(seq, attempt int) bool {
+	if inj == nil || inj.spec.Seed == 0 || inj.spec.BusFail <= 0 {
+		return false
+	}
+	return inj.uniform(streamBus, uint64(seq), uint64(attempt)) < inj.spec.BusFail
+}
+
+// SlowFactor reports rank's compute slowdown (1 when unaffected).
+func (inj *Injector) SlowFactor(rank int) float64 {
+	if inj == nil || rank < 0 || rank >= len(inj.slowByRank) {
+		return 1
+	}
+	return inj.slowByRank[rank]
+}
+
+// CrashTime reports the virtual time at which rank crashes, or
+// sim.MaxTime when it never does.
+func (inj *Injector) CrashTime(rank int) sim.Time {
+	if inj == nil || rank < 0 || rank >= len(inj.crashByRank) {
+		return sim.MaxTime
+	}
+	return inj.crashByRank[rank]
+}
+
+// LinkDownUntil reports, for the link between nodes a and b at virtual
+// time at, the end of the outage covering at (0 when the link is up).
+// Outages are direction-agnostic.
+func (inj *Injector) LinkDownUntil(a, b int, at sim.Time) sim.Time {
+	if inj == nil {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	var until sim.Time
+	for _, ld := range inj.spec.LinkDowns {
+		if ld.A == a && ld.B == b && at >= ld.At && at < ld.Until() {
+			if u := ld.Until(); u > until {
+				until = u
+			}
+		}
+	}
+	return until
+}
+
+// PathDownUntil reports the latest outage end over every hop of a
+// node path at virtual time at (0 when the whole path is up). path
+// lists the node IDs visited in order.
+func (inj *Injector) PathDownUntil(path []int, at sim.Time) sim.Time {
+	if inj == nil || len(inj.spec.LinkDowns) == 0 {
+		return 0
+	}
+	var until sim.Time
+	for i := 0; i+1 < len(path); i++ {
+		if u := inj.LinkDownUntil(path[i], path[i+1], at); u > until {
+			until = u
+		}
+	}
+	return until
+}
+
+// HasLinkDowns reports whether any link outage is scheduled.
+func (inj *Injector) HasLinkDowns() bool {
+	return inj != nil && len(inj.spec.LinkDowns) > 0
+}
+
+// Transport parameter accessors, nil-safe with the spec defaults.
+
+// MTU is the reliable-transport packet size in bytes.
+func (inj *Injector) MTU() int {
+	if inj == nil {
+		return DefaultMTU
+	}
+	return inj.spec.MTU
+}
+
+// Window is the go-back-N window in packets.
+func (inj *Injector) Window() int {
+	if inj == nil {
+		return DefaultWindow
+	}
+	return inj.spec.Window
+}
+
+// MaxRetry is the retransmission attempt limit.
+func (inj *Injector) MaxRetry() int {
+	if inj == nil {
+		return DefaultMaxRetry
+	}
+	return inj.spec.MaxRetry
+}
+
+// Backoff is the base retransmission backoff.
+func (inj *Injector) Backoff() sim.Time {
+	if inj == nil {
+		return DefaultBackoff
+	}
+	return inj.spec.Backoff
+}
+
+// BusTimeout is the V-Bus acquisition timeout.
+func (inj *Injector) BusTimeout() sim.Time {
+	if inj == nil {
+		return DefaultBusTimeout
+	}
+	return inj.spec.BusTimeout
+}
+
+// Deadline is the per-operation deadline (0 = none).
+func (inj *Injector) Deadline() sim.Time {
+	if inj == nil {
+		return 0
+	}
+	return inj.spec.Deadline
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"testing"
+
+	"vbuscluster/internal/sim"
+)
+
+func mustInjector(t *testing.T, spec string) *Injector {
+	t.Helper()
+	inj, err := FromString(spec)
+	if err != nil {
+		t.Fatalf("FromString(%q): %v", spec, err)
+	}
+	return inj
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.Enabled() {
+		t.Error("nil injector reports Enabled")
+	}
+	if f := inj.PacketFate(0, 1, 2, 0); f != Delivered {
+		t.Errorf("nil PacketFate = %v", f)
+	}
+	if inj.BusAcquireFail(0, 0) {
+		t.Error("nil BusAcquireFail = true")
+	}
+	if got := inj.SlowFactor(3); got != 1 {
+		t.Errorf("nil SlowFactor = %g", got)
+	}
+	if got := inj.CrashTime(3); got != sim.MaxTime {
+		t.Errorf("nil CrashTime = %v", got)
+	}
+	if got := inj.LinkDownUntil(0, 1, 0); got != 0 {
+		t.Errorf("nil LinkDownUntil = %v", got)
+	}
+	if inj.MTU() != DefaultMTU || inj.Window() != DefaultWindow ||
+		inj.MaxRetry() != DefaultMaxRetry || inj.Backoff() != DefaultBackoff ||
+		inj.BusTimeout() != DefaultBusTimeout || inj.Deadline() != 0 {
+		t.Error("nil injector does not report transport defaults")
+	}
+}
+
+func TestSeedZeroInjectsNothing(t *testing.T) {
+	inj := mustInjector(t, "seed=0,flitdrop=1,corrupt=1,busfail=1")
+	if inj.Enabled() {
+		t.Error("seed=0 injector reports Enabled")
+	}
+	for seq := 0; seq < 100; seq++ {
+		if f := inj.PacketFate(0, 1, seq, 0); f != Delivered {
+			t.Fatalf("seed=0 PacketFate(seq=%d) = %v", seq, f)
+		}
+		if inj.BusAcquireFail(seq, 0) {
+			t.Fatalf("seed=0 BusAcquireFail(seq=%d) = true", seq)
+		}
+	}
+}
+
+func TestPacketFateDeterministic(t *testing.T) {
+	a := mustInjector(t, "seed=42,flitdrop=0.2,corrupt=0.2")
+	b := mustInjector(t, "seed=42,flitdrop=0.2,corrupt=0.2")
+	var delivered, dropped, corrupted int
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			for seq := 0; seq < 200; seq++ {
+				fa := a.PacketFate(src, dst, seq, 0)
+				if fb := b.PacketFate(src, dst, seq, 0); fa != fb {
+					t.Fatalf("same seed disagrees at (%d,%d,%d): %v vs %v", src, dst, seq, fa, fb)
+				}
+				switch fa {
+				case Delivered:
+					delivered++
+				case Dropped:
+					dropped++
+				case Corrupted:
+					corrupted++
+				}
+			}
+		}
+	}
+	// With 3200 packets at 20%/20% rates, all three fates must occur and
+	// sit within loose bounds — a sanity check on the hash, not a
+	// statistical test.
+	if dropped < 300 || dropped > 1000 {
+		t.Errorf("dropped = %d, want roughly 640", dropped)
+	}
+	if corrupted < 200 || corrupted > 900 {
+		t.Errorf("corrupted = %d, want roughly 512", corrupted)
+	}
+	if delivered == 0 {
+		t.Error("no packets delivered")
+	}
+}
+
+func TestDropSetMonotoneInRate(t *testing.T) {
+	rates := []float64{1e-4, 1e-3, 1e-2, 1e-1, 0.5}
+	var prev map[[3]int]bool
+	for _, rate := range rates {
+		spec := &Spec{Seed: 7, FlitDrop: rate, MTU: DefaultMTU, Window: DefaultWindow,
+			MaxRetry: DefaultMaxRetry, Backoff: DefaultBackoff, BusTimeout: DefaultBusTimeout}
+		inj := New(spec)
+		cur := map[[3]int]bool{}
+		for src := 0; src < 4; src++ {
+			for dst := 0; dst < 4; dst++ {
+				for seq := 0; seq < 500; seq++ {
+					if inj.PacketFate(src, dst, seq, 0) == Dropped {
+						cur[[3]int{src, dst, seq}] = true
+					}
+				}
+			}
+		}
+		for k := range prev {
+			if !cur[k] {
+				t.Fatalf("packet %v dropped at lower rate but not at %g", k, rate)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := mustInjector(t, "seed=1,flitdrop=0.3")
+	b := mustInjector(t, "seed=2,flitdrop=0.3")
+	same := 0
+	const total = 2000
+	for seq := 0; seq < total; seq++ {
+		if a.PacketFate(0, 1, seq, 0) == b.PacketFate(0, 1, seq, 0) {
+			same++
+		}
+	}
+	if same == total {
+		t.Error("seeds 1 and 2 produce identical fate sequences")
+	}
+}
+
+func TestScheduledFaults(t *testing.T) {
+	inj := mustInjector(t, "seed=0,linkdown=0-1@1ms+2ms,slow=1*3,crash=2@5ms")
+	if !inj.Enabled() {
+		t.Error("scheduled faults should enable the injector even with seed=0")
+	}
+	if got := inj.LinkDownUntil(0, 1, 500*sim.Microsecond); got != 0 {
+		t.Errorf("link down before outage: until=%v", got)
+	}
+	want := 3 * sim.Millisecond
+	if got := inj.LinkDownUntil(0, 1, sim.Millisecond); got != want {
+		t.Errorf("LinkDownUntil at start = %v, want %v", got, want)
+	}
+	if got := inj.LinkDownUntil(1, 0, 2*sim.Millisecond); got != want {
+		t.Errorf("reversed direction LinkDownUntil = %v, want %v", got, want)
+	}
+	if got := inj.LinkDownUntil(0, 1, want); got != 0 {
+		t.Errorf("link still down at outage end: until=%v", got)
+	}
+	if got := inj.LinkDownUntil(0, 2, sim.Millisecond); got != 0 {
+		t.Errorf("unrelated link down: until=%v", got)
+	}
+	if got := inj.PathDownUntil([]int{2, 0, 1}, sim.Millisecond); got != want {
+		t.Errorf("PathDownUntil = %v, want %v", got, want)
+	}
+	if got := inj.SlowFactor(1); got != 3 {
+		t.Errorf("SlowFactor(1) = %g, want 3", got)
+	}
+	if got := inj.SlowFactor(0); got != 1 {
+		t.Errorf("SlowFactor(0) = %g, want 1", got)
+	}
+	if got := inj.CrashTime(2); got != 5*sim.Millisecond {
+		t.Errorf("CrashTime(2) = %v", got)
+	}
+	if got := inj.CrashTime(0); got != sim.MaxTime {
+		t.Errorf("CrashTime(0) = %v, want MaxTime", got)
+	}
+}
+
+func TestMeshFateIndependentStream(t *testing.T) {
+	inj := mustInjector(t, "seed=5,flitdrop=0.5")
+	differ := false
+	for seq := 0; seq < 200; seq++ {
+		if inj.PacketFate(0, 1, seq, 0) != inj.MeshFate(0, 1, seq, 0) {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Error("NIC and mesh fault streams are correlated")
+	}
+}

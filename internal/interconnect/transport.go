@@ -31,6 +31,11 @@ const (
 	// TransportSync is synchronization: barriers, fences, lock
 	// handshakes and receive-side waits. No payload moves.
 	TransportSync
+	// TransportRetry is reliability overhead: go-back-N retransmissions,
+	// ACK timeouts, backoff waits and link-outage stalls charged by the
+	// reliable-transport layer under fault injection. Zero-fault runs
+	// record no retry events at all.
+	TransportRetry
 	// NumTransports sizes per-transport counter arrays.
 	NumTransports
 )
@@ -52,6 +57,8 @@ func (t Transport) String() string {
 		return "bcast"
 	case TransportSync:
 		return "sync"
+	case TransportRetry:
+		return "retry"
 	default:
 		return "invalid"
 	}

@@ -11,6 +11,7 @@ func TestTransportStrings(t *testing.T) {
 		TransportP2P:   "p2p",
 		TransportBcast: "bcast",
 		TransportSync:  "sync",
+		TransportRetry: "retry",
 	}
 	if len(want) != int(NumTransports) {
 		t.Fatalf("test covers %d transports, NumTransports is %d", len(want), NumTransports)

@@ -77,7 +77,8 @@ func snapshotMem(env *Env) map[string][]float64 {
 }
 
 // recoverRun converts interpreter panics into errors; STOP is clean
-// termination.
+// termination. Structured MPI fault errors (timeouts, crashes under
+// fault injection) propagate as the run's error.
 func recoverRun(err *error) {
 	if r := recover(); r != nil {
 		if _, ok := r.(stopSignal); ok {
@@ -85,6 +86,10 @@ func recoverRun(err *error) {
 		}
 		if re, ok := r.(runtimeError); ok {
 			*err = re.err
+			return
+		}
+		if me, ok := r.(*mpi.Error); ok {
+			*err = me
 			return
 		}
 		panic(r)
@@ -136,6 +141,7 @@ func RunParallel(pp *postpass.Program, cl *cluster.Cluster, mode Mode) (*Result,
 		return nil, fmt.Errorf("interp: program compiled for %d procs, cluster has %d", pp.Opts.NumProcs, P)
 	}
 	world := mpi.NewWorld(cl)
+	defer world.Shutdown()
 	var out bytes.Buffer
 
 	envs := make([]*Env, P)
@@ -146,6 +152,12 @@ func RunParallel(pp *postpass.Program, cl *cluster.Cluster, mode Mode) (*Result,
 		go func(rank int) {
 			defer wg.Done()
 			errs[rank] = runRank(pp, world.Rank(rank), mode, &out, &envs[rank])
+			if errs[rank] != nil {
+				// A rank that dies on an error must not strand its
+				// peers in a rendezvous: mark it departed so blocked
+				// operations fail over to structured errors.
+				world.Depart(rank)
+			}
 		}(r)
 	}
 	wg.Wait()

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"vbuscluster/internal/fabric"
+	"vbuscluster/internal/fault"
 	"vbuscluster/internal/sim"
 )
 
@@ -119,6 +120,8 @@ type Stats struct {
 	MaxLatency          sim.Time
 	BlockedAcquires     int // channel acquisitions that had to wait
 	FrozenByBus         int // p2p progress events delayed by a virtual bus
+	LinkStalls          int // head-flit advances stalled by an injected link outage
+	Retransmissions     int // message streams repeated after injected drop/corruption
 	BusOccupancy        sim.Time
 	PeakInFlight        int
 	currentInFlight     int
@@ -140,6 +143,13 @@ type Mesh struct {
 	// busFreeAt is the time the current/last virtual bus releases the
 	// network. P2p progress is frozen until then.
 	busFreeAt sim.Time
+
+	// inj injects flit-level faults (nil = clean network): link outages
+	// stall head flits, drop/corruption forces full message re-streams.
+	inj *fault.Injector
+	// meshSeq numbers each (src,dst) pair's messages so fault decisions
+	// are deterministic and independent of event interleaving.
+	meshSeq map[[2]NodeID]int
 
 	stats Stats
 }
@@ -175,6 +185,7 @@ func New(eng *sim.Engine, cfg Config) (*Mesh, error) {
 		link:     l,
 		channels: make(map[chanKey]*channel),
 		draining: make(map[*message]struct{}),
+		meshSeq:  make(map[[2]NodeID]int),
 	}
 	m.stats.DeliveredByDst = make(map[NodeID]int)
 	m.stats.BytesPerFlit = l.Width() / 8
@@ -193,6 +204,10 @@ func (m *Mesh) BytesPerFlit() int { return m.stats.BytesPerFlit }
 // Stats returns a snapshot of delivery statistics.
 func (m *Mesh) Stats() Stats { return m.stats }
 
+// SetFaults attaches a fault injector to the network. Pass nil to
+// restore clean operation. Must be called before traffic is injected.
+func (m *Mesh) SetFaults(inj *fault.Injector) { m.inj = inj }
+
 // Coord maps a NodeID to mesh coordinates.
 func (m *Mesh) Coord(n NodeID) (x, y int) {
 	return int(n) % m.cfg.Width, int(n) / m.cfg.Width
@@ -205,10 +220,12 @@ func (m *Mesh) NodeAt(x, y int) NodeID { return NodeID(y*m.cfg.Width + x) }
 func (m *Mesh) valid(n NodeID) bool { return n >= 0 && int(n) < m.Nodes() }
 
 // Route computes the dimension-ordered (X then Y) channel sequence from
-// src to dst, including the injection and ejection channels.
-func (m *Mesh) Route(src, dst NodeID) []chanKey {
+// src to dst, including the injection and ejection channels. Nodes
+// outside the mesh yield an error rather than a panic, so callers fed
+// from external configuration can report the problem.
+func (m *Mesh) Route(src, dst NodeID) ([]chanKey, error) {
 	if !m.valid(src) || !m.valid(dst) {
-		panic(fmt.Sprintf("mesh: route %d->%d outside %dx%d mesh", src, dst, m.cfg.Width, m.cfg.Height))
+		return nil, fmt.Errorf("mesh: route %d->%d outside %dx%d mesh", src, dst, m.cfg.Width, m.cfg.Height)
 	}
 	route := []chanKey{{src, Inject, 0}}
 	if m.cfg.Hypercube {
@@ -224,7 +241,7 @@ func (m *Mesh) Route(src, dst NodeID) []chanKey {
 			diff >>= 1
 		}
 		route = append(route, chanKey{dst, Eject, 0})
-		return route
+		return route, nil
 	}
 	x, y := m.Coord(src)
 	dx, dy := m.Coord(dst)
@@ -288,7 +305,7 @@ func (m *Mesh) Route(src, dst NodeID) []chanKey {
 		stepY()
 	}
 	route = append(route, chanKey{dst, Eject, 0})
-	return route
+	return route, nil
 }
 
 func mod(a, m int) int {
@@ -363,6 +380,7 @@ func (m *Mesh) channelFor(k chanKey) *channel {
 type message struct {
 	src, dst NodeID
 	flits    int
+	seq      int // per-(src,dst) order for fault decisions
 	route    []chanKey
 	hop      int
 	injected sim.Time
@@ -388,23 +406,35 @@ func (m *Mesh) FlitsFor(bytes int) int {
 
 // Send injects a point-to-point message at the current engine time.
 // done (optional) is called when the tail flit is ejected at dst.
-func (m *Mesh) Send(src, dst NodeID, bytes int, done func(sim.Time)) {
-	if !m.valid(src) || !m.valid(dst) {
-		panic(fmt.Sprintf("mesh: send %d->%d outside mesh", src, dst))
+// Invalid endpoints or a negative payload yield an error and inject
+// nothing.
+func (m *Mesh) Send(src, dst NodeID, bytes int, done func(sim.Time)) error {
+	if bytes < 0 {
+		return fmt.Errorf("mesh: send %d->%d with negative payload %d", src, dst, bytes)
+	}
+	route, err := m.Route(src, dst)
+	if err != nil {
+		return err
 	}
 	msg := &message{
 		src:      src,
 		dst:      dst,
 		flits:    m.FlitsFor(bytes),
-		route:    m.Route(src, dst),
+		route:    route,
 		injected: m.eng.Now(),
 		done:     done,
+	}
+	if m.inj != nil {
+		key := [2]NodeID{src, dst}
+		msg.seq = m.meshSeq[key]
+		m.meshSeq[key]++
 	}
 	m.stats.currentInFlight++
 	if m.stats.currentInFlight > m.stats.PeakInFlight {
 		m.stats.PeakInFlight = m.stats.currentInFlight
 	}
 	m.advance(msg)
+	return nil
 }
 
 // advance tries to move msg's head flit across its next channel.
@@ -420,6 +450,18 @@ func (m *Mesh) advance(msg *message) {
 	if msg.hop >= len(msg.route) {
 		m.deliver(msg)
 		return
+	}
+	// An injected link outage stalls the head flit in its buffer until
+	// the link recovers (inject/eject channels are node-local and never
+	// go down).
+	if m.inj != nil && m.inj.HasLinkDowns() {
+		if a, b, ok := m.linkEnds(msg.route[msg.hop]); ok {
+			if until := m.inj.LinkDownUntil(int(a), int(b), now); until > now {
+				m.stats.LinkStalls++
+				m.eng.At(until, func() { m.advance(msg) })
+				return
+			}
+		}
 	}
 	ch := m.channelFor(msg.route[msg.hop])
 	if ch.held {
@@ -444,10 +486,48 @@ func (m *Mesh) advance(msg *message) {
 
 // deliver fires when the head flit ejects at dst; the tail drains after
 // (flits-1) launch intervals, which is when channels release and the
-// completion callback runs.
+// completion callback runs. Under fault injection, a dropped or
+// CRC-corrupted stream is re-driven over the already-held wormhole
+// path (one extra full stream per failed attempt, bounded by the
+// injector's retry limit), so delivery is guaranteed but slower.
 func (m *Mesh) deliver(msg *message) {
 	drain := sim.Time(msg.flits-1) * m.link.LaunchInterval()
+	if m.inj != nil {
+		resend := sim.Time(msg.flits)*m.link.LaunchInterval() + m.link.PropagationDelay()
+		for attempt := 0; attempt <= m.inj.MaxRetry(); attempt++ {
+			if m.inj.MeshFate(int(msg.src), int(msg.dst), msg.seq, attempt) == fault.Delivered {
+				break
+			}
+			m.stats.Retransmissions++
+			drain += resend
+		}
+	}
 	m.scheduleRelease(msg, m.eng.Now()+drain)
+}
+
+// linkEnds reports the two nodes an inter-router channel connects
+// (ok=false for the node-local inject/eject channels).
+func (m *Mesh) linkEnds(k chanKey) (a, b NodeID, ok bool) {
+	switch {
+	case k.dir == Inject || k.dir == Eject:
+		return 0, 0, false
+	case k.dir > Eject:
+		// Hypercube dimension channel.
+		d := int(k.dir) - int(Eject) - 1
+		return k.node, NodeID(int(k.node) ^ (1 << d)), true
+	}
+	x, y := m.Coord(k.node)
+	switch k.dir {
+	case East:
+		x = mod(x+1, m.cfg.Width)
+	case West:
+		x = mod(x-1, m.cfg.Width)
+	case South:
+		y = mod(y+1, m.cfg.Height)
+	case North:
+		y = mod(y-1, m.cfg.Height)
+	}
+	return k.node, m.NodeAt(x, y), true
 }
 
 // scheduleRelease arms (or re-arms, after a bus freeze) the event that
@@ -488,9 +568,14 @@ func (m *Mesh) scheduleRelease(msg *message, release sim.Time) {
 // directly through the virtual bus connection without intervening
 // buffers" — and every other node receives it simultaneously. done
 // (optional) is called once at completion with the delivery time.
-func (m *Mesh) Broadcast(src NodeID, bytes int, done func(sim.Time)) {
+// An invalid source or negative payload yields an error and drives
+// nothing.
+func (m *Mesh) Broadcast(src NodeID, bytes int, done func(sim.Time)) error {
 	if !m.valid(src) {
-		panic("mesh: broadcast from invalid node")
+		return fmt.Errorf("mesh: broadcast from invalid node %d on %dx%d mesh", src, m.cfg.Width, m.cfg.Height)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("mesh: broadcast from %d with negative payload %d", src, bytes)
 	}
 	flits := m.FlitsFor(bytes)
 	now := m.eng.Now()
@@ -523,6 +608,7 @@ func (m *Mesh) Broadcast(src NodeID, bytes int, done func(sim.Time)) {
 			done(end)
 		}
 	})
+	return nil
 }
 
 // P2PTime analytically reports the uncontended point-to-point time for

@@ -1,0 +1,109 @@
+package mesh
+
+import (
+	"testing"
+
+	"vbuscluster/internal/fault"
+	"vbuscluster/internal/sim"
+)
+
+func faultInj(t *testing.T, spec string) *fault.Injector {
+	t.Helper()
+	inj, err := fault.FromString(spec)
+	if err != nil {
+		t.Fatalf("FromString(%q): %v", spec, err)
+	}
+	return inj
+}
+
+func TestRouteErrorsOnInvalidNodes(t *testing.T) {
+	_, m := newMesh(t, 4, 4)
+	for _, pair := range [][2]NodeID{{-1, 0}, {0, -1}, {16, 0}, {0, 16}} {
+		if _, err := m.Route(pair[0], pair[1]); err == nil {
+			t.Errorf("Route(%d,%d) accepted out-of-range node", pair[0], pair[1])
+		}
+	}
+}
+
+func TestSendBroadcastErrors(t *testing.T) {
+	_, m := newMesh(t, 2, 2)
+	if err := m.Send(0, 99, 64, nil); err == nil {
+		t.Error("Send to out-of-range node accepted")
+	}
+	if err := m.Send(0, 1, -1, nil); err == nil {
+		t.Error("Send with negative payload accepted")
+	}
+	if err := m.Broadcast(-3, 64, nil); err == nil {
+		t.Error("Broadcast from out-of-range node accepted")
+	}
+	if err := m.Broadcast(0, -1, nil); err == nil {
+		t.Error("Broadcast with negative payload accepted")
+	}
+	if got := m.Stats().MessagesDelivered; got != 0 {
+		t.Errorf("rejected traffic was injected: %d messages", got)
+	}
+}
+
+func TestLinkDownStallsDelivery(t *testing.T) {
+	engClean, clean := newMesh(t, 4, 1)
+	var cleanAt sim.Time
+	if err := clean.Send(0, 3, 256, func(ts sim.Time) { cleanAt = ts }); err != nil {
+		t.Fatal(err)
+	}
+	engClean.Run()
+
+	eng, m := newMesh(t, 4, 1)
+	m.SetFaults(faultInj(t, "seed=1,linkdown=1-2@0ns+5us"))
+	var faultAt sim.Time
+	if err := m.Send(0, 3, 256, func(ts sim.Time) { faultAt = ts }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	if faultAt <= cleanAt {
+		t.Fatalf("link outage did not delay delivery: clean %v, faulty %v", cleanAt, faultAt)
+	}
+	if faultAt < 5*sim.Microsecond {
+		t.Fatalf("delivery at %v, before the outage window ends", faultAt)
+	}
+	if m.Stats().LinkStalls == 0 {
+		t.Error("no link stalls recorded")
+	}
+}
+
+func TestMeshRetransmissionsDeterministicAndDelayed(t *testing.T) {
+	run := func(spec string) (sim.Time, Stats) {
+		eng, m := newMesh(t, 4, 4)
+		if spec != "" {
+			m.SetFaults(faultInj(t, spec))
+		}
+		var last sim.Time
+		for i := 0; i < 20; i++ {
+			if err := m.Send(NodeID(i%16), NodeID((i*7+3)%16), 2048, func(ts sim.Time) {
+				if ts > last {
+					last = ts
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		return last, m.Stats()
+	}
+
+	cleanAt, cleanStats := run("")
+	if cleanStats.Retransmissions != 0 {
+		t.Fatalf("clean run retransmitted %d times", cleanStats.Retransmissions)
+	}
+	aAt, aStats := run("seed=5,flitdrop=0.4,corrupt=0.2")
+	bAt, bStats := run("seed=5,flitdrop=0.4,corrupt=0.2")
+	if aAt != bAt || aStats.Retransmissions != bStats.Retransmissions {
+		t.Fatalf("same seed diverged: %v/%d vs %v/%d", aAt, aStats.Retransmissions, bAt, bStats.Retransmissions)
+	}
+	if aStats.Retransmissions == 0 {
+		t.Error("no retransmissions at 40% drop")
+	}
+	if aAt <= cleanAt {
+		t.Errorf("faulty run (%v) not slower than clean (%v)", aAt, cleanAt)
+	}
+}

@@ -31,6 +31,15 @@ func newMesh(t *testing.T, w, h int) (*sim.Engine, *Mesh) {
 	return eng, m
 }
 
+func mustRoute(t *testing.T, m *Mesh, src, dst NodeID) []chanKey {
+	t.Helper()
+	r, err := m.Route(src, dst)
+	if err != nil {
+		t.Fatalf("Route(%d,%d): %v", src, dst, err)
+	}
+	return r
+}
+
 func TestValidation(t *testing.T) {
 	eng := sim.NewEngine()
 	if _, err := New(eng, Config{Width: 0, Height: 2}); err == nil {
@@ -60,7 +69,7 @@ func TestCoordRoundTrip(t *testing.T) {
 
 func TestXYRouteShape(t *testing.T) {
 	_, m := newMesh(t, 4, 4)
-	r := m.Route(m.NodeAt(0, 0), m.NodeAt(3, 2))
+	r := mustRoute(t, m, m.NodeAt(0, 0), m.NodeAt(3, 2))
 	// inject + 3 east + 2 south + eject
 	if len(r) != 7 {
 		t.Fatalf("route length = %d, want 7: %v", len(r), r)
@@ -82,7 +91,7 @@ func TestXYRouteShape(t *testing.T) {
 
 func TestRouteWestNorth(t *testing.T) {
 	_, m := newMesh(t, 3, 3)
-	r := m.Route(m.NodeAt(2, 2), m.NodeAt(0, 0))
+	r := mustRoute(t, m, m.NodeAt(2, 2), m.NodeAt(0, 0))
 	if len(r) != 6 {
 		t.Fatalf("route length = %d, want 6", len(r))
 	}
@@ -395,7 +404,7 @@ func TestTorusRouteLengthMatchesHops(t *testing.T) {
 	_, m := newTorus(t, 5, 3)
 	for s := NodeID(0); int(s) < m.Nodes(); s++ {
 		for d := NodeID(0); int(d) < m.Nodes(); d++ {
-			r := m.Route(s, d)
+			r := mustRoute(t, m, s, d)
 			if len(r) != m.Hops(s, d)+2 {
 				t.Fatalf("route %d->%d has %d entries, hops %d", s, d, len(r), m.Hops(s, d))
 			}
@@ -480,7 +489,7 @@ func TestHypercubeRouteLengthMatchesHops(t *testing.T) {
 	_, m := newHypercube(t, 8)
 	for s := NodeID(0); int(s) < m.Nodes(); s++ {
 		for d := NodeID(0); int(d) < m.Nodes(); d++ {
-			if len(m.Route(s, d)) != m.Hops(s, d)+2 {
+			if len(mustRoute(t, m, s, d)) != m.Hops(s, d)+2 {
 				t.Fatalf("route %d->%d length mismatch", s, d)
 			}
 		}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/sim"
@@ -41,23 +42,45 @@ type collSlot struct {
 	vals      [][]float64
 	result    []float64
 	commCost  sim.Time
+	transport interconnect.Transport
 	remaining int
 }
 
-// collective is the shared rendezvous: every rank contributes, the last
-// arrival runs finish (which sees all contributions and the latest
-// clock) to compute the released clock, the shared result and the
-// per-rank comm cost to book. All ranks return the shared result.
-func (w *World) collective(rank int, contrib []float64,
-	finish func(maxT sim.Time, vals [][]float64) (release sim.Time, result []float64, commCost sim.Time)) []float64 {
+// collectiveE is the shared rendezvous: every rank contributes, the
+// last arrival runs finish (which sees all contributions and the
+// latest clock) to compute the released clock, the shared result, the
+// per-rank comm cost to book, and the transport class the collective
+// actually used (carried through the slot so every rank traces the
+// same class — under fault injection a broadcast may degrade from the
+// hardware bus to the software tree). All ranks return the shared
+// result.
+//
+// Under fault injection the rendezvous can fail instead of blocking
+// forever: a crashed or departed rank fails every waiter with
+// ErrPeerCrashed, and with a deadline set, a waiter stuck past the
+// wall-clock watchdog fails with ErrTimeout. A failed collective
+// poisons the world — the run is over, only error propagation remains.
+func (w *World) collectiveE(rank int, op string, contrib []float64,
+	finish func(maxT sim.Time, vals [][]float64) (release sim.Time, result []float64, commCost sim.Time, tr interconnect.Transport)) ([]float64, interconnect.Transport, *Error) {
 
 	if w.n == 1 {
-		release, result, commCost := finish(w.cl.Clock(rank), [][]float64{contrib})
+		release, result, commCost, tr := finish(w.cl.Clock(rank), [][]float64{contrib})
 		w.cl.SetAll(release)
 		w.cl.BookComm(rank, commCost, 0)
-		return result
+		return result, tr, nil
+	}
+	deadline := w.inj.Deadline()
+	var entry sim.Time
+	var wallStart time.Time
+	if deadline > 0 {
+		entry = w.cl.Clock(rank)
+		wallStart = time.Now()
 	}
 	w.mu.Lock()
+	if w.nDown > 0 {
+		w.mu.Unlock()
+		return nil, 0, &Error{Kind: ErrPeerCrashed, Rank: rank, Op: op, Peer: -1, Time: w.cl.Clock(rank)}
+	}
 	gen := w.gen
 	slot, ok := w.slots[gen]
 	if !ok {
@@ -70,9 +93,10 @@ func (w *World) collective(rank int, contrib []float64,
 	}
 	w.arrived++
 	if w.arrived == w.n {
-		release, result, commCost := finish(w.maxT, slot.vals)
+		release, result, commCost, tr := finish(w.maxT, slot.vals)
 		slot.result = result
 		slot.commCost = commCost
+		slot.transport = tr
 		w.cl.SetAll(release)
 		w.arrived = 0
 		w.maxT = 0
@@ -80,18 +104,29 @@ func (w *World) collective(rank int, contrib []float64,
 		w.cond.Broadcast()
 	} else {
 		for gen == w.gen {
+			if w.nDown > 0 {
+				w.arrived--
+				w.mu.Unlock()
+				return nil, 0, &Error{Kind: ErrPeerCrashed, Rank: rank, Op: op, Peer: -1, Time: w.cl.Clock(rank)}
+			}
+			if deadline > 0 && time.Since(wallStart) > WatchdogWall {
+				w.arrived--
+				w.mu.Unlock()
+				return nil, 0, &Error{Kind: ErrTimeout, Rank: rank, Op: op, Peer: -1, Time: entry + deadline}
+			}
 			w.cond.Wait()
 		}
 	}
 	res := slot.result
 	cost := slot.commCost
+	tr := slot.transport
 	slot.remaining--
 	if slot.remaining == 0 {
 		delete(w.slots, gen)
 	}
 	w.mu.Unlock()
 	w.cl.BookComm(rank, cost, 0)
-	return res
+	return res, tr, nil
 }
 
 // Bcast broadcasts root's data to every rank (MPI_BCAST), using the
@@ -103,18 +138,26 @@ func (p *Proc) Bcast(root int, data []float64) []float64 {
 	if root < 0 || root >= w.n {
 		panic(fmt.Sprintf("mpi: Bcast root %d out of range", root))
 	}
+	if err := p.enter(trace.OpBcast, root); err != nil {
+		panic(err)
+	}
 	card := w.cl.Fabric()
 	var contrib []float64
 	if p.rank == root {
 		contrib = data
 	}
 	rec, begin := p.traceBegin()
-	res := w.collective(p.rank, contrib, func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time) {
-		payload := vals[root]
-		cost := card.SendSetup() + card.BroadcastTime(len(payload)*WordBytes, w.n)
-		return maxT + cost, append([]float64(nil), payload...), cost
-	})
-	p.traceEnd(rec, begin, trace.OpBcast, root, 0, int64(len(res)*WordBytes), interconnect.TransportBcast)
+	res, tr, err := w.collectiveE(p.rank, trace.OpBcast, contrib,
+		func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time, interconnect.Transport) {
+			payload := vals[root]
+			bcost, btr := w.broadcastCost(len(payload) * WordBytes)
+			cost := card.SendSetup() + bcost
+			return maxT + cost, append([]float64(nil), payload...), cost, btr
+		})
+	if err != nil {
+		panic(err)
+	}
+	p.traceEnd(rec, begin, trace.OpBcast, root, 0, int64(len(res)*WordBytes), tr)
 	return append([]float64(nil), res...)
 }
 
@@ -135,21 +178,28 @@ func (p *Proc) Reduce(op Op, root int, data []float64) []float64 {
 	if root < 0 || root >= w.n {
 		panic(fmt.Sprintf("mpi: Reduce root %d out of range", root))
 	}
+	if err := p.enter(trace.OpReduce, root); err != nil {
+		panic(err)
+	}
 	rec, begin := p.traceBegin()
-	res := w.collective(p.rank, data, func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time) {
-		out := append([]float64(nil), vals[0]...)
-		for r := 1; r < w.n; r++ {
-			v := vals[r]
-			if len(v) != len(out) {
-				panic(fmt.Sprintf("mpi: Reduce length mismatch: rank 0 has %d, rank %d has %d", len(out), r, len(v)))
+	res, _, cerr := w.collectiveE(p.rank, trace.OpReduce, data,
+		func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time, interconnect.Transport) {
+			out := append([]float64(nil), vals[0]...)
+			for r := 1; r < w.n; r++ {
+				v := vals[r]
+				if len(v) != len(out) {
+					panic(fmt.Sprintf("mpi: Reduce length mismatch: rank 0 has %d, rank %d has %d", len(out), r, len(v)))
+				}
+				for i := range out {
+					out[i] = op.apply(out[i], v[i])
+				}
 			}
-			for i := range out {
-				out[i] = op.apply(out[i], v[i])
-			}
-		}
-		cost := w.reduceCost(len(out))
-		return maxT + cost, out, cost
-	})
+			cost := w.reduceCost(len(out))
+			return maxT + cost, out, cost, interconnect.TransportP2P
+		})
+	if cerr != nil {
+		panic(cerr)
+	}
 	p.traceEnd(rec, begin, trace.OpReduce, root, 0, int64(len(data)*WordBytes), interconnect.TransportP2P)
 	if p.rank != root {
 		return nil
@@ -161,22 +211,29 @@ func (p *Proc) Reduce(op Op, root int, data []float64) []float64 {
 // every rank receives the combined vector (MPI_ALLREDUCE).
 func (p *Proc) Allreduce(op Op, data []float64) []float64 {
 	w := p.w
-	card := w.cl.Fabric()
+	if err := p.enter(trace.OpAllreduce, -1); err != nil {
+		panic(err)
+	}
 	rec, begin := p.traceBegin()
-	res := w.collective(p.rank, data, func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time) {
-		out := append([]float64(nil), vals[0]...)
-		for r := 1; r < w.n; r++ {
-			v := vals[r]
-			if len(v) != len(out) {
-				panic(fmt.Sprintf("mpi: Allreduce length mismatch: rank 0 has %d, rank %d has %d", len(out), r, len(v)))
+	res, tr, cerr := w.collectiveE(p.rank, trace.OpAllreduce, data,
+		func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time, interconnect.Transport) {
+			out := append([]float64(nil), vals[0]...)
+			for r := 1; r < w.n; r++ {
+				v := vals[r]
+				if len(v) != len(out) {
+					panic(fmt.Sprintf("mpi: Allreduce length mismatch: rank 0 has %d, rank %d has %d", len(out), r, len(v)))
+				}
+				for i := range out {
+					out[i] = op.apply(out[i], v[i])
+				}
 			}
-			for i := range out {
-				out[i] = op.apply(out[i], v[i])
-			}
-		}
-		cost := w.reduceCost(len(out)) + card.BroadcastTime(len(out)*WordBytes, w.n)
-		return maxT + cost, out, cost
-	})
-	p.traceEnd(rec, begin, trace.OpAllreduce, -1, 0, int64(len(data)*WordBytes), interconnect.TransportBcast)
+			bcost, btr := w.broadcastCost(len(out) * WordBytes)
+			cost := w.reduceCost(len(out)) + bcost
+			return maxT + cost, out, cost, btr
+		})
+	if cerr != nil {
+		panic(cerr)
+	}
+	p.traceEnd(rec, begin, trace.OpAllreduce, -1, 0, int64(len(data)*WordBytes), tr)
 	return append([]float64(nil), res...)
 }

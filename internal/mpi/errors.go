@@ -1,0 +1,63 @@
+package mpi
+
+import (
+	"fmt"
+
+	"vbuscluster/internal/sim"
+)
+
+// ErrorKind classifies a structured MPI runtime error.
+type ErrorKind int
+
+const (
+	// ErrTimeout means the operation could not complete within the
+	// fault spec's per-operation deadline.
+	ErrTimeout ErrorKind = iota
+	// ErrCrashed means the calling rank itself has crashed (its virtual
+	// clock passed the injected crash time).
+	ErrCrashed
+	// ErrPeerCrashed means a rank this operation depends on has crashed
+	// or departed, so the operation can never complete.
+	ErrPeerCrashed
+)
+
+// String names the kind.
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrTimeout:
+		return "timeout"
+	case ErrCrashed:
+		return "crashed"
+	case ErrPeerCrashed:
+		return "peer-crashed"
+	default:
+		return "invalid"
+	}
+}
+
+// Error is the structured failure of one MPI operation under fault
+// injection: which rank failed, doing what, against whom, and when in
+// virtual time. Operations that cannot complete return (or, through
+// the panicking convenience wrappers, raise) an *Error instead of
+// deadlocking the goroutine-per-rank runtime.
+type Error struct {
+	Kind ErrorKind
+	// Rank is the rank the operation failed on.
+	Rank int
+	// Op is the operation's trace name ("send", "barrier", ...).
+	Op string
+	// Peer is the remote rank involved (-1 when the operation has no
+	// single peer, e.g. a collective).
+	Peer int
+	// Time is the virtual time of the failure: the deadline expiry for
+	// timeouts, the injected crash time for crashes.
+	Time sim.Time
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.Peer >= 0 {
+		return fmt.Sprintf("mpi: rank %d %s (peer %d) %s at %v", e.Rank, e.Op, e.Peer, e.Kind, e.Time)
+	}
+	return fmt.Sprintf("mpi: rank %d %s %s at %v", e.Rank, e.Op, e.Kind, e.Time)
+}

@@ -1,0 +1,226 @@
+package mpi
+
+// Fault-handling glue for the MPI runtime. With no injector attached
+// (the default) every function here is a nil check and the runtime's
+// charges, traces and data movement are bit-identical to a build
+// without the fault layer.
+//
+// The reliability protocol (per-packet CRC + ACK/NACK go-back-N
+// retransmission, priced by nic.ReliableCost) guarantees payload
+// delivery; its cost is charged to the sending rank as a separate
+// trace.OpRetry interval on the retry transport class, so profiles
+// show exactly what the faulty fabric cost. Link outages stall the
+// sender until the routing path recovers. Crashed ranks and expired
+// deadlines surface as structured *Error values instead of
+// deadlocking the goroutine-per-rank runtime.
+
+import (
+	"time"
+
+	"vbuscluster/internal/fault"
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/nic"
+	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
+)
+
+// WatchdogWall is the wall-clock escape hatch for deadline-carrying
+// operations blocked on a peer that will never show up (the virtual
+// clock of a blocked rank does not advance, so a wall timer is the
+// only way out). The reported Error still carries the deterministic
+// virtual deadline. Tests shrink this.
+var WatchdogWall = 3 * time.Second
+
+// watchdogTick is how often the watchdog goroutine wakes blocked
+// waiters to re-check their deadlines.
+const watchdogTick = 25 * time.Millisecond
+
+// busAcquireAttempts is how many times a broadcast retries virtual-bus
+// acquisition before degrading to the software p2p tree.
+const busAcquireAttempts = 3
+
+// Faults returns the world's injector (nil when fault injection is
+// off; the nil injector is inert and safe to query).
+func (w *World) Faults() *fault.Injector { return w.inj }
+
+// Shutdown stops the world's deadline watchdog, if one is running.
+// Call it when the run completes; it is safe to call on any world.
+func (w *World) Shutdown() {
+	if w.watchStop != nil {
+		close(w.watchStop)
+		w.watchStop = nil
+	}
+}
+
+// startWatchdog spawns the broadcast ticker that lets deadline-blocked
+// waiters re-check wall time. Only started when the spec sets a
+// deadline.
+func (w *World) startWatchdog() {
+	w.watchStop = make(chan struct{})
+	stop := w.watchStop
+	go func() {
+		t := time.NewTicker(watchdogTick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				w.mu.Lock()
+				w.cond.Broadcast()
+				w.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// noteDown marks rank as crashed/departed and wakes every blocked
+// waiter so operations depending on it can fail instead of hanging.
+func (w *World) noteDown(rank int) {
+	w.mu.Lock()
+	if !w.down[rank] {
+		w.down[rank] = true
+		w.nDown++
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// Depart marks rank as gone (used by the interpreter when a rank's
+// goroutine exits on an error): peers blocked on it observe a
+// peer-crashed failure rather than a deadlock.
+func (w *World) Depart(rank int) {
+	if rank >= 0 && rank < w.n {
+		w.noteDown(rank)
+	}
+}
+
+// enter is the per-operation liveness check: a rank whose virtual
+// clock has passed its injected crash time fails every subsequent
+// operation with ErrCrashed (and is announced to its peers).
+func (p *Proc) enter(op string, peer int) *Error {
+	w := p.w
+	if w.inj == nil {
+		return nil
+	}
+	ct := w.inj.CrashTime(p.rank)
+	if ct == sim.MaxTime || w.cl.Clock(p.rank) < ct {
+		return nil
+	}
+	w.noteDown(p.rank)
+	return &Error{Kind: ErrCrashed, Rank: p.rank, Op: op, Peer: peer, Time: ct}
+}
+
+// takeSeq hands out the per-(src,dst) packet sequence numbers for a
+// transfer of bytes. Each element is written only by the sending
+// rank's goroutine, so the counters are race-free and — because every
+// rank issues its sends in deterministic program order — independent
+// of goroutine interleaving.
+func (w *World) takeSeq(src, dst, bytes int) int {
+	mtu := w.inj.MTU()
+	npkts := (bytes + mtu - 1) / mtu
+	i := src*w.n + dst
+	s := w.pktSeq[i]
+	w.pktSeq[i] += npkts
+	return s
+}
+
+// chargeReliability prices everything the faulty fabric costs a remote
+// transfer of bytes to peer beyond the clean base charge: a stall
+// until the routing path's injected outages end, then the go-back-N
+// retransmission overhead. The total is charged to the calling rank
+// and recorded as one adjacent trace.OpRetry interval (zero accounted
+// bytes, so byte reconciliation with the clean accounting holds;
+// Payload carries the re-sent wire bytes). entry is the operation's
+// entry clock: with a deadline set, an operation whose faults push it
+// past entry+deadline fails with ErrTimeout — the caller must not
+// deliver its payload in that case.
+func (p *Proc) chargeReliability(op string, peer, bytes int, entry sim.Time) *Error {
+	w := p.w
+	if !w.inj.Enabled() || peer == p.rank || bytes <= 0 {
+		return nil
+	}
+	var stall sim.Time
+	now := w.cl.Clock(p.rank)
+	if w.inj.HasLinkDowns() {
+		path := w.cl.Params().Path(p.rank, peer)
+		for {
+			until := w.inj.PathDownUntil(path, now+stall)
+			if until <= now+stall {
+				break
+			}
+			stall = until - now
+		}
+	}
+	out, _ := nic.ReliableCost(w.cl.Fabric(), w.inj, p.rank, peer,
+		w.cl.Hops(p.rank, peer), bytes, w.takeSeq(p.rank, peer, bytes))
+	extra := stall + out.Extra
+	if extra > 0 {
+		rec, begin := p.traceBegin()
+		w.cl.ChargeComm(p.rank, extra, 0)
+		p.traceEnd(rec, begin, trace.OpRetry, peer, 0, out.RetransBytes, interconnect.TransportRetry)
+	}
+	if d := w.inj.Deadline(); d > 0 && w.cl.Clock(p.rank)-entry > d {
+		return &Error{Kind: ErrTimeout, Rank: p.rank, Op: op, Peer: peer, Time: entry + d}
+	}
+	return nil
+}
+
+// entryClock reads the calling rank's clock when fault handling needs
+// it (deadlines, retries); zero-fault runs skip the read entirely.
+func (p *Proc) entryClock() sim.Time {
+	if !p.w.inj.Enabled() {
+		return 0
+	}
+	return p.w.cl.Clock(p.rank)
+}
+
+// othersDown reports (holding w.mu) whether every rank except rank is
+// down — the point where an AnySource receive can never match.
+func (w *World) othersDown(rank int) bool {
+	if w.nDown < w.n-1 {
+		return false
+	}
+	for r := 0; r < w.n; r++ {
+		if r != rank && !w.down[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// softwareTreeCost is the degraded broadcast: the binomial p2p tree a
+// root falls back to when virtual-bus acquisition keeps timing out
+// (the same shape BroadcastTime uses on cards without a hardware bus).
+func (w *World) softwareTreeCost(bytes int) sim.Time {
+	card := w.cl.Fabric()
+	stages := 0
+	for p := 1; p < w.n; p *= 2 {
+		stages++
+	}
+	return sim.Time(stages) * (card.SendSetup() + card.ContigTime(bytes, 1))
+}
+
+// broadcastCost prices a size-bytes broadcast under fault injection:
+// each failed virtual-bus acquisition costs one bus timeout, and after
+// busAcquireAttempts failures the root degrades to the software p2p
+// tree. Returns the cost and the transport class actually used. Must
+// be called with w.mu held (it consumes the deterministic broadcast
+// sequence number).
+func (w *World) broadcastCost(bytes int) (sim.Time, interconnect.Transport) {
+	card := w.cl.Fabric()
+	if !w.inj.Enabled() || !card.Caps().HardwareBroadcast || w.inj.Spec().BusFail <= 0 {
+		return card.BroadcastTime(bytes, w.n), interconnect.TransportBcast
+	}
+	seq := w.bcastSeq
+	w.bcastSeq++
+	var cost sim.Time
+	for attempt := 0; attempt < busAcquireAttempts; attempt++ {
+		if !w.inj.BusAcquireFail(seq, attempt) {
+			return cost + card.BroadcastTime(bytes, w.n), interconnect.TransportBcast
+		}
+		cost += w.inj.BusTimeout()
+	}
+	// Bus never acquired: degrade gracefully to the software tree.
+	return cost + w.softwareTreeCost(bytes), interconnect.TransportP2P
+}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"time"
 
 	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/sim"
@@ -14,12 +15,13 @@ type mbKey struct {
 }
 
 // pendingSend is a message in flight: the payload, the sending rank
-// (reported to the receiver's trace as its peer even under AnySource
-// matching), and the virtual time at which it has fully landed at the
-// destination.
+// and tag (the tag lets a deadline-expired receiver push the message
+// back unconsumed), and the virtual time at which it has fully landed
+// at the destination.
 type pendingSend struct {
 	data    []float64
 	src     int
+	tag     int
 	readyAt sim.Time
 }
 
@@ -33,8 +35,20 @@ const AnySource = -1
 // Send transmits data to rank dst with the given tag (MPI_SEND). The
 // payload is copied; the caller may reuse its buffer immediately. The
 // sender is charged the full transfer, so the message's arrival time
-// never exceeds the sender's post-call clock.
+// never exceeds the sender's post-call clock. Under fault injection a
+// failed send panics with the *Error; use SendE for error returns.
 func (p *Proc) Send(dst, tag int, data []float64) {
+	if err := p.SendE(dst, tag, data); err != nil {
+		panic(err)
+	}
+}
+
+// SendE is Send with structured error reporting under fault injection:
+// a crashed caller or a transfer pushed past the deadline by
+// retransmissions surfaces as an *Error. On error the message is not
+// delivered. Argument validation still panics (a programming error,
+// not a fault).
+func (p *Proc) SendE(dst, tag int, data []float64) error {
 	w := p.w
 	if dst < 0 || dst >= w.n {
 		panic(fmt.Sprintf("mpi: Send to rank %d out of range [0,%d)", dst, w.n))
@@ -42,6 +56,10 @@ func (p *Proc) Send(dst, tag int, data []float64) {
 	if tag < 0 {
 		panic(fmt.Sprintf("mpi: Send tag %d must be non-negative", tag))
 	}
+	if err := p.enter(trace.OpSend, dst); err != nil {
+		return err
+	}
+	entry := p.entryClock()
 	rec, begin := p.traceBegin()
 	bytes := len(data) * WordBytes
 	tr := interconnect.TransportLocal
@@ -52,9 +70,23 @@ func (p *Proc) Send(dst, tag int, data []float64) {
 		tr = interconnect.TransportP2P
 		w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
 	}
+	p.traceEnd(rec, begin, trace.OpSend, dst, int64(bytes), int64(bytes), tr)
+	if err := p.chargeReliability(trace.OpSend, dst, bytes, entry); err != nil {
+		return err
+	}
+	p.post(dst, tag, append([]float64(nil), data...))
+	return nil
+}
+
+// post delivers a ready message into dst's mailbox, stamped with the
+// sender's current clock (all charges, including retransmissions, are
+// already booked).
+func (p *Proc) post(dst, tag int, data []float64) {
+	w := p.w
 	item := &pendingSend{
-		data:    append([]float64(nil), data...),
+		data:    data,
 		src:     p.rank,
+		tag:     tag,
 		readyAt: w.cl.Clock(p.rank),
 	}
 	w.mu.Lock()
@@ -62,7 +94,6 @@ func (p *Proc) Send(dst, tag int, data []float64) {
 	w.boxes[k] = append(w.boxes[k], item)
 	w.cond.Broadcast()
 	w.mu.Unlock()
-	p.traceEnd(rec, begin, trace.OpSend, dst, int64(bytes), int64(bytes), tr)
 }
 
 // match pops the first pending message matching (src, dst, tag) with
@@ -108,11 +139,38 @@ func (w *World) match(src, dst, tag int) *pendingSend {
 // Recv blocks until a matching message arrives and returns its payload
 // (MPI_RECV). src may be AnySource and tag may be AnyTag. The
 // receiver's clock advances to the message arrival time if it was
-// ahead, plus a fixed receive-side processing charge.
+// ahead, plus a fixed receive-side processing charge. Under fault
+// injection a failed receive panics with the *Error; use RecvE for
+// error returns.
 func (p *Proc) Recv(src, tag int) []float64 {
+	data, err := p.RecvE(src, tag)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// RecvE is Recv with structured error reporting under fault injection.
+// A receive fails with ErrTimeout when no message can land within the
+// deadline (the deterministic check compares the matched message's
+// virtual arrival time against entry+deadline; an unmatched wait is
+// bounded by the wall-clock watchdog), and with ErrPeerCrashed when
+// the awaited sender — or, under AnySource, every other rank — is
+// down. A message rejected for arriving too late stays queued.
+func (p *Proc) RecvE(src, tag int) ([]float64, error) {
 	w := p.w
 	if src != AnySource && (src < 0 || src >= w.n) {
 		panic(fmt.Sprintf("mpi: Recv from rank %d out of range", src))
+	}
+	if err := p.enter(trace.OpRecv, src); err != nil {
+		return nil, err
+	}
+	deadline := w.inj.Deadline()
+	var entry sim.Time
+	var wallStart time.Time
+	if deadline > 0 {
+		entry = w.cl.Clock(p.rank)
+		wallStart = time.Now()
 	}
 	rec, begin := p.traceBegin()
 	w.mu.Lock()
@@ -120,7 +178,29 @@ func (p *Proc) Recv(src, tag int) []float64 {
 	for {
 		item = w.match(src, p.rank, tag)
 		if item != nil {
+			if deadline > 0 && item.readyAt > entry+deadline {
+				// The message exists but lands after the deadline:
+				// deterministic timeout. Push it back unconsumed.
+				k := mbKey{src: item.src, dst: p.rank, tag: item.tag}
+				w.boxes[k] = append([]*pendingSend{item}, w.boxes[k]...)
+				w.mu.Unlock()
+				return nil, &Error{Kind: ErrTimeout, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: entry + deadline}
+			}
 			break
+		}
+		if w.nDown > 0 {
+			if src != AnySource && w.down[src] {
+				w.mu.Unlock()
+				return nil, &Error{Kind: ErrPeerCrashed, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: w.cl.Clock(p.rank)}
+			}
+			if src == AnySource && w.othersDown(p.rank) {
+				w.mu.Unlock()
+				return nil, &Error{Kind: ErrPeerCrashed, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: w.cl.Clock(p.rank)}
+			}
+		}
+		if deadline > 0 && time.Since(wallStart) > WatchdogWall {
+			w.mu.Unlock()
+			return nil, &Error{Kind: ErrTimeout, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: entry + deadline}
 		}
 		w.cond.Wait()
 	}
@@ -134,7 +214,7 @@ func (p *Proc) Recv(src, tag int) []float64 {
 	w.cl.ChargeComm(p.rank, cpu.CallOverhead, 0)
 	w.cl.BookComm(p.rank, stall, 0)
 	p.traceEnd(rec, begin, trace.OpRecv, item.src, 0, int64(len(item.data)*WordBytes), interconnect.TransportSync)
-	return item.data
+	return item.data, nil
 }
 
 // Sendrecv performs a combined send and receive (MPI_SENDRECV): the
@@ -155,6 +235,10 @@ func (p *Proc) SendRegion(dst, tag, elems int, data []float64) {
 	if dst < 0 || dst >= w.n {
 		panic(fmt.Sprintf("mpi: SendRegion to rank %d out of range", dst))
 	}
+	if err := p.enter(trace.OpSend, dst); err != nil {
+		panic(err)
+	}
+	entry := p.entryClock()
 	rec, begin := p.traceBegin()
 	bytes := elems * WordBytes
 	cpu := w.cl.Params().CPU
@@ -169,18 +253,15 @@ func (p *Proc) SendRegion(dst, tag, elems int, data []float64) {
 		tr = interconnect.TransportP2P
 		w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
 	}
-	item := &pendingSend{src: p.rank, readyAt: w.cl.Clock(p.rank)}
-	if data != nil {
-		item.data = append([]float64(nil), data...)
-	} else {
-		item.data = make([]float64, 0)
-	}
-	w.mu.Lock()
-	k := mbKey{src: p.rank, dst: dst, tag: tag}
-	w.boxes[k] = append(w.boxes[k], item)
-	w.cond.Broadcast()
-	w.mu.Unlock()
 	p.traceEnd(rec, begin, trace.OpSend, dst, int64(bytes), int64(bytes), tr)
+	if err := p.chargeReliability(trace.OpSend, dst, bytes, entry); err != nil {
+		panic(err)
+	}
+	payload := make([]float64, 0)
+	if data != nil {
+		payload = append([]float64(nil), data...)
+	}
+	p.post(dst, tag, payload)
 }
 
 // RecvRegion receives a region sent with SendRegion and charges the

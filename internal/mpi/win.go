@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/trace"
@@ -20,7 +21,11 @@ type Win struct {
 	bufs [][]float64
 
 	applyMu []sync.Mutex // per-target apply serialization
-	lockMu  []sync.Mutex // MPI_Win_lock exclusive locks
+	// lockCh holds the MPI_Win_lock exclusive locks as one-slot
+	// channels: a send acquires, a receive releases. Channels (rather
+	// than mutexes) let a deadline-carrying Lock time out in a select
+	// instead of blocking forever on a dead lock holder.
+	lockCh []chan struct{}
 }
 
 // WinCreate collectively creates (or attaches to) the window named
@@ -36,7 +41,10 @@ func (p *Proc) WinCreate(name string, local []float64) *Win {
 			name:    name,
 			bufs:    make([][]float64, w.n),
 			applyMu: make([]sync.Mutex, w.n),
-			lockMu:  make([]sync.Mutex, w.n),
+			lockCh:  make([]chan struct{}, w.n),
+		}
+		for i := range win.lockCh {
+			win.lockCh[i] = make(chan struct{}, 1)
 		}
 		w.wins[name] = win
 	}
@@ -77,18 +85,25 @@ func (win *Win) target(rank int) []float64 {
 	return b
 }
 
-// chargeTransfer charges the origin rank for moving elems words to/from
-// target: local copies cost memcpy, remote contiguous transfers cost
-// DMA setup + wire, remote strided transfers cost the per-element PIO
-// path. The traced transport class follows the fabric's capabilities
-// (a card without a DMA engine moves contiguous data as p2p messages).
-func (p *Proc) chargeTransfer(op string, target, elems int, strided bool) {
+// chargeTransferE charges the origin rank for moving elems words
+// to/from target: local copies cost memcpy, remote contiguous
+// transfers cost DMA setup + wire, remote strided transfers cost the
+// per-element PIO path. The traced transport class follows the
+// fabric's capabilities (a card without a DMA engine moves contiguous
+// data as p2p messages). Under fault injection the transfer also pays
+// the reliable-transport overhead and can fail with an *Error; callers
+// must not move the payload on error.
+func (p *Proc) chargeTransferE(op string, target, elems int, strided bool) *Error {
+	if err := p.enter(op, target); err != nil {
+		return err
+	}
+	entry := p.entryClock()
 	rec, begin := p.traceBegin()
 	bytes := elems * WordBytes
 	if target == p.rank {
 		p.w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
 		p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), interconnect.TransportLocal)
-		return
+		return nil
 	}
 	card := p.w.cl.Fabric()
 	caps := card.Caps()
@@ -103,20 +118,41 @@ func (p *Proc) chargeTransfer(op string, target, elems int, strided bool) {
 	}
 	p.w.cl.ChargeComm(p.rank, cost, bytes)
 	p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), tr)
+	return p.chargeReliability(op, target, bytes, entry)
+}
+
+// chargeTransfer is chargeTransferE for the panicking entry points.
+func (p *Proc) chargeTransfer(op string, target, elems int, strided bool) {
+	if err := p.chargeTransferE(op, target, elems, strided); err != nil {
+		panic(err)
+	}
 }
 
 // Put transfers data into target's window region starting at
 // targetOff, using the contiguous DMA path (contiguous MPI_PUT).
+// Under fault injection a failed transfer panics with the *Error; use
+// PutE for error returns.
 func (p *Proc) Put(win *Win, target, targetOff int, data []float64) {
+	if err := p.PutE(win, target, targetOff, data); err != nil {
+		panic(err)
+	}
+}
+
+// PutE is Put with structured error reporting under fault injection.
+// On error the target window is not modified.
+func (p *Proc) PutE(win *Win, target, targetOff int, data []float64) error {
 	buf := win.target(target)
 	if targetOff < 0 || targetOff+len(data) > len(buf) {
 		panic(fmt.Sprintf("mpi: Put %q rank %d [%d,%d) outside window size %d",
 			win.name, target, targetOff, targetOff+len(data), len(buf)))
 	}
-	p.chargeTransfer(trace.OpPut, target, len(data), false)
+	if err := p.chargeTransferE(trace.OpPut, target, len(data), false); err != nil {
+		return err
+	}
 	win.applyMu[target].Lock()
 	copy(buf[targetOff:], data)
 	win.applyMu[target].Unlock()
+	return nil
 }
 
 // PutStrided transfers data into target's window with a constant
@@ -147,17 +183,30 @@ func (p *Proc) PutStrided(win *Win, target, targetOff, stride int, data []float6
 }
 
 // Get reads elems words from target's window starting at targetOff
-// into dst (contiguous MPI_GET). dst must have length >= elems.
+// into dst (contiguous MPI_GET). dst must have length >= elems. Under
+// fault injection a failed transfer panics with the *Error; use GetE
+// for error returns.
 func (p *Proc) Get(win *Win, target, targetOff int, dst []float64) {
+	if err := p.GetE(win, target, targetOff, dst); err != nil {
+		panic(err)
+	}
+}
+
+// GetE is Get with structured error reporting under fault injection.
+// On error dst is not modified.
+func (p *Proc) GetE(win *Win, target, targetOff int, dst []float64) error {
 	buf := win.target(target)
 	if targetOff < 0 || targetOff+len(dst) > len(buf) {
 		panic(fmt.Sprintf("mpi: Get %q rank %d [%d,%d) outside window size %d",
 			win.name, target, targetOff, targetOff+len(dst), len(buf)))
 	}
-	p.chargeTransfer(trace.OpGet, target, len(dst), false)
+	if err := p.chargeTransferE(trace.OpGet, target, len(dst), false); err != nil {
+		return err
+	}
 	win.applyMu[target].Lock()
 	copy(dst, buf[targetOff:targetOff+len(dst)])
 	win.applyMu[target].Unlock()
+	return nil
 }
 
 // GetStrided reads len(dst) words with a constant stride from target's
@@ -212,15 +261,48 @@ func (p *Proc) Fence(win *Win) {
 	p.barrier(trace.OpFence)
 }
 
+// FenceE is Fence with structured error reporting under fault
+// injection (see BarrierE).
+func (p *Proc) FenceE(win *Win) error {
+	if err := p.barrierE(trace.OpFence); err != nil {
+		return err
+	}
+	return nil
+}
+
 // Lock acquires an exclusive lock on target's region of the window
 // (MPI_WIN_LOCK). Used for passive-target critical sections such as
-// reductions into shared variables.
+// reductions into shared variables. Under fault injection a failed
+// acquisition panics with the *Error; use LockE for error returns.
 func (p *Proc) Lock(win *Win, target int) {
+	if err := p.LockE(win, target); err != nil {
+		panic(err)
+	}
+}
+
+// LockE is Lock with structured error reporting under fault injection:
+// a crashed caller fails with ErrCrashed, and with a deadline set, an
+// acquisition stuck past the wall-clock watchdog (the holder crashed
+// inside its critical section) fails with ErrTimeout.
+func (p *Proc) LockE(win *Win, target int) error {
+	if err := p.enter(trace.OpLock, target); err != nil {
+		return err
+	}
+	entry := p.entryClock()
 	rec, begin := p.traceBegin()
-	win.lockMu[target].Lock()
+	if d := p.w.inj.Deadline(); d > 0 {
+		select {
+		case win.lockCh[target] <- struct{}{}:
+		case <-time.After(WatchdogWall):
+			return &Error{Kind: ErrTimeout, Rank: p.rank, Op: trace.OpLock, Peer: target, Time: entry + d}
+		}
+	} else {
+		win.lockCh[target] <- struct{}{}
+	}
 	card := p.w.cl.Fabric()
 	p.w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
 	p.traceEnd(rec, begin, trace.OpLock, target, 0, 0, interconnect.TransportSync)
+	return nil
 }
 
 // Unlock releases the exclusive lock (MPI_WIN_UNLOCK).
@@ -228,7 +310,7 @@ func (p *Proc) Unlock(win *Win, target int) {
 	rec, begin := p.traceBegin()
 	card := p.w.cl.Fabric()
 	p.w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
-	win.lockMu[target].Unlock()
+	<-win.lockCh[target]
 	p.traceEnd(rec, begin, trace.OpUnlock, target, 0, 0, interconnect.TransportSync)
 }
 

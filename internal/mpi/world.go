@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/fault"
 	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/sim"
 	"vbuscluster/internal/trace"
@@ -57,18 +58,39 @@ type World struct {
 	boxes map[mbKey][]*pendingSend
 
 	barrierCost sim.Time
+
+	// Fault-injection state (see faults.go). inj is nil on a clean
+	// machine; the remaining fields are then never touched on hot paths.
+	inj *fault.Injector
+	// pktSeq hands out per-(src,dst) packet sequence numbers, flattened
+	// [src*n+dst]. Each element is written only by src's goroutine.
+	pktSeq []int
+	// bcastSeq numbers broadcasts deterministically (guarded by mu: it
+	// is only consumed inside collective finish closures).
+	bcastSeq int
+	// down marks crashed or departed ranks (guarded by mu).
+	down  []bool
+	nDown int
+	// watchStop stops the deadline watchdog goroutine.
+	watchStop chan struct{}
 }
 
 // NewWorld creates the communicator for all ranks of c.
 func NewWorld(c *cluster.Cluster) *World {
 	w := &World{
-		cl:    c,
-		n:     c.N(),
-		slots: make(map[uint64]*collSlot),
-		wins:  make(map[string]*Win),
-		boxes: make(map[mbKey][]*pendingSend),
+		cl:     c,
+		n:      c.N(),
+		slots:  make(map[uint64]*collSlot),
+		wins:   make(map[string]*Win),
+		boxes:  make(map[mbKey][]*pendingSend),
+		inj:    c.Faults(),
+		pktSeq: make([]int, c.N()*c.N()),
+		down:   make([]bool, c.N()),
 	}
 	w.cond = sync.NewCond(&w.mu)
+	if w.inj.Deadline() > 0 {
+		w.startWatchdog()
+	}
 	// Barrier = gather over log2(n) p2p stages + V-Bus release
 	// broadcast. Precomputed once; charged at every barrier/fence.
 	card := c.Fabric()
@@ -126,16 +148,40 @@ func (p *Proc) Wtime() sim.Time { return p.w.cl.Clock(p.rank) }
 // communication cost, which is booked as communication on every rank.
 func (p *Proc) Barrier() { p.barrier(trace.OpBarrier) }
 
+// BarrierE is Barrier with structured error reporting under fault
+// injection: a crashed caller, a crashed peer or an expired deadline
+// surfaces as an *Error instead of a deadlock.
+func (p *Proc) BarrierE() error {
+	if err := p.barrierE(trace.OpBarrier); err != nil {
+		return err
+	}
+	return nil
+}
+
 // barrier is the shared barrier body, traced under the caller's op
 // name (MPI_BARRIER and MPI_WIN_FENCE synchronize identically but
-// profile differently).
+// profile differently). It panics with the *Error on fault.
 func (p *Proc) barrier(op string) {
+	if err := p.barrierE(op); err != nil {
+		panic(err)
+	}
+}
+
+func (p *Proc) barrierE(op string) *Error {
 	w := p.w
+	if err := p.enter(op, -1); err != nil {
+		return err
+	}
 	rec, begin := p.traceBegin()
-	w.collective(p.rank, nil, func(maxT sim.Time, _ [][]float64) (sim.Time, []float64, sim.Time) {
-		return maxT + w.barrierCost, nil, w.barrierCost
-	})
+	_, _, err := w.collectiveE(p.rank, op, nil,
+		func(maxT sim.Time, _ [][]float64) (sim.Time, []float64, sim.Time, interconnect.Transport) {
+			return maxT + w.barrierCost, nil, w.barrierCost, interconnect.TransportSync
+		})
+	if err != nil {
+		return err
+	}
 	p.traceEnd(rec, begin, op, -1, 0, 0, interconnect.TransportSync)
+	return nil
 }
 
 // hops reports mesh distance from this rank to target.

@@ -38,7 +38,7 @@ func dataTransport(t interconnect.Transport) bool {
 	switch t {
 	case interconnect.TransportLocal, interconnect.TransportDMA,
 		interconnect.TransportPIO, interconnect.TransportP2P,
-		interconnect.TransportBcast:
+		interconnect.TransportBcast, interconnect.TransportRetry:
 		return true
 	}
 	return false

@@ -50,6 +50,11 @@ const (
 	OpBcast      = "bcast"
 	OpReduce     = "reduce"
 	OpAllreduce  = "allreduce"
+	// OpRetry is the reliability layer's retransmission overhead: the
+	// extra time a faulty fabric costs on top of the operation that
+	// triggered the retries (recorded as a separate adjacent interval so
+	// the base operation's accounting stays identical to a clean run).
+	OpRetry = "retry"
 )
 
 // Event is one recorded interval on a rank's virtual timeline.

@@ -1,0 +1,25 @@
+C     Matrix multiplication (the paper's MM benchmark shape) at a size
+C     small enough for CI smoke runs. The parallel I loop partitions
+C     rows; column-major storage makes each processor's regions strided,
+C     exercising both transfer paths under fault injection.
+      PROGRAM MM
+      INTEGER N
+      PARAMETER (N = 24)
+      REAL A(N,N), B(N,N), C(N,N)
+      INTEGER I, J, K
+      DO I = 1, N
+        DO J = 1, N
+          A(I,J) = REAL(I+J) / REAL(N)
+          B(I,J) = REAL(I-J) / REAL(N)
+          C(I,J) = 0.0
+        ENDDO
+      ENDDO
+      DO I = 1, N
+        DO J = 1, N
+          DO K = 1, N
+            C(I,J) = C(I,J) + A(I,K) * B(K,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      PRINT *, C(1,1), C(N,N)
+      END
