@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke bench
+.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke bench
 
-ci: fmt vet build test race smoke trace-smoke fault-smoke
+ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -45,6 +45,20 @@ fault-smoke:
 	$(GO) run ./cmd/vbrun -faults 'seed=1,flitdrop=1e-3' testdata/matmul.f > /tmp/vbus-fault-b.txt
 	cmp /tmp/vbus-fault-a.txt /tmp/vbus-fault-b.txt
 	@rm -f /tmp/vbus-fault-a.txt /tmp/vbus-fault-b.txt
+
+# Crash-survival gate: the checkpoint serializer must be race-clean,
+# and a seeded mid-run rank crash under -resilient must recover with
+# program output byte-identical to the fault-free resilient run (the
+# timing/resilience footer lines differ, so only the program text is
+# diffed). The crashed run's exported timeline must also validate,
+# including its checkpoint and recovery intervals.
+recovery-smoke:
+	$(GO) test -race ./internal/ckpt
+	$(GO) run ./cmd/vbrun -resilient testdata/matmul.f | sed '/^---/d' > /tmp/vbus-recovery-clean.txt
+	$(GO) run ./cmd/vbrun -resilient -faults 'seed=0,crashafter=1/5' -trace /tmp/vbus-recovery.json testdata/matmul.f | sed '/^---/d' > /tmp/vbus-recovery-crash.txt
+	cmp /tmp/vbus-recovery-clean.txt /tmp/vbus-recovery-crash.txt
+	$(GO) run ./cmd/vbtrace /tmp/vbus-recovery.json > /dev/null
+	@rm -f /tmp/vbus-recovery-clean.txt /tmp/vbus-recovery-crash.txt /tmp/vbus-recovery.json
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -9,6 +9,7 @@
 //	vbbench -micro              # §2 SKWP / latency / broadcast claims
 //	vbbench -profile            # comm matrices of the Table 2 programs
 //	vbbench -faultsweep         # completion time / bandwidth vs flit-drop rate
+//	vbbench -killsweep          # checkpoint/restart survival vs crash point
 //	vbbench -all -quick         # everything at reduced sizes
 //
 // -faults applies a deterministic fault-injection spec (see
@@ -42,7 +43,9 @@ func main() {
 	profile := flag.Bool("profile", false, "print the traced communication matrix of each Table 2 program")
 	faultSpec := flag.String("faults", "", "deterministic fault-injection spec for the table runs, e.g. 'seed=1,flitdrop=1e-3'")
 	faultSweep := flag.Bool("faultsweep", false, "sweep flit-drop rates on MM, verifying payloads and reporting bandwidth/retry overhead")
-	sweepSeed := flag.Uint64("faultseed", 1, "fault-injection seed for -faultsweep")
+	sweepSeed := flag.Uint64("faultseed", 1, "fault-injection seed for -faultsweep and -killsweep")
+	killSweep := flag.Bool("killsweep", false, "sweep rank-crash points on a resilient MM run, verifying recovered payloads against the fault-free run")
+	killVictim := flag.Int("killvictim", 1, "rank to crash in -killsweep")
 	flag.Parse()
 
 	check(validateFabric(*fabric))
@@ -59,8 +62,9 @@ func main() {
 	runExtra := *extra || *all
 	runProfile := *profile || *all
 	runSweep := *faultSweep || *all
-	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep or -all")
+	runKill := *killSweep || *all
+	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep or -all")
 		os.Exit(2)
 	}
 
@@ -111,6 +115,21 @@ func main() {
 		rows, err := bench.FaultSweep(n, *procs, *sweepSeed, rates, *fabric)
 		check(err)
 		fmt.Println(bench.FormatFaultSweep(rows))
+	}
+
+	if runKill {
+		n := 48
+		if *quick {
+			n = 24
+		}
+		// 0-20 crash during the first epoch (replay from program start),
+		// 45 crashes after the checkpoint committed (restore + replay),
+		// and 60 exceeds the victim's total operation count: a control
+		// row showing an unfired budget costs nothing.
+		ops := []int64{0, 5, 20, 45, 60}
+		rows, err := bench.KillSweep(n, *procs, *killVictim, *sweepSeed, ops, *fabric)
+		check(err)
+		fmt.Println(bench.FormatKillSweep(rows))
 	}
 
 	if runProfile {

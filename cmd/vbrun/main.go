@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vbrun [-procs N] [-grain g] [-fabric vbus|ethernet|ideal] [-seq] [-mode full|timing] [-trace out.json] [-profile] [-faults spec] file.f
+//	vbrun [-procs N] [-grain g] [-fabric vbus|ethernet|ideal] [-seq] [-mode full|timing] [-trace out.json] [-profile] [-faults spec] [-resilient [-ckpt-every N] [-ckpt-dir d]] file.f
 //
 // -trace writes the run's per-rank event timeline (plus the compiler's
 // pass spans as a "compiler" track) as Chrome trace-event JSON,
@@ -14,6 +14,13 @@
 // -faults injects deterministic faults from a spec string such as
 // "seed=1,flitdrop=1e-3,linkdown=0-1@1ms+2ms" (see internal/fault for
 // the grammar). Same spec, same timeline: runs are replayable.
+//
+// -resilient compiles the program into checkpoint epochs and runs it
+// under coordinated checkpoint/restart: if a rank crashes (e.g. a
+// crashafter= fault), the survivors shrink the communicator, restore
+// the last checkpoint and replay. -ckpt-every sets the checkpoint
+// cadence in parallel regions; -ckpt-dir persists the checkpoint
+// blobs to disk for inspection.
 package main
 
 import (
@@ -41,7 +48,17 @@ func main() {
 	fabric := flag.String("fabric", "", "interconnect backend: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
 	traceOut := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
 	faultSpec := flag.String("faults", "", "deterministic fault-injection spec, e.g. 'seed=1,flitdrop=1e-3' (see internal/fault)")
+	resilient := flag.Bool("resilient", false, "run under coordinated checkpoint/restart, surviving rank crashes")
+	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint cadence in parallel regions (with -resilient)")
+	ckptDir := flag.String("ckpt-dir", "", "persist checkpoint blobs to this directory (with -resilient)")
 	flag.Parse()
+
+	if *resilient && *seq {
+		check(fmt.Errorf("-resilient and -seq are mutually exclusive"))
+	}
+	if *ckptEvery < 1 {
+		check(fmt.Errorf("-ckpt-every must be at least 1"))
+	}
 
 	check(validateFabric(*fabric))
 	var inj *fault.Injector
@@ -93,6 +110,9 @@ func main() {
 		Trace:     passTrace,
 		Recorder:  rec,
 		Faults:    inj,
+		Resilient: *resilient,
+		CkptEvery: *ckptEvery,
+		CkptDir:   *ckptDir,
 	})
 	check(err)
 	if auto {
@@ -100,9 +120,12 @@ func main() {
 	}
 
 	var res *interp.Result
-	if *seq {
+	switch {
+	case *seq:
 		res, err = c.RunSequential(mode)
-	} else {
+	case *resilient:
+		res, err = c.RunResilient(mode)
+	default:
 		res, err = c.RunParallel(mode)
 	}
 	check(err)
@@ -122,6 +145,10 @@ func main() {
 			res.Report.TotalXferTime(), res.Report.TotalCommOps(), res.Report.TotalCommBytes())
 	}
 	fmt.Println()
+	if *resilient {
+		fmt.Printf("--- resilience: %d checkpoints, %d recoveries\n",
+			res.Checkpoints, res.Recoveries)
+	}
 
 	if *traceOut != "" {
 		passTrace.AddToRecorder(rec)

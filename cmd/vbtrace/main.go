@@ -16,12 +16,16 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/trace"
 )
 
 type traceFile struct {
 	DisplayTimeUnit string `json:"displayTimeUnit"`
 	TraceEvents     []struct {
 		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
 		Ph   string         `json:"ph"`
 		Ts   float64        `json:"ts"`
 		Dur  float64        `json:"dur"`
@@ -30,6 +34,12 @@ type traceFile struct {
 		Args map[string]any `json:"args"`
 	} `json:"traceEvents"`
 }
+
+// errUnknownTransport rejects events whose transport class (the
+// Chrome "cat" field) is not registered in internal/interconnect.
+// New classes — like the checkpoint and recovery transports — must be
+// added there explicitly before their traces validate.
+var errUnknownTransport = errors.New("unknown transport class")
 
 func main() {
 	if len(os.Args) != 2 {
@@ -98,6 +108,19 @@ func validate(name string, data []byte) (string, error) {
 				return "", fmt.Errorf("%s: event %d (%q on tid %d) has negative timestamp %g",
 					name, i, ev.Name, ev.Tid, ev.Ts)
 			}
+			if ev.Cat != "" {
+				tp, ok := interconnect.TransportFromName(ev.Cat)
+				if !ok {
+					return "", fmt.Errorf("%s: event %d (%q on tid %d): %w %q",
+						name, i, ev.Name, ev.Tid, errUnknownTransport, ev.Cat)
+				}
+				// Checkpoint and recovery intervals must be charged to
+				// their dedicated transports, and vice versa, so profiles
+				// never misattribute resilience cost.
+				if err := checkResilienceClass(ev.Name, tp); err != nil {
+					return "", fmt.Errorf("%s: event %d (tid %d): %w", name, i, ev.Tid, err)
+				}
+			}
 			tr.events++
 			if b, ok := ev.Args["bytes"].(float64); ok {
 				tr.bytes += int64(b)
@@ -121,6 +144,24 @@ func validate(name string, data []byte) (string, error) {
 		fmt.Fprintf(&sb, "  %-10s %6d events  %12d bytes  span %.3fus\n", tr.name, tr.events, tr.bytes, tr.last)
 	}
 	return sb.String(), nil
+}
+
+// checkResilienceClass pins the checkpoint/recovery operations to
+// their dedicated transport classes in both directions: a checkpoint
+// interval recorded on the p2p transport (or a send on the ckpt
+// transport) means the runtime mischarged resilience cost.
+func checkResilienceClass(op string, tp interconnect.Transport) error {
+	switch {
+	case op == trace.OpCheckpoint && tp != interconnect.TransportCkpt:
+		return fmt.Errorf("checkpoint interval charged to transport %q, want %q", tp, interconnect.TransportCkpt)
+	case op == trace.OpRecovery && tp != interconnect.TransportRecovery:
+		return fmt.Errorf("recovery interval charged to transport %q, want %q", tp, interconnect.TransportRecovery)
+	case tp == interconnect.TransportCkpt && op != trace.OpCheckpoint:
+		return fmt.Errorf("transport %q carries op %q, want %q", tp, op, trace.OpCheckpoint)
+	case tp == interconnect.TransportRecovery && op != trace.OpRecovery:
+		return fmt.Errorf("transport %q carries op %q, want %q", tp, op, trace.OpRecovery)
+	}
+	return nil
 }
 
 func fail(msg string) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -36,6 +37,10 @@ func TestValidateRejects(t *testing.T) {
 		{"negative-dur", `{"traceEvents":[{"name":"x","ph":"X","ts":0,"dur":-1,"tid":0}]}`, "negative duration"},
 		{"negative-ts", `{"traceEvents":[{"name":"x","ph":"X","ts":-5,"dur":1,"tid":0}]}`, "negative timestamp"},
 		{"bad-phase", `{"traceEvents":[{"name":"x","ph":"B","ts":0,"dur":1,"tid":0}]}`, "unexpected phase"},
+		{"unknown-transport", `{"traceEvents":[{"name":"send","cat":"warp","ph":"X","ts":0,"dur":1,"tid":0}]}`, "unknown transport class"},
+		{"ckpt-wrong-class", `{"traceEvents":[{"name":"checkpoint","cat":"p2p","ph":"X","ts":0,"dur":1,"tid":0}]}`, "checkpoint interval charged"},
+		{"recovery-wrong-class", `{"traceEvents":[{"name":"recovery","cat":"sync","ph":"X","ts":0,"dur":1,"tid":0}]}`, "recovery interval charged"},
+		{"ckpt-class-misused", `{"traceEvents":[{"name":"send","cat":"ckpt","ph":"X","ts":0,"dur":1,"tid":0}]}`, "carries op"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -47,5 +52,33 @@ func TestValidateRejects(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, c.wantErr)
 			}
 		})
+	}
+}
+
+// TestUnknownTransportNamedError: the rejection is the named sentinel,
+// so callers can branch on it with errors.Is.
+func TestUnknownTransportNamedError(t *testing.T) {
+	_, err := validate("t.json", []byte(`{"traceEvents":[{"name":"send","cat":"warp","ph":"X","ts":0,"dur":1,"tid":0}]}`))
+	if !errors.Is(err, errUnknownTransport) {
+		t.Fatalf("got %v, want errUnknownTransport", err)
+	}
+}
+
+// TestValidateResilientTrace: a real -resilient run's exported trace —
+// with its checkpoint and recovery intervals on the ckpt and recovery
+// transports — passes validation.
+func TestValidateResilientTrace(t *testing.T) {
+	const resilientTrace = `{"displayTimeUnit":"ns","traceEvents":[
+ {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"rank 0"}},
+ {"name":"checkpoint","cat":"ckpt","ph":"X","ts":0,"dur":10,"tid":0},
+ {"name":"recovery","cat":"recovery","ph":"X","ts":12,"dur":5,"tid":0},
+ {"name":"bcast","cat":"p2p","ph":"X","ts":20,"dur":5,"tid":0,"args":{"bytes":64}}
+]}`
+	out, err := validate("t.json", []byte(resilientTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "4 events") {
+		t.Errorf("summary missing expected content:\n%s", out)
 	}
 }

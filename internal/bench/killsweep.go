@@ -1,0 +1,128 @@
+package bench
+
+// Kill sweep: the crash-survival experiment the checkpoint/restart
+// subsystem enables. The same program runs resiliently while one rank
+// is killed after an increasing operation budget — before the first
+// checkpoint, between checkpoints, deep into the run. Every run must
+// complete with output arrays bit-identical to the fault-free run;
+// the table shows what each crash point cost in checkpoints taken,
+// recovery rounds and virtual completion time.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vbuscluster/internal/core"
+	"vbuscluster/internal/fault"
+	"vbuscluster/internal/lmad"
+	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
+)
+
+// KillSweepRow is one crash point's outcome.
+type KillSweepRow struct {
+	// Ops is the killed rank's operation budget (-1 for the fault-free
+	// baseline row).
+	Ops int64
+	// Elapsed is the run's virtual completion time.
+	Elapsed sim.Time
+	// Checkpoints counts committed coordinated checkpoints.
+	Checkpoints int
+	// Recoveries counts shrink-and-replay rounds survived.
+	Recoveries int
+	// CkptTime and RecoveryTime aggregate the traced checkpoint and
+	// recovery intervals — what surviving the crash cost.
+	CkptTime     sim.Time
+	RecoveryTime sim.Time
+	// Verified reports that every final array matched the fault-free
+	// resilient run bit for bit.
+	Verified bool
+}
+
+// KillSweep runs MM(n) on procs ranks resiliently in full mode,
+// killing rank `victim` after each operation budget in ops, and
+// verifies every recovered run's final memory against the fault-free
+// resilient baseline. MM is reduction-free, so the shrunken replay
+// must reproduce the baseline bytes exactly. fabric selects the
+// interconnect backend ("" = default V-Bus).
+func KillSweep(n, procs, victim int, seed uint64, ops []int64, fabric string) ([]KillSweepRow, error) {
+	src := MMSource(n)
+	run := func(inj *fault.Injector) (map[string][]float64, KillSweepRow, error) {
+		rec := trace.New()
+		c, err := core.Compile(src, core.Options{
+			NumProcs:  procs,
+			Grain:     lmad.Fine,
+			Fabric:    fabric,
+			Recorder:  rec,
+			Faults:    inj,
+			Resilient: true,
+			CkptEvery: 1,
+		})
+		if err != nil {
+			return nil, KillSweepRow{}, err
+		}
+		res, err := c.RunResilient(core.Full)
+		if err != nil {
+			return nil, KillSweepRow{}, err
+		}
+		row := KillSweepRow{
+			Elapsed:     res.Elapsed,
+			Checkpoints: res.Checkpoints,
+			Recoveries:  res.Recoveries,
+		}
+		for _, ev := range rec.Events() {
+			switch ev.Op {
+			case trace.OpCheckpoint:
+				row.CkptTime += ev.Duration()
+			case trace.OpRecovery:
+				row.RecoveryTime += ev.Duration()
+			}
+		}
+		return res.Mem, row, nil
+	}
+
+	base, baseRow, err := run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fault-free resilient baseline: %w", err)
+	}
+	baseRow.Ops = -1
+	baseRow.Verified = true
+	rows := []KillSweepRow{baseRow}
+	sorted := append([]int64(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, budget := range sorted {
+		inj, err := fault.FromString(fmt.Sprintf("seed=%d,crashafter=%d/%d", seed, victim, budget))
+		if err != nil {
+			return nil, fmt.Errorf("bench: kill@%d: %w", budget, err)
+		}
+		mem, row, err := run(inj)
+		if err != nil {
+			return nil, fmt.Errorf("bench: kill@%d: %w", budget, err)
+		}
+		row.Ops = budget
+		row.Verified = memEqual(base, mem)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatKillSweep renders the crash-survival table.
+func FormatKillSweep(rows []KillSweepRow) string {
+	var sb strings.Builder
+	sb.WriteString("Kill sweep: checkpoint/restart survival vs crash point\n")
+	sb.WriteString("kill@ops\telapsed\tckpts\tckpt-time\trecoveries\trecovery-time\tpayload\n")
+	for _, r := range rows {
+		label := "none"
+		if r.Ops >= 0 {
+			label = fmt.Sprintf("%d", r.Ops)
+		}
+		ok := "ok"
+		if !r.Verified {
+			ok = "CORRUPT"
+		}
+		fmt.Fprintf(&sb, "%s\t%v\t%d\t%v\t%d\t%v\t%s\n",
+			label, r.Elapsed, r.Checkpoints, r.CkptTime, r.Recoveries, r.RecoveryTime, ok)
+	}
+	return sb.String()
+}

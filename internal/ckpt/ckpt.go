@@ -1,0 +1,284 @@
+// Package ckpt is the coordinated-checkpoint serializer: the on-disk
+// snapshot format the resilient interpreter writes at epoch
+// boundaries and restores after a rank failure.
+//
+// A snapshot captures the master's view of the computation at a
+// quiesced epoch boundary — no one-sided transfer or message is in
+// flight, every window is fenced — so a single consistent cut of
+// interpreter state, window memory and virtual clocks is enough to
+// replay from. The encoding is versioned, fully deterministic (array
+// names are sorted, every integer is little-endian) and protected by
+// a trailing CRC-32C over everything before it: a snapshot that was
+// truncated mid-write or corrupted on disk is detected rather than
+// silently replayed.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"vbuscluster/internal/sim"
+)
+
+// Named decode failures, wrapped in the returned errors so callers
+// can errors.Is against them.
+var (
+	// ErrTruncated means the blob ends before the encoded structure
+	// does (an interrupted write).
+	ErrTruncated = errors.New("ckpt: truncated snapshot")
+	// ErrBadMagic means the blob is not a checkpoint at all.
+	ErrBadMagic = errors.New("ckpt: bad magic")
+	// ErrBadVersion means the checkpoint was written by an
+	// incompatible format version.
+	ErrBadVersion = errors.New("ckpt: unsupported version")
+	// ErrCorrupt means the CRC-32C over the snapshot body does not
+	// match its trailer: the bytes changed after the write.
+	ErrCorrupt = errors.New("ckpt: checksum mismatch")
+)
+
+// magic identifies a checkpoint blob ("V-Bus ChecKpoint").
+const magic = "VBCK"
+
+// Version is the current format version.
+const Version = 1
+
+// castagnoli is the CRC-32C table, the same polynomial the fabric's
+// packet CRC uses (hardware-friendly, better burst detection than
+// IEEE).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Region mirrors one interpreter region-profile row (interp imports
+// this package, so the mirror avoids an import cycle).
+type Region struct {
+	Index    int
+	Parallel bool
+	LoopVar  string
+	Line     int
+	Elapsed  sim.Time
+	Comm     sim.Time
+}
+
+// Snapshot is one consistent cut of a resilient run: everything the
+// interpreter needs to resume from the start of epoch Epoch.
+type Snapshot struct {
+	// Epoch is the index of the next epoch to execute.
+	Epoch int
+	// Halted records whether the program has executed STOP.
+	Halted bool
+	// Nodes lists the surviving physical nodes at checkpoint time.
+	Nodes []int
+	// Clocks holds every physical node's virtual clock (dead nodes
+	// included, frozen at their crash time).
+	Clocks []sim.Time
+	// Output is the program's accumulated printed output.
+	Output []byte
+	// Regions are the per-region profile rows accumulated so far.
+	Regions []Region
+	// Arrays is the master's memory: every program array and scalar
+	// cell by symbol name.
+	Arrays map[string][]float64
+}
+
+// Encode serializes the snapshot. The result is deterministic: equal
+// snapshots encode to identical bytes regardless of map iteration
+// order.
+func (s *Snapshot) Encode() []byte {
+	var b []byte
+	b = append(b, magic...)
+	b = appendU32(b, Version)
+	b = appendU64(b, uint64(s.Epoch))
+	if s.Halted {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendU32(b, uint32(len(s.Nodes)))
+	for _, nd := range s.Nodes {
+		b = appendU32(b, uint32(nd))
+	}
+	b = appendU32(b, uint32(len(s.Clocks)))
+	for _, c := range s.Clocks {
+		b = appendU64(b, uint64(c))
+	}
+	b = appendBytes(b, s.Output)
+	b = appendU32(b, uint32(len(s.Regions)))
+	for _, r := range s.Regions {
+		b = appendU64(b, uint64(r.Index))
+		if r.Parallel {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendBytes(b, []byte(r.LoopVar))
+		b = appendU64(b, uint64(r.Line))
+		b = appendU64(b, uint64(r.Elapsed))
+		b = appendU64(b, uint64(r.Comm))
+	}
+	names := make([]string, 0, len(s.Arrays))
+	for name := range s.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b = appendU32(b, uint32(len(names)))
+	for _, name := range names {
+		b = appendBytes(b, []byte(name))
+		vals := s.Arrays[name]
+		b = appendU32(b, uint32(len(vals)))
+		for _, v := range vals {
+			b = appendU64(b, math.Float64bits(v))
+		}
+	}
+	return appendU32(b, crc32.Checksum(b, castagnoli))
+}
+
+// Decode parses and verifies a snapshot blob. The CRC is checked
+// before anything is interpreted, so a corrupted blob always reports
+// ErrCorrupt rather than a structure error deep inside garbage.
+func Decode(blob []byte) (*Snapshot, error) {
+	if len(blob) < len(magic)+8 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(blob))
+	}
+	if string(blob[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, blob[:len(magic)])
+	}
+	body, trailer := blob[:len(blob)-4], blob[len(blob)-4:]
+	want := binary.LittleEndian.Uint32(trailer)
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: crc %08x, trailer %08x", ErrCorrupt, got, want)
+	}
+	r := &reader{b: body, off: len(magic)}
+	if v := r.u32(); v != Version {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrBadVersion, v, Version)
+	}
+	s := &Snapshot{}
+	s.Epoch = int(r.u64())
+	s.Halted = r.u8() != 0
+	if n := int(r.u32()); n > 0 && r.err == nil {
+		s.Nodes = make([]int, 0, min(n, 1<<16))
+		for i := 0; i < n && r.err == nil; i++ {
+			s.Nodes = append(s.Nodes, int(r.u32()))
+		}
+	}
+	if n := int(r.u32()); n > 0 && r.err == nil {
+		s.Clocks = make([]sim.Time, 0, min(n, 1<<16))
+		for i := 0; i < n && r.err == nil; i++ {
+			s.Clocks = append(s.Clocks, sim.Time(r.u64()))
+		}
+	}
+	s.Output = r.bytes()
+	if n := int(r.u32()); n > 0 && r.err == nil {
+		s.Regions = make([]Region, 0, min(n, 1<<16))
+		for i := 0; i < n && r.err == nil; i++ {
+			var reg Region
+			reg.Index = int(r.u64())
+			reg.Parallel = r.u8() != 0
+			reg.LoopVar = string(r.bytes())
+			reg.Line = int(r.u64())
+			reg.Elapsed = sim.Time(r.u64())
+			reg.Comm = sim.Time(r.u64())
+			s.Regions = append(s.Regions, reg)
+		}
+	}
+	if n := int(r.u32()); r.err == nil {
+		s.Arrays = make(map[string][]float64, min(n, 1<<16))
+		for i := 0; i < n && r.err == nil; i++ {
+			name := string(r.bytes())
+			m := int(r.u32())
+			vals := make([]float64, 0, min(m, 1<<16))
+			for j := 0; j < m && r.err == nil; j++ {
+				vals = append(vals, math.Float64frombits(r.u64()))
+			}
+			if r.err == nil {
+				s.Arrays[name] = vals
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("ckpt: %d trailing bytes after snapshot", len(body)-r.off)
+	}
+	return s, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = appendU32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// reader is a bounds-checked little-endian cursor; the first overrun
+// latches ErrTruncated and every later read returns zero.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.off, len(r.b))
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *reader) u8() uint8 {
+	v := r.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+
+func (r *reader) u32() uint32 {
+	v := r.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+
+func (r *reader) u64() uint64 {
+	v := r.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := r.take(n)
+	if v == nil {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

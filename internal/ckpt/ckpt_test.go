@@ -1,0 +1,151 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+
+	"vbuscluster/internal/sim"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Epoch:  3,
+		Halted: true,
+		Nodes:  []int{0, 2, 3},
+		Clocks: []sim.Time{17 * sim.Microsecond, 4 * sim.Millisecond, 0, 981},
+		Output: []byte("  1.0000\n  2.0000\n"),
+		Regions: []Region{
+			{Index: 0, Parallel: true, LoopVar: "I", Line: 12, Elapsed: 5 * sim.Microsecond, Comm: sim.Microsecond},
+			{Index: 1, Parallel: false, Line: 30, Elapsed: 44},
+		},
+		Arrays: map[string][]float64{
+			"A":    {1, 2.5, -3, math.Inf(1)},
+			"B":    {},
+			"IVAR": {42},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []*Snapshot{
+		sample(),
+		{}, // zero snapshot
+		{Epoch: 1, Arrays: map[string][]float64{"X": {0.1}}},
+	}
+	for i, s := range cases {
+		blob := s.Encode()
+		got, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("case %d: Decode: %v", i, err)
+		}
+		// Decode normalizes empty map values like Encode sees them.
+		if s.Arrays == nil {
+			s = &Snapshot{Epoch: s.Epoch, Halted: s.Halted, Nodes: s.Nodes,
+				Clocks: s.Clocks, Output: s.Output, Regions: s.Regions,
+				Arrays: map[string][]float64{}}
+		}
+		if !snapshotsEqual(got, s) {
+			t.Errorf("case %d: round trip mismatch:\n got  %+v\n want %+v", i, got, s)
+		}
+	}
+}
+
+// snapshotsEqual compares with NaN/-0 safe float comparison (bits).
+func snapshotsEqual(a, b *Snapshot) bool {
+	if a.Epoch != b.Epoch || a.Halted != b.Halted ||
+		!reflect.DeepEqual(a.Nodes, b.Nodes) || !reflect.DeepEqual(a.Clocks, b.Clocks) ||
+		!bytes.Equal(a.Output, b.Output) || !reflect.DeepEqual(a.Regions, b.Regions) {
+		return false
+	}
+	if len(a.Arrays) != len(b.Arrays) {
+		return false
+	}
+	for name, av := range a.Arrays {
+		bv, ok := b.Arrays[name]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if math.Float64bits(av[i]) != math.Float64bits(bv[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestEncodeDeterministic: equal snapshots produce identical bytes —
+// map iteration order must not leak into the encoding.
+func TestEncodeDeterministic(t *testing.T) {
+	a := sample().Encode()
+	for i := 0; i < 16; i++ {
+		if b := sample().Encode(); !bytes.Equal(a, b) {
+			t.Fatalf("encoding differs between runs at iteration %d", i)
+		}
+	}
+}
+
+// TestCorruptionDetected: flipping any single byte of a valid blob
+// must fail decoding — almost always ErrCorrupt via the CRC; never a
+// silent success.
+func TestCorruptionDetected(t *testing.T) {
+	blob := sample().Encode()
+	for i := range blob {
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0x40
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("flip at byte %d decoded successfully", i)
+		}
+	}
+}
+
+// TestTruncationDetected: every proper prefix fails with a named
+// error, never a panic or silent success.
+func TestTruncationDetected(t *testing.T) {
+	blob := sample().Encode()
+	for n := 0; n < len(blob); n++ {
+		_, err := Decode(blob[:n])
+		if err == nil {
+			t.Fatalf("prefix of %d bytes decoded successfully", n)
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("prefix of %d bytes: unexpected error %v", n, err)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	blob := sample().Encode()
+	blob[0] = 'X'
+	// Re-seal the CRC so the magic check itself is exercised.
+	body := blob[:len(blob)-4]
+	binary.LittleEndian.PutUint32(blob[len(blob)-4:], crc32.Checksum(body, castagnoli))
+	if _, err := Decode(blob); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	blob := sample().Encode()
+	binary.LittleEndian.PutUint32(blob[4:8], Version+1)
+	body := blob[:len(blob)-4]
+	binary.LittleEndian.PutUint32(blob[len(blob)-4:], crc32.Checksum(body, castagnoli))
+	if _, err := Decode(blob); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("got %v, want ErrBadVersion", err)
+	}
+}
+
+func TestTrailingGarbageRejected(t *testing.T) {
+	blob := sample().Encode()
+	// Splice extra bytes between body and a recomputed CRC.
+	body := append(append([]byte(nil), blob[:len(blob)-4]...), 0xde, 0xad)
+	blob = binary.LittleEndian.AppendUint32(body, crc32.Checksum(body, castagnoli))
+	if _, err := Decode(blob); err == nil {
+		t.Fatal("blob with trailing garbage decoded successfully")
+	}
+}

@@ -194,6 +194,10 @@ type Cluster struct {
 	compTime  []sim.Time // computation time charged per rank
 	commBytes []int64
 	commOps   []int64
+	// opsSeen counts MPI operations issued per rank. It feeds the
+	// crashafter fault and is only bumped when such a fault is
+	// scheduled, so the zero-fault hot path never touches it.
+	opsSeen []int64
 }
 
 // New builds a cluster of n processes. Ranks are placed row-major on
@@ -220,6 +224,7 @@ func New(n int, params Params) (*Cluster, error) {
 		compTime:  make([]sim.Time, n),
 		commBytes: make([]int64, n),
 		commOps:   make([]int64, n),
+		opsSeen:   make([]int64, n),
 	}, nil
 }
 
@@ -331,6 +336,31 @@ func (c *Cluster) SetAll(t sim.Time) {
 		}
 	}
 	c.mu.Unlock()
+}
+
+// SetSome lifts the clocks of the listed ranks to t, leaving all
+// others untouched. Collectives on a shrunken communicator use it:
+// after a crash, dead and excluded ranks must keep their last clock
+// reading rather than be dragged along by the survivors' barriers.
+func (c *Cluster) SetSome(ranks []int, t sim.Time) {
+	c.mu.Lock()
+	for _, r := range ranks {
+		if r >= 0 && r < c.n && c.clocks[r] < t {
+			c.clocks[r] = t
+		}
+	}
+	c.mu.Unlock()
+}
+
+// BumpOps increments rank's MPI-operation counter and returns the new
+// count. The counter persists across communicator rebuilds so a
+// crashafter fault keyed on the physical node fires exactly once.
+func (c *Cluster) BumpOps(rank int) int64 {
+	c.check(rank)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opsSeen[rank]++
+	return c.opsSeen[rank]
 }
 
 // MaxClock reports the furthest-ahead clock.
@@ -449,5 +479,6 @@ func (c *Cluster) Reset() {
 		c.compTime[i] = 0
 		c.commBytes[i] = 0
 		c.commOps[i] = 0
+		c.opsSeen[i] = 0
 	}
 }

@@ -89,6 +89,17 @@ type Options struct {
 	// link outages, slow and crashing nodes, V-Bus acquisition failures
 	// and per-operation deadlines. See internal/fault.
 	Faults *fault.Injector
+	// Resilient emits restart-capable SPMD code (regions grouped into
+	// checkpoint epochs, AVPG elimination disabled) so RunResilient can
+	// survive rank crashes via coordinated checkpoint/restart plus
+	// ULFM-style shrink-and-recover (vbrun -resilient).
+	Resilient bool
+	// CkptEvery is the checkpoint cadence in parallel regions per epoch
+	// (minimum 1; only meaningful with Resilient). vbrun -ckpt-every.
+	CkptEvery int
+	// CkptDir, when non-empty, persists each epoch's checkpoint blob to
+	// disk under this directory; empty keeps checkpoints in memory only.
+	CkptDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -187,6 +198,8 @@ func Compile(src string, opts Options) (*Compiled, error) {
 			LockReductions: opts.LockReductions,
 			PullScatter:    opts.PullScatter,
 			TwoSided:       opts.TwoSided,
+			Resilient:      opts.Resilient,
+			CkptEvery:      opts.CkptEvery,
 		}, hook)
 	}
 	if opts.AutoGrain {
@@ -284,6 +297,40 @@ func (c *Compiled) RunParallel(mode Mode) (*interp.Result, error) {
 		return nil, err
 	}
 	return interp.RunParallel(c.SPMD, cl, mode)
+}
+
+// RunResilient executes the SPMD translation with coordinated
+// checkpoint/restart: epochs from the resilience pass run under a
+// crash supervisor that, on a rank failure, agrees on the failed set,
+// shrinks the communicator to the survivors, retranslates the program
+// for the smaller rank count, restores the last checkpoint and
+// replays. Requires Options.Resilient.
+func (c *Compiled) RunResilient(mode Mode) (*interp.Result, error) {
+	if !c.opts.Resilient {
+		return nil, fmt.Errorf("core: RunResilient needs Options.Resilient")
+	}
+	cl, err := c.clusterFor(c.opts.NumProcs)
+	if err != nil {
+		return nil, err
+	}
+	// Recompiling for a shrunken world reruns only the postpass — the
+	// front-end analysis on Prog is rank-count independent.
+	retranslate := func(n int) (*postpass.Program, error) {
+		return postpass.Translate(c.Prog, postpass.Options{
+			NumProcs:       n,
+			Grain:          c.SPMD.Opts.Grain,
+			LiveOutAll:     !c.opts.NoLiveOut,
+			LockReductions: c.opts.LockReductions,
+			PullScatter:    c.opts.PullScatter,
+			TwoSided:       c.opts.TwoSided,
+			Resilient:      true,
+			CkptEvery:      c.opts.CkptEvery,
+		})
+	}
+	return interp.RunResilient(c.SPMD, cl, mode, interp.ResilientConfig{
+		Retranslate: retranslate,
+		Dir:         c.opts.CkptDir,
+	})
 }
 
 // Speedup compiles nothing new: it runs both baseline and SPMD versions

@@ -33,6 +33,7 @@ func Passes() []Pass {
 		{"grain-opt", "§5.6 race check: demote unsafe approximate collects"},
 		{"avpg", "array-value propagation graph: eliminate redundant comm"},
 		{"env-gen", "MPI environment generation: memory windows (§5.1)"},
+		{"resilience", "group regions into checkpoint epochs for restart"},
 		{"grain-select", "price each grain with the interconnect model, keep cheapest"},
 	}
 }

@@ -58,6 +58,9 @@ type Injector struct {
 	// crashByRank holds the earliest crash time per rank (MaxTime when
 	// the rank never crashes).
 	crashByRank []sim.Time
+	// crashAfterByRank holds the smallest operation-count crash
+	// threshold per rank (-1 when the rank never crashes by count).
+	crashAfterByRank []int64
 }
 
 // New builds the injector for spec. A nil spec yields a nil injector.
@@ -77,11 +80,18 @@ func New(spec *Spec) *Injector {
 			maxRank = cr.Rank
 		}
 	}
+	for _, ca := range spec.CrashAfters {
+		if ca.Rank > maxRank {
+			maxRank = ca.Rank
+		}
+	}
 	inj.slowByRank = make([]float64, maxRank+1)
 	inj.crashByRank = make([]sim.Time, maxRank+1)
+	inj.crashAfterByRank = make([]int64, maxRank+1)
 	for i := range inj.slowByRank {
 		inj.slowByRank[i] = 1
 		inj.crashByRank[i] = sim.MaxTime
+		inj.crashAfterByRank[i] = -1
 	}
 	for _, sl := range spec.Slows {
 		if sl.Factor > inj.slowByRank[sl.Rank] {
@@ -91,6 +101,11 @@ func New(spec *Spec) *Injector {
 	for _, cr := range spec.Crashes {
 		if cr.At < inj.crashByRank[cr.Rank] {
 			inj.crashByRank[cr.Rank] = cr.At
+		}
+	}
+	for _, ca := range spec.CrashAfters {
+		if cur := inj.crashAfterByRank[ca.Rank]; cur < 0 || ca.Ops < cur {
+			inj.crashAfterByRank[ca.Rank] = ca.Ops
 		}
 	}
 	return inj
@@ -123,7 +138,7 @@ func (inj *Injector) Enabled() bool {
 	s := &inj.spec
 	probabilistic := s.Seed != 0 && (s.FlitDrop > 0 || s.Corrupt > 0 || s.BusFail > 0)
 	return probabilistic || len(s.LinkDowns) > 0 || len(s.Slows) > 0 ||
-		len(s.Crashes) > 0 || s.Deadline > 0
+		len(s.Crashes) > 0 || len(s.CrashAfters) > 0 || s.Deadline > 0
 }
 
 // splitmix64 is the finalizer of the SplitMix64 generator: a bijective
@@ -209,6 +224,23 @@ func (inj *Injector) CrashTime(rank int) sim.Time {
 	return inj.crashByRank[rank]
 }
 
+// CrashAfterOps reports the operation-count crash threshold of rank:
+// the rank completes that many MPI operations and the next one fails.
+// -1 means the rank never crashes by operation count.
+func (inj *Injector) CrashAfterOps(rank int) int64 {
+	if inj == nil || rank < 0 || rank >= len(inj.crashAfterByRank) {
+		return -1
+	}
+	return inj.crashAfterByRank[rank]
+}
+
+// HasCrashAfter reports whether any operation-count crash is
+// scheduled; when false the runtime skips per-operation counting
+// entirely.
+func (inj *Injector) HasCrashAfter() bool {
+	return inj != nil && len(inj.spec.CrashAfters) > 0
+}
+
 // LinkDownUntil reports, for the link between nodes a and b at virtual
 // time at, the end of the outage covering at (0 when the link is up).
 // Outages are direction-agnostic.
@@ -241,6 +273,24 @@ func (inj *Injector) PathDownUntil(path []int, at sim.Time) sim.Time {
 	for i := 0; i+1 < len(path); i++ {
 		if u := inj.LinkDownUntil(path[i], path[i+1], at); u > until {
 			until = u
+		}
+	}
+	return until
+}
+
+// AnyLinkDownUntil reports the latest outage end covering virtual
+// time at on any link (0 when every link is up). The V-Bus broadcast
+// uses it: the virtual bus is constructed out of the mesh's physical
+// links across the whole machine, so one downed link anywhere blocks
+// bus construction until it recovers.
+func (inj *Injector) AnyLinkDownUntil(at sim.Time) sim.Time {
+	if inj == nil {
+		return 0
+	}
+	var until sim.Time
+	for _, ld := range inj.spec.LinkDowns {
+		if at >= ld.At && at < ld.Until() && ld.Until() > until {
+			until = ld.Until()
 		}
 	}
 	return until

@@ -19,6 +19,7 @@
 //	linkdown=A-B@T+D link between nodes A and B is down during [T,T+D)
 //	slow=R*F         rank R computes F times slower (F >= 1)
 //	crash=R@T        rank R crashes at virtual time T
+//	crashafter=R/N   rank R crashes after issuing N MPI operations
 //	deadline=D       per-operation deadline for blocking MPI calls
 //	mtu=N            reliable-transport packet size in bytes
 //	window=N         go-back-N retransmission window in packets
@@ -75,6 +76,15 @@ type Crash struct {
 	At   sim.Time
 }
 
+// CrashAfter stops one rank by operation count instead of wall time:
+// the rank completes Ops MPI operations, then the next one fails with
+// a Crashed error. Counting by operations lets tests and killsweeps
+// target exact epoch boundaries independently of the fabric's timing.
+type CrashAfter struct {
+	Rank int
+	Ops  int64
+}
+
 // Spec is a parsed fault schedule. The zero Spec (or any spec with
 // Seed == 0 and no scheduled faults) injects nothing.
 type Spec struct {
@@ -83,9 +93,10 @@ type Spec struct {
 	Corrupt  float64 // per-packet corruption probability
 	BusFail  float64 // per-attempt bus-acquisition failure probability
 
-	LinkDowns []LinkDown
-	Slows     []Slow
-	Crashes   []Crash
+	LinkDowns   []LinkDown
+	Slows       []Slow
+	Crashes     []Crash
+	CrashAfters []CrashAfter
 
 	Deadline sim.Time // 0 = no deadline
 
@@ -141,6 +152,10 @@ func ParseSpec(s string) (*Spec, error) {
 			var cr Crash
 			cr, err = parseCrash(val)
 			spec.Crashes = append(spec.Crashes, cr)
+		case "crashafter":
+			var ca CrashAfter
+			ca, err = parseCrashAfter(val)
+			spec.CrashAfters = append(spec.CrashAfters, ca)
 		case "deadline":
 			spec.Deadline, err = ParseDuration(val)
 		case "mtu":
@@ -195,6 +210,14 @@ func (s *Spec) validate() error {
 			return fmt.Errorf("fault: crash rank %d must be non-negative", cr.Rank)
 		}
 	}
+	for _, ca := range s.CrashAfters {
+		if ca.Rank < 0 {
+			return fmt.Errorf("fault: crashafter rank %d must be non-negative", ca.Rank)
+		}
+		if ca.Ops < 0 {
+			return fmt.Errorf("fault: crashafter op count %d must be non-negative", ca.Ops)
+		}
+	}
 	if s.Deadline < 0 {
 		return fmt.Errorf("fault: negative deadline %v", s.Deadline)
 	}
@@ -226,6 +249,12 @@ func (s *Spec) normalize() {
 		}
 		return s.Crashes[i].At < s.Crashes[j].At
 	})
+	sort.Slice(s.CrashAfters, func(i, j int) bool {
+		if s.CrashAfters[i].Rank != s.CrashAfters[j].Rank {
+			return s.CrashAfters[i].Rank < s.CrashAfters[j].Rank
+		}
+		return s.CrashAfters[i].Ops < s.CrashAfters[j].Ops
+	})
 }
 
 // String renders the spec in the canonical parseable form: seed first,
@@ -252,6 +281,9 @@ func (s *Spec) String() string {
 	}
 	for _, cr := range s.Crashes {
 		parts = append(parts, fmt.Sprintf("crash=%d@%s", cr.Rank, FormatDuration(cr.At)))
+	}
+	for _, ca := range s.CrashAfters {
+		parts = append(parts, fmt.Sprintf("crashafter=%d/%d", ca.Rank, ca.Ops))
 	}
 	if s.Deadline != 0 {
 		parts = append(parts, "deadline="+FormatDuration(s.Deadline))
@@ -367,6 +399,23 @@ func parseCrash(val string) (Crash, error) {
 		return Crash{}, fmt.Errorf("negative crash time %v", at)
 	}
 	return Crash{Rank: r, At: at}, nil
+}
+
+// parseCrashAfter parses "R/N".
+func parseCrashAfter(val string) (CrashAfter, error) {
+	rs, ns, ok := strings.Cut(val, "/")
+	if !ok {
+		return CrashAfter{}, fmt.Errorf("missing /op-count in %q", val)
+	}
+	r, err := strconv.Atoi(rs)
+	if err != nil {
+		return CrashAfter{}, err
+	}
+	n, err := strconv.ParseInt(ns, 10, 64)
+	if err != nil {
+		return CrashAfter{}, err
+	}
+	return CrashAfter{Rank: r, Ops: n}, nil
 }
 
 // durUnits maps suffix to scale, longest suffixes first so "ms" is not

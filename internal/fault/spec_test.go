@@ -136,6 +136,8 @@ func TestSpecStringRoundTrip(t *testing.T) {
 		"seed=1,linkdown=0-1@1ms+2ms,linkdown=2-3@0ps+5us",
 		"seed=9,slow=1*2,crash=2@40ms,deadline=1s",
 		"seed=3,mtu=128,window=2,maxretry=1,backoff=500ns,bustimeout=1ms",
+		"seed=0,crashafter=1/120",
+		"seed=7,crash=3@80ms,crashafter=2/0,crashafter=1/64",
 	}
 	for _, in := range specs {
 		s, err := ParseSpec(in)
@@ -212,9 +214,11 @@ func FuzzParseFaultSpec(f *testing.F) {
 		"seed=42,flitdrop=1e-3,corrupt=5e-4,busfail=0.01",
 		"seed=1,linkdown=0-1@1ms+2ms,slow=2*3,crash=1@40ms",
 		"seed=1,deadline=2ms,mtu=512,window=8,maxretry=3,backoff=1us,bustimeout=50us",
+		"seed=1,crashafter=1/40,crashafter=0/7",
 		"seed=,flitdrop=",
 		"linkdown=0-1@+",
 		"slow=*,crash=@",
+		"crashafter=/,crashafter=1/-2",
 		"deadline=999999999999s",
 		"seed=1,,seed=2",
 	} {
@@ -237,4 +241,41 @@ func FuzzParseFaultSpec(f *testing.F) {
 			t.Fatalf("String() not stable: %q vs %q", again.String(), canon)
 		}
 	})
+}
+
+func TestCrashAfter(t *testing.T) {
+	inj, err := FromString("seed=0,crashafter=2/40,crashafter=2/15,crashafter=0/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Enabled() {
+		t.Error("crashafter alone should enable the injector")
+	}
+	if !inj.HasCrashAfter() {
+		t.Error("HasCrashAfter() = false")
+	}
+	// Duplicate entries keep the earliest threshold.
+	if got := inj.CrashAfterOps(2); got != 15 {
+		t.Errorf("CrashAfterOps(2) = %d, want 15", got)
+	}
+	if got := inj.CrashAfterOps(0); got != 0 {
+		t.Errorf("CrashAfterOps(0) = %d, want 0", got)
+	}
+	// Unscheduled and out-of-range ranks never crash by count.
+	for _, r := range []int{1, 3, -1} {
+		if got := inj.CrashAfterOps(r); got != -1 {
+			t.Errorf("CrashAfterOps(%d) = %d, want -1", r, got)
+		}
+	}
+	// The nil injector is inert.
+	var nilInj *Injector
+	if nilInj.HasCrashAfter() || nilInj.CrashAfterOps(0) != -1 {
+		t.Error("nil injector must report no crashafter faults")
+	}
+	// Rejections: malformed and negative forms.
+	for _, bad := range []string{"seed=1,crashafter=1", "seed=1,crashafter=-1/5", "seed=1,crashafter=1/-5", "seed=1,crashafter=a/b"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
 }

@@ -36,6 +36,14 @@ const (
 	// reliable-transport layer under fault injection. Zero-fault runs
 	// record no retry events at all.
 	TransportRetry
+	// TransportCkpt is coordinated-checkpoint traffic: the quiesce
+	// rendezvous plus the serialized snapshot each rank streams to
+	// stable storage. Non-resilient runs record no checkpoint events.
+	TransportCkpt
+	// TransportRecovery is crash-recovery traffic: the survivors'
+	// agreement round, communicator shrink, and checkpoint restore
+	// broadcast after a rank failure.
+	TransportRecovery
 	// NumTransports sizes per-transport counter arrays.
 	NumTransports
 )
@@ -59,9 +67,26 @@ func (t Transport) String() string {
 		return "sync"
 	case TransportRetry:
 		return "retry"
+	case TransportCkpt:
+		return "ckpt"
+	case TransportRecovery:
+		return "recovery"
 	default:
 		return "invalid"
 	}
+}
+
+// TransportFromName maps a transport's canonical name (the String
+// form) back to its value. Unknown names report ok=false: consumers
+// that validate externally supplied traces use this to reject
+// transport classes that were never registered here.
+func TransportFromName(name string) (Transport, bool) {
+	for t := TransportNone; t < NumTransports; t++ {
+		if t.String() == name {
+			return t, true
+		}
+	}
+	return TransportNone, false
 }
 
 // ContigTransport reports which class a contiguous remote transfer

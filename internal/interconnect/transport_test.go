@@ -4,14 +4,16 @@ import "testing"
 
 func TestTransportStrings(t *testing.T) {
 	want := map[Transport]string{
-		TransportNone:  "none",
-		TransportLocal: "local",
-		TransportDMA:   "dma",
-		TransportPIO:   "pio",
-		TransportP2P:   "p2p",
-		TransportBcast: "bcast",
-		TransportSync:  "sync",
-		TransportRetry: "retry",
+		TransportNone:     "none",
+		TransportLocal:    "local",
+		TransportDMA:      "dma",
+		TransportPIO:      "pio",
+		TransportP2P:      "p2p",
+		TransportBcast:    "bcast",
+		TransportSync:     "sync",
+		TransportRetry:    "retry",
+		TransportCkpt:     "ckpt",
+		TransportRecovery: "recovery",
 	}
 	if len(want) != int(NumTransports) {
 		t.Fatalf("test covers %d transports, NumTransports is %d", len(want), NumTransports)
@@ -23,6 +25,20 @@ func TestTransportStrings(t *testing.T) {
 	}
 	if Transport(200).String() != "invalid" {
 		t.Errorf("out-of-range transport should stringify as invalid")
+	}
+}
+
+func TestTransportFromName(t *testing.T) {
+	for tr := TransportNone; tr < NumTransports; tr++ {
+		got, ok := TransportFromName(tr.String())
+		if !ok || got != tr {
+			t.Errorf("TransportFromName(%q) = %v, %v; want %v, true", tr.String(), got, ok, tr)
+		}
+	}
+	for _, bad := range []string{"", "invalid", "bogus", "DMA"} {
+		if _, ok := TransportFromName(bad); ok {
+			t.Errorf("TransportFromName(%q) accepted, want rejection", bad)
+		}
 	}
 }
 

@@ -32,6 +32,12 @@ type Result struct {
 	// that guides granularity selection: wall virtual time and data
 	// communication per region.
 	Regions []RegionStat
+	// Checkpoints counts the coordinated checkpoints a resilient run
+	// committed (zero for RunSequential/RunParallel).
+	Checkpoints int
+	// Recoveries counts the shrink-and-replay rounds a resilient run
+	// survived (zero for RunSequential/RunParallel).
+	Recoveries int
 }
 
 // RegionStat profiles one SPMD region.

@@ -583,6 +583,19 @@ func (m *Mesh) Broadcast(src NodeID, bytes int, done func(sim.Time)) error {
 	if m.busFreeAt > start {
 		start = m.busFreeAt // back-to-back broadcasts serialize on the bus
 	}
+	// The virtual bus is constructed from the mesh's physical links, so
+	// an injected outage anywhere blocks bus construction until the
+	// link recovers — a broadcast cannot be driven over a dead wire.
+	if m.inj != nil && m.inj.HasLinkDowns() {
+		for {
+			until := m.inj.AnyLinkDownUntil(start)
+			if until <= start {
+				break
+			}
+			m.stats.LinkStalls++
+			start = until
+		}
+	}
 	// Bus setup: arbitration plus driving the bus lines across the
 	// diameter of the mesh (no per-hop router latency: no buffering).
 	setup := m.cfg.BusArbitration + sim.Time(m.Diameter())*m.link.PropagationDelay()

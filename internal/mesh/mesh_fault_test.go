@@ -71,6 +71,54 @@ func TestLinkDownStallsDelivery(t *testing.T) {
 	}
 }
 
+// TestLinkDownStallsBroadcast: the virtual bus is constructed from
+// the mesh's physical links, so a broadcast issued during a link
+// outage must wait for the link to recover before the bus can be
+// driven — it used to ignore outages entirely and complete at the
+// clean-network time.
+func TestLinkDownStallsBroadcast(t *testing.T) {
+	engClean, clean := newMesh(t, 4, 1)
+	var cleanAt sim.Time
+	if err := clean.Broadcast(0, 256, func(ts sim.Time) { cleanAt = ts }); err != nil {
+		t.Fatal(err)
+	}
+	engClean.Run()
+
+	eng, m := newMesh(t, 4, 1)
+	m.SetFaults(faultInj(t, "seed=1,linkdown=1-2@0ns+5us"))
+	var faultAt sim.Time
+	if err := m.Broadcast(0, 256, func(ts sim.Time) { faultAt = ts }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+
+	if faultAt <= cleanAt {
+		t.Fatalf("link outage did not delay the broadcast: clean %v, faulty %v", cleanAt, faultAt)
+	}
+	// The whole outage window precedes the bus window: completion is
+	// the outage end plus the full clean broadcast.
+	if want := 5*sim.Microsecond + cleanAt; faultAt != want {
+		t.Fatalf("broadcast completed at %v, want outage end + clean time = %v", faultAt, want)
+	}
+	if m.Stats().LinkStalls == 0 {
+		t.Error("no link stalls recorded for the stalled broadcast")
+	}
+
+	// After the outage window the bus behaves normally again.
+	eng2, m2 := newMesh(t, 4, 1)
+	m2.SetFaults(faultInj(t, "seed=1,linkdown=1-2@0ns+5us"))
+	var lateAt sim.Time
+	eng2.At(10*sim.Microsecond, func() {
+		if err := m2.Broadcast(0, 256, func(ts sim.Time) { lateAt = ts }); err != nil {
+			t.Error(err)
+		}
+	})
+	eng2.Run()
+	if want := 10*sim.Microsecond + cleanAt; lateAt != want {
+		t.Fatalf("post-outage broadcast completed at %v, want %v", lateAt, want)
+	}
+}
+
 func TestMeshRetransmissionsDeterministicAndDelayed(t *testing.T) {
 	run := func(spec string) (sim.Time, Stats) {
 		eng, m := newMesh(t, 4, 4)

@@ -63,23 +63,24 @@ type collSlot struct {
 func (w *World) collectiveE(rank int, op string, contrib []float64,
 	finish func(maxT sim.Time, vals [][]float64) (release sim.Time, result []float64, commCost sim.Time, tr interconnect.Transport)) ([]float64, interconnect.Transport, *Error) {
 
+	node := w.nodes[rank]
 	if w.n == 1 {
-		release, result, commCost, tr := finish(w.cl.Clock(rank), [][]float64{contrib})
-		w.cl.SetAll(release)
-		w.cl.BookComm(rank, commCost, 0)
+		release, result, commCost, tr := finish(w.cl.Clock(node), [][]float64{contrib})
+		w.cl.SetSome(w.nodes, release)
+		w.cl.BookComm(node, commCost, 0)
 		return result, tr, nil
 	}
 	deadline := w.inj.Deadline()
 	var entry sim.Time
 	var wallStart time.Time
 	if deadline > 0 {
-		entry = w.cl.Clock(rank)
+		entry = w.cl.Clock(node)
 		wallStart = time.Now()
 	}
 	w.mu.Lock()
 	if w.nDown > 0 {
 		w.mu.Unlock()
-		return nil, 0, &Error{Kind: ErrPeerCrashed, Rank: rank, Op: op, Peer: -1, Time: w.cl.Clock(rank)}
+		return nil, 0, &Error{Kind: ErrPeerCrashed, Rank: rank, Op: op, Peer: -1, Time: w.cl.Clock(node)}
 	}
 	gen := w.gen
 	slot, ok := w.slots[gen]
@@ -88,7 +89,7 @@ func (w *World) collectiveE(rank int, op string, contrib []float64,
 		w.slots[gen] = slot
 	}
 	slot.vals[rank] = contrib
-	if t := w.cl.Clock(rank); t > w.maxT {
+	if t := w.cl.Clock(node); t > w.maxT {
 		w.maxT = t
 	}
 	w.arrived++
@@ -97,17 +98,22 @@ func (w *World) collectiveE(rank int, op string, contrib []float64,
 		slot.result = result
 		slot.commCost = commCost
 		slot.transport = tr
-		w.cl.SetAll(release)
+		w.cl.SetSome(w.nodes, release)
 		w.arrived = 0
 		w.maxT = 0
 		w.gen++
 		w.cond.Broadcast()
 	} else {
 		for gen == w.gen {
+			if w.revoked {
+				w.arrived--
+				w.mu.Unlock()
+				return nil, 0, &Error{Kind: ErrRevoked, Rank: rank, Op: op, Peer: -1, Time: w.cl.Clock(node)}
+			}
 			if w.nDown > 0 {
 				w.arrived--
 				w.mu.Unlock()
-				return nil, 0, &Error{Kind: ErrPeerCrashed, Rank: rank, Op: op, Peer: -1, Time: w.cl.Clock(rank)}
+				return nil, 0, &Error{Kind: ErrPeerCrashed, Rank: rank, Op: op, Peer: -1, Time: w.cl.Clock(node)}
 			}
 			if deadline > 0 && time.Since(wallStart) > WatchdogWall {
 				w.arrived--
@@ -125,7 +131,7 @@ func (w *World) collectiveE(rank int, op string, contrib []float64,
 		delete(w.slots, gen)
 	}
 	w.mu.Unlock()
-	w.cl.BookComm(rank, cost, 0)
+	w.cl.BookComm(node, cost, 0)
 	return res, tr, nil
 }
 
@@ -134,31 +140,48 @@ func (w *World) collectiveE(rank int, op string, contrib []float64,
 // one stream, every node listens — rather than a log2(P) software tree.
 // Every rank receives its own copy; root's input is not aliased.
 func (p *Proc) Bcast(root int, data []float64) []float64 {
+	res, err := p.BcastE(root, data)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// BcastE is Bcast returning structured fault errors instead of
+// panicking. A broadcast stalled by link outages past the injected
+// per-operation deadline fails with ErrTimeout whose Time is the
+// virtual time of detection — the instant the deadline expired, not
+// the later clock at which the stalled operation would have finished.
+func (p *Proc) BcastE(root int, data []float64) ([]float64, error) {
 	w := p.w
 	if root < 0 || root >= w.n {
 		panic(fmt.Sprintf("mpi: Bcast root %d out of range", root))
 	}
 	if err := p.enter(trace.OpBcast, root); err != nil {
-		panic(err)
+		return nil, err
 	}
+	entry := p.entryClock()
 	card := w.cl.Fabric()
 	var contrib []float64
 	if p.rank == root {
 		contrib = data
 	}
 	rec, begin := p.traceBegin()
-	res, tr, err := w.collectiveE(p.rank, trace.OpBcast, contrib,
+	res, tr, cerr := w.collectiveE(p.rank, trace.OpBcast, contrib,
 		func(maxT sim.Time, vals [][]float64) (sim.Time, []float64, sim.Time, interconnect.Transport) {
 			payload := vals[root]
-			bcost, btr := w.broadcastCost(len(payload) * WordBytes)
+			bcost, btr := w.broadcastCost(len(payload)*WordBytes, maxT+card.SendSetup())
 			cost := card.SendSetup() + bcost
 			return maxT + cost, append([]float64(nil), payload...), cost, btr
 		})
-	if err != nil {
-		panic(err)
+	if cerr != nil {
+		return nil, cerr
 	}
 	p.traceEnd(rec, begin, trace.OpBcast, root, 0, int64(len(res)*WordBytes), tr)
-	return append([]float64(nil), res...)
+	if d := w.inj.Deadline(); d > 0 && w.cl.Clock(p.node())-entry > d {
+		return nil, &Error{Kind: ErrTimeout, Rank: p.rank, Op: trace.OpBcast, Peer: root, Time: entry + d}
+	}
+	return append([]float64(nil), res...), nil
 }
 
 // reduceCost models a binomial gather tree of vector messages.
@@ -227,8 +250,9 @@ func (p *Proc) Allreduce(op Op, data []float64) []float64 {
 					out[i] = op.apply(out[i], v[i])
 				}
 			}
-			bcost, btr := w.broadcastCost(len(out) * WordBytes)
-			cost := w.reduceCost(len(out)) + bcost
+			rcost := w.reduceCost(len(out))
+			bcost, btr := w.broadcastCost(len(out)*WordBytes, maxT+rcost)
+			cost := rcost + bcost
 			return maxT + cost, out, cost, btr
 		})
 	if cerr != nil {

@@ -19,6 +19,10 @@ const (
 	// ErrPeerCrashed means a rank this operation depends on has crashed
 	// or departed, so the operation can never complete.
 	ErrPeerCrashed
+	// ErrRevoked means the communicator was revoked (ULFM
+	// MPI_Comm_revoke) after a failure elsewhere: the operation was
+	// interrupted so the rank can join the recovery protocol.
+	ErrRevoked
 )
 
 // String names the kind.
@@ -30,6 +34,8 @@ func (k ErrorKind) String() string {
 		return "crashed"
 	case ErrPeerCrashed:
 		return "peer-crashed"
+	case ErrRevoked:
+		return "revoked"
 	default:
 		return "invalid"
 	}

@@ -86,6 +86,19 @@ func (w *World) noteDown(rank int) {
 	w.mu.Unlock()
 }
 
+// noteCrashed marks rank as genuinely failed (not just departed); the
+// recovery protocol's Agree round excludes exactly these ranks.
+func (w *World) noteCrashed(rank int) {
+	w.mu.Lock()
+	w.crashed[rank] = true
+	if !w.down[rank] {
+		w.down[rank] = true
+		w.nDown++
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
 // Depart marks rank as gone (used by the interpreter when a rank's
 // goroutine exits on an error): peers blocked on it observe a
 // peer-crashed failure rather than a deadlock.
@@ -96,19 +109,35 @@ func (w *World) Depart(rank int) {
 }
 
 // enter is the per-operation liveness check: a rank whose virtual
-// clock has passed its injected crash time fails every subsequent
-// operation with ErrCrashed (and is announced to its peers).
+// clock has passed its injected crash time — or whose operation count
+// has exceeded its crashafter budget — fails every subsequent
+// operation with ErrCrashed (and is announced to its peers). On a
+// revoked communicator every operation fails with ErrRevoked instead.
 func (p *Proc) enter(op string, peer int) *Error {
 	w := p.w
 	if w.inj == nil {
 		return nil
 	}
-	ct := w.inj.CrashTime(p.rank)
-	if ct == sim.MaxTime || w.cl.Clock(p.rank) < ct {
-		return nil
+	node := p.node()
+	if w.Revoked() {
+		return &Error{Kind: ErrRevoked, Rank: p.rank, Op: op, Peer: peer, Time: w.cl.Clock(node)}
 	}
-	w.noteDown(p.rank)
-	return &Error{Kind: ErrCrashed, Rank: p.rank, Op: op, Peer: peer, Time: ct}
+	if ct := w.inj.CrashTime(node); ct != sim.MaxTime && w.cl.Clock(node) >= ct {
+		w.noteCrashed(p.rank)
+		return &Error{Kind: ErrCrashed, Rank: p.rank, Op: op, Peer: peer, Time: ct}
+	}
+	if w.inj.HasCrashAfter() {
+		if limit := w.inj.CrashAfterOps(node); limit >= 0 {
+			if w.cl.BumpOps(node) > limit {
+				w.noteCrashed(p.rank)
+				// Error.Time is the virtual time of detection: the
+				// clock at the entry of the first operation past the
+				// budget.
+				return &Error{Kind: ErrCrashed, Rank: p.rank, Op: op, Peer: peer, Time: w.cl.Clock(node)}
+			}
+		}
+	}
+	return nil
 }
 
 // takeSeq hands out the per-(src,dst) packet sequence numbers for a
@@ -140,10 +169,11 @@ func (p *Proc) chargeReliability(op string, peer, bytes int, entry sim.Time) *Er
 	if !w.inj.Enabled() || peer == p.rank || bytes <= 0 {
 		return nil
 	}
+	node, peerNode := p.node(), w.nodeOf(peer)
 	var stall sim.Time
-	now := w.cl.Clock(p.rank)
+	now := w.cl.Clock(node)
 	if w.inj.HasLinkDowns() {
-		path := w.cl.Params().Path(p.rank, peer)
+		path := w.cl.Params().Path(node, peerNode)
 		for {
 			until := w.inj.PathDownUntil(path, now+stall)
 			if until <= now+stall {
@@ -152,15 +182,15 @@ func (p *Proc) chargeReliability(op string, peer, bytes int, entry sim.Time) *Er
 			stall = until - now
 		}
 	}
-	out, _ := nic.ReliableCost(w.cl.Fabric(), w.inj, p.rank, peer,
-		w.cl.Hops(p.rank, peer), bytes, w.takeSeq(p.rank, peer, bytes))
+	out, _ := nic.ReliableCost(w.cl.Fabric(), w.inj, node, peerNode,
+		w.cl.Hops(node, peerNode), bytes, w.takeSeq(p.rank, peer, bytes))
 	extra := stall + out.Extra
 	if extra > 0 {
 		rec, begin := p.traceBegin()
-		w.cl.ChargeComm(p.rank, extra, 0)
+		w.cl.ChargeComm(node, extra, 0)
 		p.traceEnd(rec, begin, trace.OpRetry, peer, 0, out.RetransBytes, interconnect.TransportRetry)
 	}
-	if d := w.inj.Deadline(); d > 0 && w.cl.Clock(p.rank)-entry > d {
+	if d := w.inj.Deadline(); d > 0 && w.cl.Clock(node)-entry > d {
 		return &Error{Kind: ErrTimeout, Rank: p.rank, Op: op, Peer: peer, Time: entry + d}
 	}
 	return nil
@@ -172,7 +202,7 @@ func (p *Proc) entryClock() sim.Time {
 	if !p.w.inj.Enabled() {
 		return 0
 	}
-	return p.w.cl.Clock(p.rank)
+	return p.w.cl.Clock(p.node())
 }
 
 // othersDown reports (holding w.mu) whether every rank except rank is
@@ -201,20 +231,39 @@ func (w *World) softwareTreeCost(bytes int) sim.Time {
 	return sim.Time(stages) * (card.SendSetup() + card.ContigTime(bytes, 1))
 }
 
-// broadcastCost prices a size-bytes broadcast under fault injection:
-// each failed virtual-bus acquisition costs one bus timeout, and after
-// busAcquireAttempts failures the root degrades to the software p2p
-// tree. Returns the cost and the transport class actually used. Must
-// be called with w.mu held (it consumes the deterministic broadcast
-// sequence number).
-func (w *World) broadcastCost(bytes int) (sim.Time, interconnect.Transport) {
+// broadcastCost prices a size-bytes broadcast starting at virtual
+// time at under fault injection: a link outage anywhere in the mesh
+// stalls bus construction until the link recovers (the virtual bus is
+// built from the physical links), each failed virtual-bus acquisition
+// costs one bus timeout, and after busAcquireAttempts failures the
+// root degrades to the software p2p tree. Returns the cost and the
+// transport class actually used. Must be called with w.mu held (it
+// consumes the deterministic broadcast sequence number).
+func (w *World) broadcastCost(bytes int, at sim.Time) (sim.Time, interconnect.Transport) {
 	card := w.cl.Fabric()
+	if w.n < w.cl.N() {
+		// Degraded mode: a shrunken communicator's membership no
+		// longer matches the physical bus, so the hardware broadcast
+		// (whose address decode is wired to all-nodes membership)
+		// falls back to the software p2p tree among the survivors.
+		return w.softwareTreeCost(bytes), interconnect.TransportP2P
+	}
+	var stall sim.Time
+	if w.inj.HasLinkDowns() {
+		for {
+			until := w.inj.AnyLinkDownUntil(at + stall)
+			if until <= at+stall {
+				break
+			}
+			stall = until - at
+		}
+	}
 	if !w.inj.Enabled() || !card.Caps().HardwareBroadcast || w.inj.Spec().BusFail <= 0 {
-		return card.BroadcastTime(bytes, w.n), interconnect.TransportBcast
+		return stall + card.BroadcastTime(bytes, w.n), interconnect.TransportBcast
 	}
 	seq := w.bcastSeq
 	w.bcastSeq++
-	var cost sim.Time
+	cost := stall
 	for attempt := 0; attempt < busAcquireAttempts; attempt++ {
 		if !w.inj.BusAcquireFail(seq, attempt) {
 			return cost + card.BroadcastTime(bytes, w.n), interconnect.TransportBcast

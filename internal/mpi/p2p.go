@@ -64,11 +64,11 @@ func (p *Proc) SendE(dst, tag int, data []float64) error {
 	bytes := len(data) * WordBytes
 	tr := interconnect.TransportLocal
 	if dst == p.rank {
-		w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
+		w.cl.ChargeComm(p.node(), p.localCopyCost(bytes), bytes)
 	} else {
 		card := w.cl.Fabric()
 		tr = interconnect.TransportP2P
-		w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
+		w.cl.ChargeComm(p.node(), card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
 	}
 	p.traceEnd(rec, begin, trace.OpSend, dst, int64(bytes), int64(bytes), tr)
 	if err := p.chargeReliability(trace.OpSend, dst, bytes, entry); err != nil {
@@ -87,7 +87,7 @@ func (p *Proc) post(dst, tag int, data []float64) {
 		data:    data,
 		src:     p.rank,
 		tag:     tag,
-		readyAt: w.cl.Clock(p.rank),
+		readyAt: w.cl.Clock(p.node()),
 	}
 	w.mu.Lock()
 	k := mbKey{src: p.rank, dst: dst, tag: tag}
@@ -165,11 +165,12 @@ func (p *Proc) RecvE(src, tag int) ([]float64, error) {
 	if err := p.enter(trace.OpRecv, src); err != nil {
 		return nil, err
 	}
+	node := p.node()
 	deadline := w.inj.Deadline()
 	var entry sim.Time
 	var wallStart time.Time
 	if deadline > 0 {
-		entry = w.cl.Clock(p.rank)
+		entry = w.cl.Clock(node)
 		wallStart = time.Now()
 	}
 	rec, begin := p.traceBegin()
@@ -188,14 +189,18 @@ func (p *Proc) RecvE(src, tag int) ([]float64, error) {
 			}
 			break
 		}
+		if w.revoked {
+			w.mu.Unlock()
+			return nil, &Error{Kind: ErrRevoked, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: w.cl.Clock(node)}
+		}
 		if w.nDown > 0 {
 			if src != AnySource && w.down[src] {
 				w.mu.Unlock()
-				return nil, &Error{Kind: ErrPeerCrashed, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: w.cl.Clock(p.rank)}
+				return nil, &Error{Kind: ErrPeerCrashed, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: w.cl.Clock(node)}
 			}
 			if src == AnySource && w.othersDown(p.rank) {
 				w.mu.Unlock()
-				return nil, &Error{Kind: ErrPeerCrashed, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: w.cl.Clock(p.rank)}
+				return nil, &Error{Kind: ErrPeerCrashed, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: w.cl.Clock(node)}
 			}
 		}
 		if deadline > 0 && time.Since(wallStart) > WatchdogWall {
@@ -207,12 +212,12 @@ func (p *Proc) RecvE(src, tag int) ([]float64, error) {
 	w.mu.Unlock()
 
 	// Waiting for the sender shows up as communication-stall time.
-	before := w.cl.Clock(p.rank)
-	w.cl.AdvanceTo(p.rank, item.readyAt)
-	stall := w.cl.Clock(p.rank) - before
+	before := w.cl.Clock(node)
+	w.cl.AdvanceTo(node, item.readyAt)
+	stall := w.cl.Clock(node) - before
 	cpu := w.cl.Params().CPU
-	w.cl.ChargeComm(p.rank, cpu.CallOverhead, 0)
-	w.cl.BookComm(p.rank, stall, 0)
+	w.cl.ChargeComm(node, cpu.CallOverhead, 0)
+	w.cl.BookComm(node, stall, 0)
 	p.traceEnd(rec, begin, trace.OpRecv, item.src, 0, int64(len(item.data)*WordBytes), interconnect.TransportSync)
 	return item.data, nil
 }
@@ -244,14 +249,14 @@ func (p *Proc) SendRegion(dst, tag, elems int, data []float64) {
 	cpu := w.cl.Params().CPU
 	// Pack: user region → message buffer (booked as communication: it
 	// exists only to feed the send).
-	w.cl.ChargeComm(p.rank, sim.Time(bytes)*cpu.MemCopyPerByte, 0)
+	w.cl.ChargeComm(p.node(), sim.Time(bytes)*cpu.MemCopyPerByte, 0)
 	tr := interconnect.TransportLocal
 	if dst == p.rank {
-		w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
+		w.cl.ChargeComm(p.node(), p.localCopyCost(bytes), bytes)
 	} else {
 		card := w.cl.Fabric()
 		tr = interconnect.TransportP2P
-		w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
+		w.cl.ChargeComm(p.node(), card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
 	}
 	p.traceEnd(rec, begin, trace.OpSend, dst, int64(bytes), int64(bytes), tr)
 	if err := p.chargeReliability(trace.OpSend, dst, bytes, entry); err != nil {
@@ -273,7 +278,7 @@ func (p *Proc) RecvRegion(src, tag, elems int) []float64 {
 	data := p.Recv(src, tag)
 	rec, begin := p.traceBegin()
 	cpu := p.w.cl.Params().CPU
-	p.w.cl.ChargeComm(p.rank, sim.Time(elems*WordBytes)*cpu.MemCopyPerByte, 0)
+	p.w.cl.ChargeComm(p.node(), sim.Time(elems*WordBytes)*cpu.MemCopyPerByte, 0)
 	p.traceEnd(rec, begin, trace.OpUnpack, src, 0, int64(elems*WordBytes), interconnect.TransportLocal)
 	return data
 }

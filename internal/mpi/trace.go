@@ -23,7 +23,7 @@ func (p *Proc) traceBegin() (*trace.Recorder, sim.Time) {
 	if rec == nil {
 		return nil, 0
 	}
-	return rec, p.w.cl.Clock(p.rank)
+	return rec, p.w.cl.Clock(p.node())
 }
 
 // traceEnd records the interval from begin to the rank's current
@@ -35,14 +35,17 @@ func (p *Proc) traceEnd(rec *trace.Recorder, begin sim.Time, op string, peer int
 	if rec == nil {
 		return
 	}
+	// Events are keyed by physical node, not communicator rank, so a
+	// timeline stays coherent across communicator shrinks (on the
+	// all-nodes world the two are identical).
 	rec.Add(trace.Event{
-		Rank:      p.rank,
+		Rank:      p.node(),
 		Op:        op,
-		Peer:      peer,
+		Peer:      p.w.nodeOf(peer),
 		Bytes:     bytes,
 		Payload:   payload,
 		Transport: tr,
 		Begin:     begin,
-		End:       p.w.cl.Clock(p.rank),
+		End:       p.w.cl.Clock(p.node()),
 	})
 }

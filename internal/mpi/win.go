@@ -101,7 +101,7 @@ func (p *Proc) chargeTransferE(op string, target, elems int, strided bool) *Erro
 	rec, begin := p.traceBegin()
 	bytes := elems * WordBytes
 	if target == p.rank {
-		p.w.cl.ChargeComm(p.rank, p.localCopyCost(bytes), bytes)
+		p.w.cl.ChargeComm(p.node(), p.localCopyCost(bytes), bytes)
 		p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), interconnect.TransportLocal)
 		return nil
 	}
@@ -116,7 +116,7 @@ func (p *Proc) chargeTransferE(op string, target, elems int, strided bool) *Erro
 		cost += card.ContigTime(bytes, p.hops(target))
 		tr = caps.ContigTransport()
 	}
-	p.w.cl.ChargeComm(p.rank, cost, bytes)
+	p.w.cl.ChargeComm(p.node(), cost, bytes)
 	p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), tr)
 	return p.chargeReliability(op, target, bytes, entry)
 }
@@ -300,7 +300,7 @@ func (p *Proc) LockE(win *Win, target int) error {
 		win.lockCh[target] <- struct{}{}
 	}
 	card := p.w.cl.Fabric()
-	p.w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
+	p.w.cl.ChargeComm(p.node(), card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
 	p.traceEnd(rec, begin, trace.OpLock, target, 0, 0, interconnect.TransportSync)
 	return nil
 }
@@ -309,7 +309,7 @@ func (p *Proc) LockE(win *Win, target int) error {
 func (p *Proc) Unlock(win *Win, target int) {
 	rec, begin := p.traceBegin()
 	card := p.w.cl.Fabric()
-	p.w.cl.ChargeComm(p.rank, card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
+	p.w.cl.ChargeComm(p.node(), card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)
 	<-win.lockCh[target]
 	p.traceEnd(rec, begin, trace.OpUnlock, target, 0, 0, interconnect.TransportSync)
 }

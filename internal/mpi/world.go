@@ -40,6 +40,12 @@ const WordBytes = 8
 type World struct {
 	cl *cluster.Cluster
 	n  int
+	// nodes maps communicator rank → physical cluster node. The world
+	// spanning every node is the identity mapping; a communicator
+	// shrunk after a crash (NewWorldOver) re-ranks the survivors
+	// contiguously while clocks, fault schedules and traces stay keyed
+	// to the physical node.
+	nodes []int
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -71,21 +77,56 @@ type World struct {
 	// down marks crashed or departed ranks (guarded by mu).
 	down  []bool
 	nDown int
+	// crashed marks the subset of down ranks that actually failed (as
+	// opposed to departing collaterally after a peer's failure). The
+	// recovery protocol's Agree round excludes only these.
+	crashed []bool
+	// revoked poisons the communicator (ULFM MPI_Comm_revoke): every
+	// subsequent or blocked operation fails with ErrRevoked so all
+	// ranks reach the recovery path instead of deadlocking.
+	revoked bool
 	// watchStop stops the deadline watchdog goroutine.
 	watchStop chan struct{}
 }
 
 // NewWorld creates the communicator for all ranks of c.
 func NewWorld(c *cluster.Cluster) *World {
+	nodes := make([]int, c.N())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return newWorld(c, nodes)
+}
+
+// NewWorldOver creates a communicator over a subset of c's nodes:
+// rank i of the new world runs on physical node nodes[i]. The
+// recovery protocol uses it to shrink the world to the survivors of a
+// crash with contiguous re-ranked ids (ULFM MPI_Comm_shrink).
+func NewWorldOver(c *cluster.Cluster, nodes []int) *World {
+	if len(nodes) == 0 {
+		panic("mpi: NewWorldOver needs at least one node")
+	}
+	for _, nd := range nodes {
+		if nd < 0 || nd >= c.N() {
+			panic(fmt.Sprintf("mpi: NewWorldOver node %d out of range [0,%d)", nd, c.N()))
+		}
+	}
+	return newWorld(c, append([]int(nil), nodes...))
+}
+
+func newWorld(c *cluster.Cluster, nodes []int) *World {
+	n := len(nodes)
 	w := &World{
-		cl:     c,
-		n:      c.N(),
-		slots:  make(map[uint64]*collSlot),
-		wins:   make(map[string]*Win),
-		boxes:  make(map[mbKey][]*pendingSend),
-		inj:    c.Faults(),
-		pktSeq: make([]int, c.N()*c.N()),
-		down:   make([]bool, c.N()),
+		cl:      c,
+		n:       n,
+		nodes:   nodes,
+		slots:   make(map[uint64]*collSlot),
+		wins:    make(map[string]*Win),
+		boxes:   make(map[mbKey][]*pendingSend),
+		inj:     c.Faults(),
+		pktSeq:  make([]int, n*n),
+		down:    make([]bool, n),
+		crashed: make([]bool, n),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	if w.inj.Deadline() > 0 {
@@ -109,6 +150,20 @@ func NewWorld(c *cluster.Cluster) *World {
 
 // Size reports the number of ranks.
 func (w *World) Size() int { return w.n }
+
+// Nodes returns the physical cluster node of every rank (a copy).
+func (w *World) Nodes() []int { return append([]int(nil), w.nodes...) }
+
+// nodeOf maps a communicator rank to its physical cluster node.
+// Negative pseudo-ranks (AnySource, "no peer") pass through, as do
+// out-of-range ranks: the charge-only helpers may price a transfer to
+// a mesh node beyond the communicator (timing-mode estimation).
+func (w *World) nodeOf(r int) int {
+	if r < 0 || r >= len(w.nodes) {
+		return r
+	}
+	return w.nodes[r]
+}
 
 // Cluster exposes the underlying machine model.
 func (w *World) Cluster() *cluster.Cluster { return w.cl }
@@ -140,8 +195,11 @@ func (p *Proc) Size() int { return p.w.n }
 // World returns the communicator.
 func (p *Proc) World() *World { return p.w }
 
+// node is the calling rank's physical cluster node.
+func (p *Proc) node() int { return p.w.nodes[p.rank] }
+
 // Wtime reports the calling rank's virtual clock (MPI_WTIME).
-func (p *Proc) Wtime() sim.Time { return p.w.cl.Clock(p.rank) }
+func (p *Proc) Wtime() sim.Time { return p.w.cl.Clock(p.node()) }
 
 // Barrier blocks until every rank has entered (MPI_BARRIER). On
 // release, all clocks advance to the latest arrival plus the barrier's
@@ -184,8 +242,8 @@ func (p *Proc) barrierE(op string) *Error {
 	return nil
 }
 
-// hops reports mesh distance from this rank to target.
-func (p *Proc) hops(target int) int { return p.w.cl.Hops(p.rank, target) }
+// hops reports mesh distance from this rank's node to target's node.
+func (p *Proc) hops(target int) int { return p.w.cl.Hops(p.node(), p.w.nodeOf(target)) }
 
 // localCopyCost is the cost of a rank-local data movement (no NIC):
 // call overhead plus a memory copy.

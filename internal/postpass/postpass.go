@@ -65,6 +65,16 @@ type Options struct {
 	// through message buffers. This is the baseline the paper's §2.2
 	// one-sided design argues against; it exists for the ablation.
 	TwoSided bool
+	// Resilient emits restart-capable SPMD code: regions are grouped
+	// into checkpoint epochs (Program.Epochs) and the AVPG's
+	// scatter/collect elimination is disabled — an epoch restarted on
+	// freshly spawned slaves has no carried-over slave state to reuse,
+	// and the master's memory must be complete at every epoch boundary
+	// for the checkpoint to be consistent.
+	Resilient bool
+	// CkptEvery closes a checkpoint epoch after this many parallel
+	// regions (minimum 1; only meaningful with Resilient).
+	CkptEvery int
 }
 
 // CommOp is one data-scattering or data-collecting obligation for one
@@ -126,6 +136,11 @@ type Program struct {
 	// Eliminated counts region-boundary comm ops removed by the AVPG.
 	EliminatedScatters int
 	EliminatedCollects int
+	// Epochs groups consecutive region indices into checkpoint epochs
+	// (nil unless Opts.Resilient): the resilient interpreter
+	// checkpoints after each group and restarts failed runs at the
+	// start of the interrupted group.
+	Epochs [][]int
 }
 
 // Stage names of the postpass interior, in execution order. The core
@@ -138,6 +153,7 @@ const (
 	StageGrainOpt       = "grain-opt"
 	StageAVPG           = "avpg"
 	StageEnvGen         = "env-gen"
+	StageResilience     = "resilience"
 )
 
 // StageHook observes one completed stage of the postpass: the stage
@@ -176,6 +192,7 @@ func TranslateStaged(prog *f77.Program, opts Options, hook StageHook) (*Program,
 		{StageGrainOpt, t.grainOpt},
 		{StageAVPG, t.avpg},
 		{StageEnvGen, t.envGen},
+		{StageResilience, t.resilience},
 	} {
 		start := time.Now()
 		note := st.run()
@@ -390,9 +407,15 @@ func (t *translator) grainOpt() string {
 }
 
 // avpg builds the array-value-propagation graph (§5.2) and eliminates
-// the region-boundary communication it proves redundant.
+// the region-boundary communication it proves redundant. Under
+// Resilient the elimination is skipped: it assumes slave copies and
+// master memory persist across region boundaries, which an epoch
+// restart (fresh slaves, checkpointed master) violates.
 func (t *translator) avpg() string {
 	t.p.buildGraph()
+	if t.p.Opts.Resilient {
+		return "elimination disabled (resilient epochs restart with fresh slaves)"
+	}
 	t.p.eliminate()
 	return fmt.Sprintf("eliminated %d scatters, %d collects",
 		t.p.EliminatedScatters, t.p.EliminatedCollects)
@@ -424,6 +447,46 @@ func (t *translator) envGen() string {
 	}
 	sort.Slice(p.Windows, func(i, j int) bool { return p.Windows[i].Name < p.Windows[j].Name })
 	return fmt.Sprintf("%d windows", len(p.Windows))
+}
+
+// resilience groups regions into checkpoint epochs for restart-capable
+// execution: an epoch closes after Opts.CkptEvery parallel regions
+// (trailing sequential regions join the last epoch — there is nothing
+// after them worth a checkpoint of their own). Partition regeneration
+// for a shrunken rank count is handled by re-running the whole
+// pipeline with the new NumProcs; this stage only fixes the epoch
+// boundaries the interpreter checkpoints at.
+func (t *translator) resilience() string {
+	p := t.p
+	if !p.Opts.Resilient {
+		return "off"
+	}
+	every := p.Opts.CkptEvery
+	if every < 1 {
+		every = 1
+	}
+	var epochs [][]int
+	var cur []int
+	pars := 0
+	for i, r := range p.Regions {
+		cur = append(cur, i)
+		if r.Par != nil {
+			if pars++; pars == every {
+				epochs = append(epochs, cur)
+				cur, pars = nil, 0
+			}
+		}
+	}
+	if len(cur) > 0 {
+		if len(epochs) > 0 && pars == 0 {
+			last := len(epochs) - 1
+			epochs[last] = append(epochs[last], cur...)
+		} else {
+			epochs = append(epochs, cur)
+		}
+	}
+	p.Epochs = epochs
+	return fmt.Sprintf("%d epochs (checkpoint every %d parallel regions)", len(epochs), every)
 }
 
 // demoteUnsafeCollects applies the §5.6 safety rule per array:

@@ -55,6 +55,13 @@ const (
 	// triggered the retries (recorded as a separate adjacent interval so
 	// the base operation's accounting stays identical to a clean run).
 	OpRetry = "retry"
+	// OpCheckpoint is a coordinated checkpoint epoch boundary: the
+	// quiesce rendezvous plus the snapshot serialization, priced through
+	// the active interconnect and charged to the ckpt transport.
+	OpCheckpoint = "checkpoint"
+	// OpRecovery is the crash-recovery interval on each survivor: the
+	// failed-set agreement, communicator shrink and checkpoint restore.
+	OpRecovery = "recovery"
 )
 
 // Event is one recorded interval on a rank's virtual timeline.
