@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke bench
+.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke bench
 
-ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke
+ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -59,6 +59,20 @@ recovery-smoke:
 	cmp /tmp/vbus-recovery-clean.txt /tmp/vbus-recovery-crash.txt
 	$(GO) run ./cmd/vbtrace /tmp/vbus-recovery.json > /dev/null
 	@rm -f /tmp/vbus-recovery-clean.txt /tmp/vbus-recovery-crash.txt /tmp/vbus-recovery.json
+
+# Pack-and-coalesce gate: the quick crossover sweep must verify its
+# payloads on both paths (CoalSweep fails otherwise), a coalesced run
+# of the strided kernel must print the same program text as the plain
+# run, and its exported timeline — with put.p/get.p bursts on the pack
+# transport — must validate under vbtrace's pack-class pinning.
+coalesce-smoke:
+	$(GO) run ./cmd/vbbench -coalsweep -quick > /dev/null
+	$(GO) run ./cmd/vbrun testdata/stride.f | sed '/^---/d' > /tmp/vbus-coal-plain.txt
+	$(GO) run ./cmd/vbrun -coalesce -trace /tmp/vbus-coal.json testdata/stride.f | sed '/^---/d' > /tmp/vbus-coal-on.txt
+	cmp /tmp/vbus-coal-plain.txt /tmp/vbus-coal-on.txt
+	grep -q '"cat":"pack"' /tmp/vbus-coal.json
+	$(GO) run ./cmd/vbtrace /tmp/vbus-coal.json > /dev/null
+	@rm -f /tmp/vbus-coal-plain.txt /tmp/vbus-coal-on.txt /tmp/vbus-coal.json
 
 bench:
 	$(GO) test -bench=. -benchmem .

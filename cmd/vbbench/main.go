@@ -10,6 +10,7 @@
 //	vbbench -profile            # comm matrices of the Table 2 programs
 //	vbbench -faultsweep         # completion time / bandwidth vs flit-drop rate
 //	vbbench -killsweep          # checkpoint/restart survival vs crash point
+//	vbbench -coalsweep          # pack-vs-PIO crossover of strided PUTs
 //	vbbench -all -quick         # everything at reduced sizes
 //
 // -faults applies a deterministic fault-injection spec (see
@@ -46,6 +47,8 @@ func main() {
 	sweepSeed := flag.Uint64("faultseed", 1, "fault-injection seed for -faultsweep and -killsweep")
 	killSweep := flag.Bool("killsweep", false, "sweep rank-crash points on a resilient MM run, verifying recovered payloads against the fault-free run")
 	killVictim := flag.Int("killvictim", 1, "rank to crash in -killsweep")
+	coalSweep := flag.Bool("coalsweep", false, "sweep strided PUT shapes to locate the pack-vs-PIO crossover, payload-verified")
+	coalesce := flag.Bool("coalesce", false, "enable the compiler's pack-and-coalesce stage for the table runs")
 	flag.Parse()
 
 	check(validateFabric(*fabric))
@@ -55,6 +58,9 @@ func main() {
 		check(err)
 		tableOpts = append(tableOpts, bench.WithFaults(inj))
 	}
+	if *coalesce {
+		tableOpts = append(tableOpts, bench.WithCoalesce())
+	}
 	runT1 := *table == 1 || *all
 	runT2 := *table == 2 || *all
 	runMicro := *micro || *all
@@ -63,8 +69,9 @@ func main() {
 	runProfile := *profile || *all
 	runSweep := *faultSweep || *all
 	runKill := *killSweep || *all
-	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep or -all")
+	runCoal := *coalSweep || *all
+	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep or -all")
 		os.Exit(2)
 	}
 
@@ -130,6 +137,16 @@ func main() {
 		rows, err := bench.KillSweep(n, *procs, *killVictim, *sweepSeed, ops, *fabric)
 		check(err)
 		fmt.Println(bench.FormatKillSweep(rows))
+	}
+
+	if runCoal {
+		elems := []int{4, 8, 16, 32, 48, 64, 128, 256, 1024, 4096}
+		if *quick {
+			elems = []int{8, 32, 64, 256}
+		}
+		points, err := bench.CoalSweep(elems, []int{2, 4, 16}, *fabric)
+		check(err)
+		fmt.Println(bench.FormatCoalSweep(points, *fabric))
 	}
 
 	if runProfile {

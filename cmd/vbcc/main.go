@@ -41,6 +41,7 @@ func main() {
 	dumpAfter := flag.String("dump-after", "", "dump the IR after the named pass (a name from -passes, or 'all')")
 	fabric := flag.String("fabric", "", "interconnect backend priced by auto-grain: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
 	traceOut := flag.String("trace", "", "write the pass pipeline's timings as Chrome trace-event JSON to this file")
+	coalesce := flag.Bool("coalesce", false, "enable the pack-and-coalesce stage: strided transfers past the NIC's crossover go as packed DMA bursts")
 	flag.Parse()
 
 	check(validateFabric(*fabric))
@@ -88,6 +89,7 @@ func main() {
 		AutoGrain: auto,
 		Fabric:    *fabric,
 		Trace:     trace,
+		Coalesce:  *coalesce,
 	})
 	check(err)
 	if *passes {

@@ -51,6 +51,7 @@ func main() {
 	resilient := flag.Bool("resilient", false, "run under coordinated checkpoint/restart, surviving rank crashes")
 	ckptEvery := flag.Int("ckpt-every", 1, "checkpoint cadence in parallel regions (with -resilient)")
 	ckptDir := flag.String("ckpt-dir", "", "persist checkpoint blobs to this directory (with -resilient)")
+	coalesce := flag.Bool("coalesce", false, "enable the pack-and-coalesce stage: strided transfers past the NIC's crossover go as packed DMA bursts")
 	flag.Parse()
 
 	if *resilient && *seq {
@@ -113,6 +114,7 @@ func main() {
 		Resilient: *resilient,
 		CkptEvery: *ckptEvery,
 		CkptDir:   *ckptDir,
+		Coalesce:  *coalesce,
 	})
 	check(err)
 	if auto {

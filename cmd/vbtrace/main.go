@@ -120,6 +120,10 @@ func validate(name string, data []byte) (string, error) {
 				if err := checkResilienceClass(ev.Name, tp); err != nil {
 					return "", fmt.Errorf("%s: event %d (tid %d): %w", name, i, ev.Tid, err)
 				}
+				// The same pinning holds for the pack-and-coalesce path.
+				if err := checkPackClass(ev.Name, tp); err != nil {
+					return "", fmt.Errorf("%s: event %d (tid %d): %w", name, i, ev.Tid, err)
+				}
 			}
 			tr.events++
 			if b, ok := ev.Args["bytes"].(float64); ok {
@@ -160,6 +164,22 @@ func checkResilienceClass(op string, tp interconnect.Transport) error {
 		return fmt.Errorf("transport %q carries op %q, want %q", tp, op, trace.OpCheckpoint)
 	case tp == interconnect.TransportRecovery && op != trace.OpRecovery:
 		return fmt.Errorf("transport %q carries op %q, want %q", tp, op, trace.OpRecovery)
+	}
+	return nil
+}
+
+// checkPackClass pins the coalesced put.p/get.p operations to the pack
+// transport class in both directions: a packed transfer charged to the
+// PIO path (or a plain strided put riding the pack class) means the
+// runtime's coalescing decision and its accounting disagree.
+func checkPackClass(op string, tp interconnect.Transport) error {
+	packed := op == trace.OpPutPacked || op == trace.OpGetPacked
+	switch {
+	case packed && tp != interconnect.TransportPack:
+		return fmt.Errorf("packed transfer %q charged to transport %q, want %q", op, tp, interconnect.TransportPack)
+	case tp == interconnect.TransportPack && !packed:
+		return fmt.Errorf("transport %q carries op %q, want %q or %q",
+			tp, op, trace.OpPutPacked, trace.OpGetPacked)
 	}
 	return nil
 }

@@ -41,6 +41,9 @@ func TestValidateRejects(t *testing.T) {
 		{"ckpt-wrong-class", `{"traceEvents":[{"name":"checkpoint","cat":"p2p","ph":"X","ts":0,"dur":1,"tid":0}]}`, "checkpoint interval charged"},
 		{"recovery-wrong-class", `{"traceEvents":[{"name":"recovery","cat":"sync","ph":"X","ts":0,"dur":1,"tid":0}]}`, "recovery interval charged"},
 		{"ckpt-class-misused", `{"traceEvents":[{"name":"send","cat":"ckpt","ph":"X","ts":0,"dur":1,"tid":0}]}`, "carries op"},
+		{"packed-put-wrong-class", `{"traceEvents":[{"name":"put.p","cat":"pio","ph":"X","ts":0,"dur":1,"tid":0}]}`, "packed transfer"},
+		{"packed-get-wrong-class", `{"traceEvents":[{"name":"get.p","cat":"dma","ph":"X","ts":0,"dur":1,"tid":0}]}`, "packed transfer"},
+		{"pack-class-misused", `{"traceEvents":[{"name":"put.s","cat":"pack","ph":"X","ts":0,"dur":1,"tid":0}]}`, "carries op"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -61,6 +64,25 @@ func TestUnknownTransportNamedError(t *testing.T) {
 	_, err := validate("t.json", []byte(`{"traceEvents":[{"name":"send","cat":"warp","ph":"X","ts":0,"dur":1,"tid":0}]}`))
 	if !errors.Is(err, errUnknownTransport) {
 		t.Fatalf("got %v, want errUnknownTransport", err)
+	}
+}
+
+// TestValidateCoalescedTrace: a coalesced run's exported trace — with
+// its put.p/get.p bursts on the pack transport next to the plain
+// strided PIO traffic they replaced — passes validation.
+func TestValidateCoalescedTrace(t *testing.T) {
+	const coalescedTrace = `{"displayTimeUnit":"ns","traceEvents":[
+ {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"rank 0"}},
+ {"name":"put.p","cat":"pack","ph":"X","ts":0,"dur":10,"tid":0,"args":{"bytes":800}},
+ {"name":"get.p","cat":"pack","ph":"X","ts":12,"dur":8,"tid":0,"args":{"bytes":320}},
+ {"name":"put.s","cat":"pio","ph":"X","ts":22,"dur":4,"tid":0,"args":{"bytes":64}}
+]}`
+	out, err := validate("t.json", []byte(coalescedTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "4 events") {
+		t.Errorf("summary missing expected content:\n%s", out)
 	}
 }
 

@@ -21,6 +21,13 @@ func WithFaults(inj *fault.Injector) RunOption {
 	return func(o *core.Options) { o.Faults = inj }
 }
 
+// WithCoalesce enables the postpass coalesce stage for every program a
+// table run compiles (vbbench -coalesce), routing strided transfers
+// past the NIC's pack crossover over the packed-DMA path.
+func WithCoalesce() RunOption {
+	return func(o *core.Options) { o.Coalesce = true }
+}
+
 func applyRunOptions(o core.Options, opts []RunOption) core.Options {
 	for _, fn := range opts {
 		fn(&o)

@@ -100,6 +100,12 @@ type Options struct {
 	// CkptDir, when non-empty, persists each epoch's checkpoint blob to
 	// disk under this directory; empty keeps checkpoints in memory only.
 	CkptDir string
+	// Coalesce enables the postpass coalesce stage: strided
+	// scatter/collect transfers at or above the machine's pack crossover
+	// are rewritten into pack → contiguous DMA burst → unpack
+	// (vbcc/vbrun/vbbench -coalesce). Off by default, keeping every
+	// translation and table bit-identical to earlier builds.
+	Coalesce bool
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +184,7 @@ func Compile(src string, opts Options) (*Compiled, error) {
 	}, func() string { return f77.Format(prog) })
 
 	// ---- MPI-2 postpass, staged (internal/postpass).
+	machine := machineParams(opts.Params, opts.NumProcs)
 	translate := func(g lmad.Grain, annotate string) (*postpass.Program, error) {
 		var hook postpass.StageHook
 		if tr != nil {
@@ -200,10 +207,12 @@ func Compile(src string, opts Options) (*Compiled, error) {
 			TwoSided:       opts.TwoSided,
 			Resilient:      opts.Resilient,
 			CkptEvery:      opts.CkptEvery,
+			Coalesce:       opts.Coalesce,
+			Machine:        &machine,
 		}, hook)
 	}
 	if opts.AutoGrain {
-		params := machineParams(opts.Params, opts.NumProcs)
+		params := machine
 		var cands []*postpass.Program
 		for _, g := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
 			pp, err := translate(g, "grain="+g.String())
@@ -316,6 +325,7 @@ func (c *Compiled) RunResilient(mode Mode) (*interp.Result, error) {
 	// Recompiling for a shrunken world reruns only the postpass — the
 	// front-end analysis on Prog is rank-count independent.
 	retranslate := func(n int) (*postpass.Program, error) {
+		machine := machineParams(c.opts.Params, n)
 		return postpass.Translate(c.Prog, postpass.Options{
 			NumProcs:       n,
 			Grain:          c.SPMD.Opts.Grain,
@@ -325,6 +335,8 @@ func (c *Compiled) RunResilient(mode Mode) (*interp.Result, error) {
 			TwoSided:       c.opts.TwoSided,
 			Resilient:      true,
 			CkptEvery:      c.opts.CkptEvery,
+			Coalesce:       c.opts.Coalesce,
+			Machine:        &machine,
 		})
 	}
 	return interp.RunResilient(c.SPMD, cl, mode, interp.ResilientConfig{

@@ -31,6 +31,7 @@ func Passes() []Pass {
 		{"spmdize", "segment main into sequential/parallel regions"},
 		{"scatter-collect", "generate comm ops from split LMADs (§5.4)"},
 		{"grain-opt", "§5.6 race check: demote unsafe approximate collects"},
+		{"coalesce", "pack strided transfers past the NIC's pack/PIO crossover"},
 		{"avpg", "array-value propagation graph: eliminate redundant comm"},
 		{"env-gen", "MPI environment generation: memory windows (§5.1)"},
 		{"resilience", "group regions into checkpoint epochs for restart"},

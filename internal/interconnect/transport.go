@@ -44,6 +44,12 @@ const (
 	// agreement round, communicator shrink, and checkpoint restore
 	// broadcast after a rank failure.
 	TransportRecovery
+	// TransportPack is the pack-and-coalesce path for strided one-sided
+	// transfers: the origin packs the region into a staging buffer, one
+	// contiguous DMA burst moves it, and the far side unpacks — the
+	// APENet-style remedy for the per-element PIO penalty. The charge
+	// covers memcpy + DMA setup + wire in one interval.
+	TransportPack
 	// NumTransports sizes per-transport counter arrays.
 	NumTransports
 )
@@ -71,6 +77,8 @@ func (t Transport) String() string {
 		return "ckpt"
 	case TransportRecovery:
 		return "recovery"
+	case TransportPack:
+		return "pack"
 	default:
 		return "invalid"
 	}

@@ -14,6 +14,7 @@ func TestTransportStrings(t *testing.T) {
 		TransportRetry:    "retry",
 		TransportCkpt:     "ckpt",
 		TransportRecovery: "recovery",
+		TransportPack:     "pack",
 	}
 	if len(want) != int(NumTransports) {
 		t.Fatalf("test covers %d transports, NumTransports is %d", len(want), NumTransports)

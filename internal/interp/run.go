@@ -647,19 +647,16 @@ func (env *Env) pullOps(p *mpi.Proc, wins map[*f77.Symbol]*mpi.Win, par *postpas
 		dst := env.storage(pl.sym, 0)
 		win := wins[pl.sym]
 		for _, tr := range pl.plan {
+			d := mpi.DescFromTransfer(tr)
 			if env.mode == Timing {
-				if tr.Stride > 1 {
-					p.ChargePutStrided(0, int(tr.Elems))
-				} else {
-					p.ChargePutContig(0, int(tr.Elems))
-				}
+				p.ChargePutD(0, d)
 				continue
 			}
 			if tr.Stride == 1 {
-				p.Get(win, 0, int(tr.Offset), dst[tr.Offset:tr.Offset+tr.Elems])
+				p.GetD(win, 0, d, dst[tr.Offset:tr.Offset+tr.Elems])
 			} else {
 				tmp := make([]float64, tr.Elems)
-				p.GetStrided(win, 0, int(tr.Offset), int(tr.Stride), tmp)
+				p.GetD(win, 0, d, tmp)
 				for i, v := range tmp {
 					dst[tr.Offset+int64(i)*tr.Stride] = v
 				}
@@ -671,22 +668,19 @@ func (env *Env) pullOps(p *mpi.Proc, wins map[*f77.Symbol]*mpi.Win, par *postpas
 func (env *Env) execTransfers(p *mpi.Proc, win *mpi.Win, sym *f77.Symbol, plan []lmad.Transfer, target int) {
 	src := env.storage(sym, 0)
 	for _, tr := range plan {
+		d := mpi.DescFromTransfer(tr)
 		if env.mode == Timing {
-			if tr.Stride > 1 {
-				p.ChargePutStrided(target, int(tr.Elems))
-			} else {
-				p.ChargePutContig(target, int(tr.Elems))
-			}
+			p.ChargePutD(target, d)
 			continue
 		}
 		if tr.Stride == 1 {
-			p.Put(win, target, int(tr.Offset), src[tr.Offset:tr.Offset+tr.Elems])
+			p.PutD(win, target, d, src[tr.Offset:tr.Offset+tr.Elems])
 		} else {
 			tmp := make([]float64, tr.Elems)
 			for i := range tmp {
 				tmp[i] = src[tr.Offset+int64(i)*tr.Stride]
 			}
-			p.PutStrided(win, target, int(tr.Offset), int(tr.Stride), tmp)
+			p.PutD(win, target, d, tmp)
 		}
 	}
 }

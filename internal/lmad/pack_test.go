@@ -1,0 +1,52 @@
+package lmad
+
+import "testing"
+
+// MarkPacked is a pure transport-path annotation: it must never lose,
+// reorder or reshape transfers, and it must mark exactly the strided
+// transfers at or past the threshold.
+func TestMarkPackedPreservesShape(t *testing.T) {
+	mkPlan := func() []Transfer {
+		return []Transfer{
+			{Offset: 0, Elems: 64, Stride: 1},   // contiguous: never packed
+			{Offset: 3, Elems: 10, Stride: 4},   // strided, below threshold
+			{Offset: 1, Elems: 100, Stride: 3},  // strided, at/past threshold
+			{Offset: 7, Elems: 0, Stride: 5},    // empty
+			{Offset: 2, Elems: 4096, Stride: 2}, // strided, far past threshold
+		}
+	}
+	orig := mkPlan()
+	got := MarkPacked(mkPlan(), 100)
+	if len(got) != len(orig) {
+		t.Fatalf("plan length changed: %d -> %d", len(orig), len(got))
+	}
+	for i := range got {
+		if got[i].Offset != orig[i].Offset || got[i].Elems != orig[i].Elems || got[i].Stride != orig[i].Stride {
+			t.Errorf("transfer %d reshaped: %+v -> %+v", i, orig[i], got[i])
+		}
+		wantPacked := orig[i].Stride > 1 && orig[i].Elems >= 100
+		if got[i].Packed != wantPacked {
+			t.Errorf("transfer %d packed=%v, want %v", i, got[i].Packed, wantPacked)
+		}
+	}
+	st := Stats(LMAD{}, got)
+	if st.PackedMsgs != 2 {
+		t.Errorf("PackedMsgs = %d, want 2", st.PackedMsgs)
+	}
+}
+
+// threshold <= 0 means the coalesce stage is off: the plan must come
+// back with no transfer marked.
+func TestMarkPackedOffLeavesPlanUntouched(t *testing.T) {
+	for _, th := range []int64{0, -1} {
+		plan := MarkPacked([]Transfer{
+			{Offset: 0, Elems: 1 << 20, Stride: 7},
+			{Offset: 5, Elems: 8, Stride: 1},
+		}, th)
+		for i, tr := range plan {
+			if tr.Packed {
+				t.Errorf("threshold %d: transfer %d marked packed", th, i)
+			}
+		}
+	}
+}

@@ -195,14 +195,27 @@ func (w *World) reduceCost(elems int) sim.Time {
 }
 
 // Reduce combines each rank's vector element-wise with op; the combined
-// vector is returned on root, nil elsewhere (MPI_REDUCE).
+// vector is returned on root, nil elsewhere (MPI_REDUCE). Under fault
+// injection a failed rendezvous panics with the *Error; use ReduceE for
+// error returns.
 func (p *Proc) Reduce(op Op, root int, data []float64) []float64 {
+	res, err := p.ReduceE(op, root, data)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ReduceE is Reduce with structured error reporting under fault
+// injection. Root-range and length-mismatch violations are programming
+// errors and still panic.
+func (p *Proc) ReduceE(op Op, root int, data []float64) ([]float64, error) {
 	w := p.w
 	if root < 0 || root >= w.n {
 		panic(fmt.Sprintf("mpi: Reduce root %d out of range", root))
 	}
 	if err := p.enter(trace.OpReduce, root); err != nil {
-		panic(err)
+		return nil, err
 	}
 	rec, begin := p.traceBegin()
 	res, _, cerr := w.collectiveE(p.rank, trace.OpReduce, data,
@@ -221,21 +234,34 @@ func (p *Proc) Reduce(op Op, root int, data []float64) []float64 {
 			return maxT + cost, out, cost, interconnect.TransportP2P
 		})
 	if cerr != nil {
-		panic(cerr)
+		return nil, cerr
 	}
 	p.traceEnd(rec, begin, trace.OpReduce, root, 0, int64(len(data)*WordBytes), interconnect.TransportP2P)
 	if p.rank != root {
-		return nil
+		return nil, nil
 	}
-	return append([]float64(nil), res...)
+	return append([]float64(nil), res...), nil
 }
 
 // Allreduce is Reduce followed by a V-Bus broadcast of the result;
-// every rank receives the combined vector (MPI_ALLREDUCE).
+// every rank receives the combined vector (MPI_ALLREDUCE). Under fault
+// injection a failed rendezvous panics with the *Error; use AllreduceE
+// for error returns.
 func (p *Proc) Allreduce(op Op, data []float64) []float64 {
+	res, err := p.AllreduceE(op, data)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// AllreduceE is Allreduce with structured error reporting under fault
+// injection. Length-mismatch violations are programming errors and
+// still panic.
+func (p *Proc) AllreduceE(op Op, data []float64) ([]float64, error) {
 	w := p.w
 	if err := p.enter(trace.OpAllreduce, -1); err != nil {
-		panic(err)
+		return nil, err
 	}
 	rec, begin := p.traceBegin()
 	res, tr, cerr := w.collectiveE(p.rank, trace.OpAllreduce, data,
@@ -256,8 +282,8 @@ func (p *Proc) Allreduce(op Op, data []float64) []float64 {
 			return maxT + cost, out, cost, btr
 		})
 	if cerr != nil {
-		panic(cerr)
+		return nil, cerr
 	}
 	p.traceEnd(rec, begin, trace.OpAllreduce, -1, 0, int64(len(data)*WordBytes), tr)
-	return append([]float64(nil), res...)
+	return append([]float64(nil), res...), nil
 }

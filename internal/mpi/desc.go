@@ -1,0 +1,272 @@
+package mpi
+
+// The descriptor-based one-sided API: PutD/GetD take an LMAD-backed
+// AccessDesc, so contiguous (DMA), strided (programmed I/O) and packed
+// (pack → contiguous DMA burst → unpack) transfers share one
+// entrypoint, one validation site, one fault/retry path and one trace
+// charge site. The legacy Put/PutStrided/Get/GetStrided names are thin
+// compatibility wrappers over this core (win.go).
+
+import (
+	"fmt"
+
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/lmad"
+	"vbuscluster/internal/nic"
+	"vbuscluster/internal/sim"
+	"vbuscluster/internal/trace"
+)
+
+// AccessDesc describes one one-sided access region in the target
+// window: Elems elements starting at Offset, Stride apart (the
+// innermost dimension of a split LMAD — the unit the compiler's §5.4
+// scatter/collect generation emits one MPI_PUT/MPI_GET for).
+type AccessDesc struct {
+	// Offset is the first element's index in the target window.
+	Offset int64
+	// Elems is the element count.
+	Elems int64
+	// Stride is the element stride; 1 means contiguous.
+	Stride int64
+	// Packed routes a strided access over the pack-and-coalesce path:
+	// the origin packs the region into a staging buffer, one contiguous
+	// DMA burst moves it, and the far side unpacks. Set by the
+	// compiler's coalesce stage when the fabric's pack cost model says
+	// the burst beats per-element PIO; ignored for contiguous accesses
+	// and rank-local copies (no NIC is involved).
+	Packed bool
+}
+
+// ContigDesc describes a contiguous run of elems elements at offset.
+func ContigDesc(offset, elems int64) AccessDesc {
+	return AccessDesc{Offset: offset, Elems: elems, Stride: 1}
+}
+
+// StridedDesc describes elems elements at offset, stride apart.
+func StridedDesc(offset, elems, stride int64) AccessDesc {
+	return AccessDesc{Offset: offset, Elems: elems, Stride: stride}
+}
+
+// DescFromTransfer converts one compiler-planned transfer (a split
+// LMAD's innermost dimension, possibly marked packed by the coalesce
+// stage) into its access descriptor.
+func DescFromTransfer(t lmad.Transfer) AccessDesc {
+	return AccessDesc{Offset: t.Offset, Elems: t.Elems, Stride: t.Stride, Packed: t.Packed}
+}
+
+// Contig reports whether the descriptor is a contiguous run.
+func (d AccessDesc) Contig() bool { return d.Stride <= 1 }
+
+// Bytes is the wire payload of the access.
+func (d AccessDesc) Bytes() int { return int(d.Elems) * WordBytes }
+
+// putOp names the trace operation of a PUT-direction access: "put"
+// for contiguous runs, "put.p" for packed strided bursts (remote
+// targets only — a rank-local copy involves no NIC, so packing is
+// meaningless and the access traces as plain strided), "put.s"
+// otherwise.
+func putOp(local bool, d AccessDesc) string {
+	switch {
+	case d.Contig():
+		return trace.OpPut
+	case d.Packed && !local:
+		return trace.OpPutPacked
+	default:
+		return trace.OpPutStrided
+	}
+}
+
+// getOp is putOp for the GET direction.
+func getOp(local bool, d AccessDesc) string {
+	switch {
+	case d.Contig():
+		return trace.OpGet
+	case d.Packed && !local:
+		return trace.OpGetPacked
+	default:
+		return trace.OpGetStrided
+	}
+}
+
+// packModel is the fabric's pack-vs-PIO cost model, shared with the
+// compiler's coalesce stage and static estimator so runtime charges
+// and compile-time decisions agree by construction.
+func (p *Proc) packModel() nic.PackModel {
+	return nic.PackModel{
+		Card:           p.w.cl.Fabric(),
+		MemCopyPerByte: p.w.cl.Params().CPU.MemCopyPerByte,
+	}
+}
+
+// validateAccess is the single validation site of the one-sided layer
+// (argument errors panic: they are programming errors, not faults —
+// the same rule SendE documents). name is the public entry point, so
+// wrapper panics read exactly as they always have. dataLen is the
+// caller's buffer length (-1 for the charge-only paths, which move no
+// data). Returns the target window buffer (nil without a window).
+func (p *Proc) validateAccess(name string, win *Win, target int, d AccessDesc, dataLen int) []float64 {
+	if d.Stride <= 0 {
+		panic(fmt.Sprintf("mpi: %s stride %d must be positive", name, d.Stride))
+	}
+	if d.Elems < 0 {
+		panic(fmt.Sprintf("mpi: %s element count %d must be non-negative", name, d.Elems))
+	}
+	if dataLen >= 0 && int64(dataLen) != d.Elems {
+		panic(fmt.Sprintf("mpi: %s buffer has %d elements, descriptor wants %d", name, dataLen, d.Elems))
+	}
+	if win == nil {
+		return nil
+	}
+	buf := win.target(target)
+	if d.Stride == 1 {
+		if d.Offset < 0 || d.Offset+d.Elems > int64(len(buf)) {
+			panic(fmt.Sprintf("mpi: %s %q rank %d [%d,%d) outside window size %d",
+				name, win.name, target, d.Offset, d.Offset+d.Elems, len(buf)))
+		}
+	} else if d.Elems > 0 {
+		last := d.Offset + (d.Elems-1)*d.Stride
+		if d.Offset < 0 || last >= int64(len(buf)) {
+			panic(fmt.Sprintf("mpi: %s %q rank %d last index %d outside window size %d",
+				name, win.name, target, last, len(buf)))
+		}
+	}
+	return buf
+}
+
+// chargeAccessE is the single charge site of the one-sided layer: it
+// prices moving the described region to/from target and charges the
+// origin rank. Rank-local accesses cost a memory copy; remote
+// contiguous accesses cost DMA setup + wire; remote strided accesses
+// cost the per-element PIO path; remote packed accesses cost the
+// pack/unpack copies plus one contiguous DMA burst, charged to the
+// dedicated pack transport class. The traced transport otherwise
+// follows the fabric's capabilities (a card without a DMA engine
+// moves contiguous data as p2p messages). Under fault injection the
+// access also pays the reliable-transport overhead and can fail with
+// an *Error; callers must not move the payload on error.
+func (p *Proc) chargeAccessE(op string, target int, d AccessDesc) *Error {
+	if err := p.enter(op, target); err != nil {
+		return err
+	}
+	entry := p.entryClock()
+	rec, begin := p.traceBegin()
+	bytes := d.Bytes()
+	if target == p.rank {
+		p.w.cl.ChargeComm(p.node(), p.localCopyCost(bytes), bytes)
+		p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), interconnect.TransportLocal)
+		return nil
+	}
+	card := p.w.cl.Fabric()
+	caps := card.Caps()
+	var cost sim.Time
+	var tr interconnect.Transport
+	switch {
+	case d.Stride > 1 && d.Packed:
+		cost = p.packModel().PackedTime(int(d.Elems), WordBytes, p.hops(target))
+		tr = interconnect.TransportPack
+	case d.Stride > 1:
+		cost = card.SendSetup() + card.StridedTime(int(d.Elems), WordBytes, p.hops(target))
+		tr = caps.StridedTransport()
+	default:
+		cost = card.SendSetup() + card.ContigTime(bytes, p.hops(target))
+		tr = caps.ContigTransport()
+	}
+	p.w.cl.ChargeComm(p.node(), cost, bytes)
+	p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), tr)
+	return p.chargeReliability(op, target, bytes, entry)
+}
+
+// PutD transfers data into target's window region described by d
+// (descriptor MPI_PUT). Contiguous, strided and packed descriptors all
+// enter here; the legacy Put/PutStrided names are wrappers over this
+// API. Under fault injection a failed transfer panics with the
+// *Error; use PutDE for error returns.
+func (p *Proc) PutD(win *Win, target int, d AccessDesc, data []float64) {
+	if err := p.PutDE(win, target, d, data); err != nil {
+		panic(err)
+	}
+}
+
+// PutDE is PutD with structured error reporting under fault injection.
+// On error the target window is not modified.
+func (p *Proc) PutDE(win *Win, target int, d AccessDesc, data []float64) error {
+	return p.putDE("PutD", win, target, d, data)
+}
+
+// putDE is the shared PUT body; name labels validation panics with the
+// public entry point that was called.
+func (p *Proc) putDE(name string, win *Win, target int, d AccessDesc, data []float64) error {
+	buf := p.validateAccess(name, win, target, d, len(data))
+	if err := p.chargeAccessE(putOp(target == p.rank, d), target, d); err != nil {
+		return err
+	}
+	win.applyMu[target].Lock()
+	if d.Stride == 1 {
+		copy(buf[d.Offset:], data)
+	} else {
+		for i, v := range data {
+			buf[d.Offset+int64(i)*d.Stride] = v
+		}
+	}
+	win.applyMu[target].Unlock()
+	return nil
+}
+
+// GetD reads the region described by d from target's window into dst
+// (descriptor MPI_GET); len(dst) must equal d.Elems. Under fault
+// injection a failed transfer panics with the *Error; use GetDE for
+// error returns.
+func (p *Proc) GetD(win *Win, target int, d AccessDesc, dst []float64) {
+	if err := p.GetDE(win, target, d, dst); err != nil {
+		panic(err)
+	}
+}
+
+// GetDE is GetD with structured error reporting under fault injection.
+// On error dst is not modified.
+func (p *Proc) GetDE(win *Win, target int, d AccessDesc, dst []float64) error {
+	return p.getDE("GetD", win, target, d, dst)
+}
+
+// getDE is the shared GET body; name labels validation panics with the
+// public entry point that was called.
+func (p *Proc) getDE(name string, win *Win, target int, d AccessDesc, dst []float64) error {
+	buf := p.validateAccess(name, win, target, d, len(dst))
+	if err := p.chargeAccessE(getOp(target == p.rank, d), target, d); err != nil {
+		return err
+	}
+	win.applyMu[target].Lock()
+	if d.Stride == 1 {
+		copy(dst, buf[d.Offset:d.Offset+d.Elems])
+	} else {
+		for i := range dst {
+			dst[i] = buf[d.Offset+int64(i)*d.Stride]
+		}
+	}
+	win.applyMu[target].Unlock()
+	return nil
+}
+
+// ChargePutD charges the cost of the described PUT/GET to target
+// without moving data — the interpreter's timing-only mode, where
+// large experiments cost the same virtual time as full execution
+// without touching real arrays. The descriptor is validated exactly
+// like the data-moving paths (window bounds excepted: there is no
+// window); a charged transfer can no longer price a shape the real
+// API would reject. Panics with the *Error on fault; use ChargePutDE
+// for error returns.
+func (p *Proc) ChargePutD(target int, d AccessDesc) {
+	if err := p.ChargePutDE(target, d); err != nil {
+		panic(err)
+	}
+}
+
+// ChargePutDE is ChargePutD with structured error reporting under
+// fault injection.
+func (p *Proc) ChargePutDE(target int, d AccessDesc) error {
+	p.validateAccess("ChargePutD", nil, target, d, -1)
+	if err := p.chargeAccessE(putOp(target == p.rank, d), target, d); err != nil {
+		return err
+	}
+	return nil
+}

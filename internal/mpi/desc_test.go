@@ -1,0 +1,317 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/nic"
+	"vbuscluster/internal/trace"
+)
+
+// seq fills a buffer with a distinct deterministic ramp so payload
+// mixups are visible in comparisons.
+func seq(n int, base float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = base + float64(i)
+	}
+	return out
+}
+
+// descRun captures everything observable about one equivalence run:
+// the values the origin read back and the target window's final state.
+type descRun struct {
+	mu     sync.Mutex
+	reads  [][]float64
+	window []float64
+}
+
+func (r *descRun) record(dst []float64) {
+	r.mu.Lock()
+	r.reads = append(r.reads, append([]float64(nil), dst...))
+	r.mu.Unlock()
+}
+
+// The legacy names must be pure sugar over the descriptor core: the
+// same logical workload issued through Put/PutStrided/Get/GetStrided/
+// ChargePutContig/ChargePutStrided and through PutD/GetD/ChargePutD
+// produces identical trace event lists (ops, peers, bytes, payloads,
+// transports, begin/end times), identical final clocks and identical
+// window contents on every fabric.
+func TestDescEquivalenceWithLegacyWrappers(t *testing.T) {
+	legacy := func(obs *descRun) func(p *Proc) {
+		return func(p *Proc) {
+			win := p.WinCreate("eq", make([]float64, 256))
+			if p.Rank() == 0 {
+				p.Put(win, 1, 3, seq(8, 100))
+				p.PutStrided(win, 1, 1, 5, seq(7, 200))
+				got := make([]float64, 6)
+				p.Get(win, 1, 2, got)
+				obs.record(got)
+				gs := make([]float64, 5)
+				p.GetStrided(win, 1, 4, 3, gs)
+				obs.record(gs)
+				p.Accumulate(win, 1, 10, seq(4, 300))
+				p.ChargePutContig(1, 100)
+				p.ChargePutStrided(1, 40)
+				// Rank-local traffic goes through the same wrappers.
+				p.Put(win, 0, 0, seq(4, 400))
+				p.PutStrided(win, 0, 2, 7, seq(3, 500))
+			}
+			p.Fence(win)
+			if p.Rank() == 1 {
+				obs.mu.Lock()
+				obs.window = append([]float64(nil), win.target(1)...)
+				obs.mu.Unlock()
+			}
+		}
+	}
+	desc := func(obs *descRun) func(p *Proc) {
+		return func(p *Proc) {
+			win := p.WinCreate("eq", make([]float64, 256))
+			if p.Rank() == 0 {
+				p.PutD(win, 1, ContigDesc(3, 8), seq(8, 100))
+				p.PutD(win, 1, StridedDesc(1, 7, 5), seq(7, 200))
+				got := make([]float64, 6)
+				p.GetD(win, 1, ContigDesc(2, 6), got)
+				obs.record(got)
+				gs := make([]float64, 5)
+				p.GetD(win, 1, StridedDesc(4, 5, 3), gs)
+				obs.record(gs)
+				p.Accumulate(win, 1, 10, seq(4, 300))
+				p.ChargePutD(1, ContigDesc(0, 100))
+				// ChargePutStrided's synthetic descriptor: the strided cost
+				// does not depend on the stride value, only on elems.
+				p.ChargePutD(1, AccessDesc{Elems: 40, Stride: 2})
+				p.PutD(win, 0, ContigDesc(0, 4), seq(4, 400))
+				p.PutD(win, 0, StridedDesc(2, 3, 7), seq(3, 500))
+			}
+			p.Fence(win)
+			if p.Rank() == 1 {
+				obs.mu.Lock()
+				obs.window = append([]float64(nil), win.target(1)...)
+				obs.mu.Unlock()
+			}
+		}
+	}
+	for _, fabric := range []string{"vbus", "ethernet", "ideal"} {
+		t.Run(fabric, func(t *testing.T) {
+			var obsL, obsD descRun
+			recL, clL := runTraced(t, 2, fabric, legacy(&obsL))
+			recD, clD := runTraced(t, 2, fabric, desc(&obsD))
+			evL, evD := recL.Events(), recD.Events()
+			if len(evL) != len(evD) {
+				t.Fatalf("event counts differ: legacy %d, descriptor %d", len(evL), len(evD))
+			}
+			for i := range evL {
+				if evL[i] != evD[i] {
+					t.Fatalf("event %d differs:\n  legacy     %+v\n  descriptor %+v", i, evL[i], evD[i])
+				}
+			}
+			for r := 0; r < 2; r++ {
+				if clL.Clock(r) != clD.Clock(r) {
+					t.Errorf("rank %d clock differs: legacy %v, descriptor %v", r, clL.Clock(r), clD.Clock(r))
+				}
+			}
+			if len(obsL.reads) != len(obsD.reads) {
+				t.Fatalf("read counts differ: %d vs %d", len(obsL.reads), len(obsD.reads))
+			}
+			for i := range obsL.reads {
+				for j := range obsL.reads[i] {
+					if obsL.reads[i][j] != obsD.reads[i][j] {
+						t.Errorf("read %d element %d differs: %v vs %v",
+							i, j, obsL.reads[i][j], obsD.reads[i][j])
+					}
+				}
+			}
+			for i := range obsL.window {
+				if obsL.window[i] != obsD.window[i] {
+					t.Errorf("window element %d differs: %v vs %v", i, obsL.window[i], obsD.window[i])
+				}
+			}
+		})
+	}
+}
+
+// mustPanic runs fn and asserts it panics with a message containing
+// want. Safe to call from rank goroutines (t.Errorf only).
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("no panic, want one mentioning %q", want)
+			return
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+			t.Errorf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+// The descriptor core is the single validation site: direct PutD/GetD/
+// ChargePutD calls panic with PutD-named messages, while the legacy
+// wrappers keep their historical message formats (the entry-point name
+// is threaded through). The charge-only path validates stride and
+// element count exactly like the data-moving paths — the bounds-check
+// asymmetry the redesign removed — but skips window bounds (it has no
+// window).
+func TestDescValidationPanics(t *testing.T) {
+	runWorld(t, 2, func(p *Proc) {
+		win := p.WinCreate("w", make([]float64, 64))
+		if p.Rank() == 0 {
+			// Descriptor API, PutD/GetD-named messages.
+			mustPanic(t, "mpi: PutD stride 0 must be positive", func() {
+				p.PutD(win, 1, AccessDesc{Elems: 4, Stride: 0}, seq(4, 0))
+			})
+			mustPanic(t, "mpi: PutD element count -1 must be non-negative", func() {
+				p.PutD(win, 1, AccessDesc{Elems: -1, Stride: 1}, nil)
+			})
+			mustPanic(t, "mpi: PutD buffer has 3 elements, descriptor wants 4", func() {
+				p.PutD(win, 1, ContigDesc(0, 4), seq(3, 0))
+			})
+			mustPanic(t, `mpi: PutD "w" rank 1 [60,70) outside window size 64`, func() {
+				p.PutD(win, 1, ContigDesc(60, 10), seq(10, 0))
+			})
+			mustPanic(t, `mpi: GetD "w" rank 1 last index 64 outside window size 64`, func() {
+				p.GetD(win, 1, StridedDesc(0, 5, 16), make([]float64, 5))
+			})
+			// Legacy wrappers keep their historical entry-point names.
+			mustPanic(t, `mpi: Put "w" rank 1 [62,66) outside window size 64`, func() {
+				p.Put(win, 1, 62, seq(4, 0))
+			})
+			mustPanic(t, "mpi: PutStrided stride 0 must be positive", func() {
+				p.PutStrided(win, 1, 0, 0, seq(4, 0))
+			})
+			mustPanic(t, `mpi: GetStrided "w" rank 1 last index 99 outside window size 64`, func() {
+				p.GetStrided(win, 1, 0, 33, make([]float64, 4))
+			})
+			// Charge-only paths validate shape too (no window to bound).
+			mustPanic(t, "mpi: ChargePutD stride -2 must be positive", func() {
+				p.ChargePutD(1, AccessDesc{Elems: 8, Stride: -2})
+			})
+			mustPanic(t, "mpi: ChargePutD element count -5 must be non-negative", func() {
+				p.ChargePutD(1, AccessDesc{Elems: -5, Stride: 1})
+			})
+			// A panicked call charges nothing and moves nothing.
+			if got := p.w.cl.Snapshot().CommBytes[0]; got != 0 {
+				t.Errorf("validation panics charged %d bytes", got)
+			}
+		}
+		p.Fence(win)
+	})
+}
+
+// A remote packed descriptor travels the pack transport under the
+// put.p/get.p ops, costs exactly the pack model's PackedTime, beats
+// the PIO path it replaces, and still reconciles traced bytes with the
+// cluster accounting. A rank-local packed descriptor involves no NIC:
+// it stays a plain local strided copy.
+func TestDescPackedClassificationAndCost(t *testing.T) {
+	const elems = 100
+	var window []float64
+	var mu sync.Mutex
+	rec, cl := runTraced(t, 2, "vbus", func(p *Proc) {
+		win := p.WinCreate("pk", make([]float64, 512))
+		if p.Rank() == 0 {
+			d := StridedDesc(0, elems, 3)
+			d.Packed = true
+			p.PutD(win, 1, d, seq(elems, 1000))
+			g := StridedDesc(1, 40, 2)
+			g.Packed = true
+			p.GetD(win, 1, g, make([]float64, 40))
+			l := StridedDesc(0, 20, 2)
+			l.Packed = true
+			p.PutD(win, 0, l, seq(20, 2000))
+		}
+		p.Fence(win)
+		if p.Rank() == 1 {
+			mu.Lock()
+			window = append([]float64(nil), win.target(1)...)
+			mu.Unlock()
+		}
+	})
+	params := cl.Params()
+	pm := nic.PackModel{Card: cl.Fabric(), MemCopyPerByte: params.CPU.MemCopyPerByte}
+	hops := params.Hops(0, 1)
+	var sawPutPacked, sawGetPacked, sawLocal bool
+	for _, e := range rec.Events() {
+		switch {
+		case e.Op == trace.OpPutPacked:
+			sawPutPacked = true
+			if e.Transport != interconnect.TransportPack {
+				t.Errorf("put.p on transport %v, want pack", e.Transport)
+			}
+			if e.Bytes != elems*WordBytes {
+				t.Errorf("put.p carried %d bytes, want %d", e.Bytes, elems*WordBytes)
+			}
+			if got, want := e.Duration(), pm.PackedTime(elems, WordBytes, hops); got != want {
+				t.Errorf("put.p cost %v, want PackedTime %v", got, want)
+			}
+			if pio := pm.PIOTime(elems, WordBytes, hops); e.Duration() >= pio {
+				t.Errorf("packed cost %v not below the PIO cost %v it replaces", e.Duration(), pio)
+			}
+		case e.Op == trace.OpGetPacked:
+			sawGetPacked = true
+			if e.Transport != interconnect.TransportPack {
+				t.Errorf("get.p on transport %v, want pack", e.Transport)
+			}
+		case e.Op == trace.OpPutStrided && e.Transport == interconnect.TransportLocal:
+			sawLocal = true
+		case e.Transport == interconnect.TransportPack:
+			t.Errorf("pack transport carries op %q", e.Op)
+		}
+	}
+	if !sawPutPacked || !sawGetPacked {
+		t.Fatalf("packed ops missing from trace: put.p=%v get.p=%v", sawPutPacked, sawGetPacked)
+	}
+	if !sawLocal {
+		t.Error("rank-local packed put was not demoted to a local strided copy")
+	}
+	for i := 0; i < elems; i++ {
+		if got, want := window[3*i], 1000.0+float64(i); got != want {
+			t.Fatalf("window[%d] = %v, want %v (packed payload corrupted)", 3*i, got, want)
+		}
+	}
+	checkTraceInvariants(t, rec, cl)
+}
+
+// Packing is a transport decision, not a semantic one: the same strided
+// workload with and without Packed lands identical window contents,
+// and past the crossover the packed run's origin clock is strictly
+// earlier.
+func TestDescPackedPayloadEquivalence(t *testing.T) {
+	const elems = 128 // past the vbus crossover
+	run := func(packed bool) ([]float64, *descRun) {
+		var obs descRun
+		_, cl := runTraced(t, 2, "vbus", func(p *Proc) {
+			win := p.WinCreate("pe", make([]float64, 4*elems))
+			if p.Rank() == 0 {
+				d := StridedDesc(2, elems, 4)
+				d.Packed = packed
+				p.PutD(win, 1, d, seq(elems, 7))
+			}
+			p.Fence(win)
+			if p.Rank() == 1 {
+				obs.mu.Lock()
+				obs.window = append([]float64(nil), win.target(1)...)
+				obs.mu.Unlock()
+			}
+		})
+		return []float64{float64(cl.Clock(0))}, &obs
+	}
+	clkPIO, pio := run(false)
+	clkPacked, packed := run(true)
+	for i := range pio.window {
+		if pio.window[i] != packed.window[i] {
+			t.Fatalf("window element %d differs: PIO %v, packed %v", i, pio.window[i], packed.window[i])
+		}
+	}
+	if clkPacked[0] >= clkPIO[0] {
+		t.Errorf("packed origin clock %v not below PIO clock %v at %d elems", clkPacked[0], clkPIO[0], elems)
+	}
+}

@@ -85,53 +85,11 @@ func (win *Win) target(rank int) []float64 {
 	return b
 }
 
-// chargeTransferE charges the origin rank for moving elems words
-// to/from target: local copies cost memcpy, remote contiguous
-// transfers cost DMA setup + wire, remote strided transfers cost the
-// per-element PIO path. The traced transport class follows the
-// fabric's capabilities (a card without a DMA engine moves contiguous
-// data as p2p messages). Under fault injection the transfer also pays
-// the reliable-transport overhead and can fail with an *Error; callers
-// must not move the payload on error.
-func (p *Proc) chargeTransferE(op string, target, elems int, strided bool) *Error {
-	if err := p.enter(op, target); err != nil {
-		return err
-	}
-	entry := p.entryClock()
-	rec, begin := p.traceBegin()
-	bytes := elems * WordBytes
-	if target == p.rank {
-		p.w.cl.ChargeComm(p.node(), p.localCopyCost(bytes), bytes)
-		p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), interconnect.TransportLocal)
-		return nil
-	}
-	card := p.w.cl.Fabric()
-	caps := card.Caps()
-	cost := card.SendSetup()
-	var tr interconnect.Transport
-	if strided {
-		cost += card.StridedTime(elems, WordBytes, p.hops(target))
-		tr = caps.StridedTransport()
-	} else {
-		cost += card.ContigTime(bytes, p.hops(target))
-		tr = caps.ContigTransport()
-	}
-	p.w.cl.ChargeComm(p.node(), cost, bytes)
-	p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), tr)
-	return p.chargeReliability(op, target, bytes, entry)
-}
-
-// chargeTransfer is chargeTransferE for the panicking entry points.
-func (p *Proc) chargeTransfer(op string, target, elems int, strided bool) {
-	if err := p.chargeTransferE(op, target, elems, strided); err != nil {
-		panic(err)
-	}
-}
-
 // Put transfers data into target's window region starting at
 // targetOff, using the contiguous DMA path (contiguous MPI_PUT).
-// Under fault injection a failed transfer panics with the *Error; use
-// PutE for error returns.
+// Compatibility wrapper over the descriptor API: new code should
+// prefer PutD with a ContigDesc. Under fault injection a failed
+// transfer panics with the *Error; use PutE for error returns.
 func (p *Proc) Put(win *Win, target, targetOff int, data []float64) {
 	if err := p.PutE(win, target, targetOff, data); err != nil {
 		panic(err)
@@ -141,51 +99,35 @@ func (p *Proc) Put(win *Win, target, targetOff int, data []float64) {
 // PutE is Put with structured error reporting under fault injection.
 // On error the target window is not modified.
 func (p *Proc) PutE(win *Win, target, targetOff int, data []float64) error {
-	buf := win.target(target)
-	if targetOff < 0 || targetOff+len(data) > len(buf) {
-		panic(fmt.Sprintf("mpi: Put %q rank %d [%d,%d) outside window size %d",
-			win.name, target, targetOff, targetOff+len(data), len(buf)))
-	}
-	if err := p.chargeTransferE(trace.OpPut, target, len(data), false); err != nil {
-		return err
-	}
-	win.applyMu[target].Lock()
-	copy(buf[targetOff:], data)
-	win.applyMu[target].Unlock()
-	return nil
+	return p.putDE("Put", win, target, ContigDesc(int64(targetOff), int64(len(data))), data)
 }
 
 // PutStrided transfers data into target's window with a constant
 // element stride: data[i] lands at targetOff + i*stride (strided
-// MPI_PUT, the programmed-I/O path).
+// MPI_PUT, the programmed-I/O path). Compatibility wrapper over the
+// descriptor API: new code should prefer PutD with a StridedDesc,
+// which can also route large transfers over the coalesced pack path.
 func (p *Proc) PutStrided(win *Win, target, targetOff, stride int, data []float64) {
+	if err := p.PutStridedE(win, target, targetOff, stride, data); err != nil {
+		panic(err)
+	}
+}
+
+// PutStridedE is PutStrided with structured error reporting under
+// fault injection. On error the target window is not modified.
+func (p *Proc) PutStridedE(win *Win, target, targetOff, stride int, data []float64) error {
 	if stride == 1 {
-		p.Put(win, target, targetOff, data)
-		return
+		return p.PutE(win, target, targetOff, data)
 	}
-	if stride <= 0 {
-		panic(fmt.Sprintf("mpi: PutStrided stride %d must be positive", stride))
-	}
-	buf := win.target(target)
-	if len(data) > 0 {
-		last := targetOff + (len(data)-1)*stride
-		if targetOff < 0 || last >= len(buf) {
-			panic(fmt.Sprintf("mpi: PutStrided %q rank %d last index %d outside window size %d",
-				win.name, target, last, len(buf)))
-		}
-	}
-	p.chargeTransfer(trace.OpPutStrided, target, len(data), true)
-	win.applyMu[target].Lock()
-	for i, v := range data {
-		buf[targetOff+i*stride] = v
-	}
-	win.applyMu[target].Unlock()
+	return p.putDE("PutStrided", win, target,
+		StridedDesc(int64(targetOff), int64(len(data)), int64(stride)), data)
 }
 
 // Get reads elems words from target's window starting at targetOff
-// into dst (contiguous MPI_GET). dst must have length >= elems. Under
-// fault injection a failed transfer panics with the *Error; use GetE
-// for error returns.
+// into dst (contiguous MPI_GET). dst must have length >= elems.
+// Compatibility wrapper over the descriptor API: new code should
+// prefer GetD with a ContigDesc. Under fault injection a failed
+// transfer panics with the *Error; use GetE for error returns.
 func (p *Proc) Get(win *Win, target, targetOff int, dst []float64) {
 	if err := p.GetE(win, target, targetOff, dst); err != nil {
 		panic(err)
@@ -195,61 +137,54 @@ func (p *Proc) Get(win *Win, target, targetOff int, dst []float64) {
 // GetE is Get with structured error reporting under fault injection.
 // On error dst is not modified.
 func (p *Proc) GetE(win *Win, target, targetOff int, dst []float64) error {
-	buf := win.target(target)
-	if targetOff < 0 || targetOff+len(dst) > len(buf) {
-		panic(fmt.Sprintf("mpi: Get %q rank %d [%d,%d) outside window size %d",
-			win.name, target, targetOff, targetOff+len(dst), len(buf)))
-	}
-	if err := p.chargeTransferE(trace.OpGet, target, len(dst), false); err != nil {
-		return err
-	}
-	win.applyMu[target].Lock()
-	copy(dst, buf[targetOff:targetOff+len(dst)])
-	win.applyMu[target].Unlock()
-	return nil
+	return p.getDE("Get", win, target, ContigDesc(int64(targetOff), int64(len(dst))), dst)
 }
 
 // GetStrided reads len(dst) words with a constant stride from target's
 // window: dst[i] = window[targetOff + i*stride] (strided MPI_GET).
+// Compatibility wrapper over the descriptor API: new code should
+// prefer GetD with a StridedDesc.
 func (p *Proc) GetStrided(win *Win, target, targetOff, stride int, dst []float64) {
+	if err := p.GetStridedE(win, target, targetOff, stride, dst); err != nil {
+		panic(err)
+	}
+}
+
+// GetStridedE is GetStrided with structured error reporting under
+// fault injection. On error dst is not modified.
+func (p *Proc) GetStridedE(win *Win, target, targetOff, stride int, dst []float64) error {
 	if stride == 1 {
-		p.Get(win, target, targetOff, dst)
-		return
+		return p.GetE(win, target, targetOff, dst)
 	}
-	if stride <= 0 {
-		panic(fmt.Sprintf("mpi: GetStrided stride %d must be positive", stride))
-	}
-	buf := win.target(target)
-	if len(dst) > 0 {
-		last := targetOff + (len(dst)-1)*stride
-		if targetOff < 0 || last >= len(buf) {
-			panic(fmt.Sprintf("mpi: GetStrided %q rank %d last index %d outside window size %d",
-				win.name, target, last, len(buf)))
-		}
-	}
-	p.chargeTransfer(trace.OpGetStrided, target, len(dst), true)
-	win.applyMu[target].Lock()
-	for i := range dst {
-		dst[i] = buf[targetOff+i*stride]
-	}
-	win.applyMu[target].Unlock()
+	return p.getDE("GetStrided", win, target,
+		StridedDesc(int64(targetOff), int64(len(dst)), int64(stride)), dst)
 }
 
 // Accumulate adds data element-wise into target's window starting at
 // targetOff (MPI_ACCUMULATE with MPI_SUM). The per-target apply lock
-// makes concurrent accumulations from different origins atomic.
+// makes concurrent accumulations from different origins atomic. Under
+// fault injection a failed transfer panics with the *Error; use
+// AccumulateE for error returns.
 func (p *Proc) Accumulate(win *Win, target, targetOff int, data []float64) {
-	buf := win.target(target)
-	if targetOff < 0 || targetOff+len(data) > len(buf) {
-		panic(fmt.Sprintf("mpi: Accumulate %q rank %d [%d,%d) outside window size %d",
-			win.name, target, targetOff, targetOff+len(data), len(buf)))
+	if err := p.AccumulateE(win, target, targetOff, data); err != nil {
+		panic(err)
 	}
-	p.chargeTransfer(trace.OpAccumulate, target, len(data), false)
+}
+
+// AccumulateE is Accumulate with structured error reporting under
+// fault injection. On error the target window is not modified.
+func (p *Proc) AccumulateE(win *Win, target, targetOff int, data []float64) error {
+	d := ContigDesc(int64(targetOff), int64(len(data)))
+	buf := p.validateAccess("Accumulate", win, target, d, len(data))
+	if err := p.chargeAccessE(trace.OpAccumulate, target, d); err != nil {
+		return err
+	}
 	win.applyMu[target].Lock()
 	for i, v := range data {
 		buf[targetOff+i] += v
 	}
 	win.applyMu[target].Unlock()
+	return nil
 }
 
 // Fence completes all outstanding one-sided operations on the window
@@ -315,15 +250,18 @@ func (p *Proc) Unlock(win *Win, target int) {
 }
 
 // ChargePutContig charges the cost of a contiguous PUT/GET of elems
-// words to target without moving data. The interpreter's timing-only
-// mode uses these so large experiments cost the same virtual time as
-// full execution without touching real arrays.
+// words to target without moving data. Compatibility wrapper over
+// ChargePutD with a ContigDesc.
 func (p *Proc) ChargePutContig(target, elems int) {
-	p.chargeTransfer(trace.OpPut, target, elems, false)
+	p.ChargePutD(target, ContigDesc(0, int64(elems)))
 }
 
 // ChargePutStrided charges the cost of a strided PUT/GET of elems words
-// to target without moving data.
+// to target without moving data. Compatibility wrapper over ChargePutD;
+// the strided charge depends only on the element count, so the
+// descriptor carries a placeholder stride. New code should pass the
+// real descriptor, which also lets the coalescer's packed marking
+// through.
 func (p *Proc) ChargePutStrided(target, elems int) {
-	p.chargeTransfer(trace.OpPutStrided, target, elems, true)
+	p.ChargePutD(target, AccessDesc{Elems: int64(elems), Stride: 2})
 }

@@ -1,0 +1,100 @@
+package nic
+
+import (
+	"testing"
+
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/sim"
+)
+
+// testMemCopyPerByte mirrors cluster.DefaultParams().CPU.MemCopyPerByte
+// (~200 MB/s copy on 2001 SDRAM); cluster sits above nic, so the value
+// is repeated here rather than imported.
+const testMemCopyPerByte = 5 * sim.Nanosecond
+
+func packModels(t *testing.T) map[string]PackModel {
+	t.Helper()
+	v, e := defaultCards(t)
+	ideal, err := interconnect.New("ideal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]PackModel{
+		"vbus":     {Card: v, MemCopyPerByte: testMemCopyPerByte},
+		"ethernet": {Card: e, MemCopyPerByte: testMemCopyPerByte},
+		"ideal":    {Card: ideal, MemCopyPerByte: testMemCopyPerByte},
+	}
+}
+
+// Both real cards have a finite crossover, and CrossoverElems is exact:
+// packing loses at crossover-1 and wins at crossover.
+func TestPackCrossoverExact(t *testing.T) {
+	models := packModels(t)
+	for _, name := range []string{"vbus", "ethernet"} {
+		m := models[name]
+		x := m.CrossoverElems(8, 1)
+		if x < 2 || x > 4096 {
+			t.Fatalf("%s: crossover %d outside the plausible range [2,4096]", name, x)
+		}
+		if m.PackWins(int(x)-1, 8, 1) {
+			t.Errorf("%s: packing already wins at %d, below the reported crossover %d", name, x-1, x)
+		}
+		if !m.PackWins(int(x), 8, 1) {
+			t.Errorf("%s: packing does not win at the reported crossover %d", name, x)
+		}
+	}
+}
+
+// Both cost curves share the wire term, so the crossover cannot depend
+// on hop distance — the property that lets the compiler stamp a single
+// per-machine threshold instead of a per-pair one.
+func TestPackCrossoverHopIndependent(t *testing.T) {
+	for name, m := range packModels(t) {
+		if a, b := m.CrossoverElems(8, 1), m.CrossoverElems(8, 3); a != b {
+			t.Errorf("%s: crossover depends on hops: %d at 1 hop, %d at 3 hops", name, a, b)
+		}
+	}
+}
+
+// The idealized fabric charges nothing for PIO, so the pack path's
+// memory copies can never pay off.
+func TestPackNeverWinsOnIdeal(t *testing.T) {
+	m := packModels(t)["ideal"]
+	if x := m.CrossoverElems(8, 1); x != 0 {
+		t.Fatalf("ideal fabric reports crossover %d, want 0 (never)", x)
+	}
+	if m.PackWins(1<<16, 8, 1) {
+		t.Error("packing wins on the ideal fabric at 65536 elems")
+	}
+}
+
+// Once packing wins it keeps winning: both curves are linear with
+// constant slopes, and CrossoverElems' binary search relies on it.
+func TestPackWinsMonotone(t *testing.T) {
+	for name, m := range packModels(t) {
+		won := false
+		for e := 2; e <= 512; e++ {
+			w := m.PackWins(e, 8, 1)
+			if won && !w {
+				t.Fatalf("%s: packing wins at %d elems but loses at %d", name, e-1, e)
+			}
+			won = w
+		}
+	}
+}
+
+// Degenerate shapes: a single element is already contiguous, and empty
+// transfers cost nothing on either path.
+func TestPackDegenerateShapes(t *testing.T) {
+	for name, m := range packModels(t) {
+		if m.PackWins(1, 8, 1) {
+			t.Errorf("%s: single-element transfer packs", name)
+		}
+		if m.PackWins(0, 8, 1) {
+			t.Errorf("%s: empty transfer packs", name)
+		}
+		if m.PIOTime(0, 8, 1) != 0 || m.PackedTime(0, 8, 1) != 0 {
+			t.Errorf("%s: empty transfer has nonzero cost", name)
+		}
+	}
+}

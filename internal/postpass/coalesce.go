@@ -1,0 +1,56 @@
+package postpass
+
+import (
+	"fmt"
+
+	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/nic"
+)
+
+// The coalesce stage rewrites strided scatter/collect transfers into
+// pack → contiguous DMA burst → unpack when the target machine's pack
+// cost model (nic.PackModel) says the burst beats per-element PIO.
+// The decision is a single per-machine crossover element count: both
+// cost curves are linear in the element count with the same wire term,
+// so the crossover is independent of the transfer's stride and of the
+// hop distance, and one threshold stamped on each comm op is exact.
+// RankPlan applies the threshold when a rank's plan is materialized,
+// marking qualifying strided transfers Packed; the MPI layer routes
+// Packed descriptors over the pack transport class and charges the
+// pack/unpack copies plus one contiguous burst.
+
+// wordBytes is the element size every planned transfer moves (REAL*8),
+// matching mpi.WordBytes.
+const wordBytes = 8
+
+// coalesce stamps the machine's pack crossover on every remaining
+// scatter/collect op. Runs after grain-opt (so it sees the effective
+// grains — a race-demoted fine collect is exactly the strided traffic
+// that profits most) and before the AVPG (which only removes ops, never
+// reshapes them).
+func (t *translator) coalesce() string {
+	if !t.p.Opts.Coalesce {
+		return "off"
+	}
+	params := cluster.DefaultParams()
+	if t.p.Opts.Machine != nil {
+		params = *t.p.Opts.Machine
+	}
+	pm := nic.PackModel{Card: params.Fabric, MemCopyPerByte: params.CPU.MemCopyPerByte}
+	threshold := pm.CrossoverElems(wordBytes, 1)
+	if threshold == 0 {
+		return fmt.Sprintf("packing never beats PIO on %s", params.Fabric.Name())
+	}
+	ops := 0
+	for _, r := range t.p.Regions {
+		if r.Par == nil {
+			continue
+		}
+		for _, op := range append(append([]*CommOp{}, r.Par.Scatters...), r.Par.Collects...) {
+			op.PackThreshold = threshold
+			ops++
+		}
+	}
+	return fmt.Sprintf("crossover %d elems on %s, %d comm ops eligible",
+		threshold, params.Fabric.Name(), ops)
+}

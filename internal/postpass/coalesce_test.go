@@ -1,0 +1,174 @@
+package postpass
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vbuscluster/internal/analysis"
+	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/f77"
+	"vbuscluster/internal/lmad"
+	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
+)
+
+// strideSrc is a kernel whose update region is stride-3: exactly the
+// per-element PIO traffic the coalesce stage targets. Read-modify-write
+// so the collects survive the §5.6 validity check at any grain.
+const strideSrc = `
+      PROGRAM STR
+      INTEGER N, S
+      PARAMETER (N = 300, S = 3)
+      REAL W(S*N)
+      INTEGER I
+      DO I = 1, N
+        W(S*I - S + 1) = W(S*I - S + 1) + 0.5
+      ENDDO
+      PRINT *, W(1)
+      END
+`
+
+// collectTransfers materializes every rank's plan for every comm op of
+// the program.
+func collectTransfers(p *Program) []lmad.Transfer {
+	var all []lmad.Transfer
+	for _, r := range p.Regions {
+		if r.Par == nil {
+			continue
+		}
+		ops := append(append([]*CommOp{}, r.Par.Scatters...), r.Par.Collects...)
+		for _, op := range ops {
+			for rank := 0; rank < p.Opts.NumProcs; rank++ {
+				all = append(all, RankPlan(op, r.Par.Ctx, rank, p.Opts.NumProcs, r.Par.Schedule)...)
+			}
+		}
+	}
+	return all
+}
+
+// With the stage off (the default), no op carries a threshold and no
+// planned transfer is packed — the invariant behind the Table 1/2
+// bit-identity guarantee.
+func TestCoalesceOffByDefault(t *testing.T) {
+	p := translate(t, strideSrc, Options{NumProcs: 4, Grain: lmad.Fine, LiveOutAll: true})
+	for _, r := range p.Regions {
+		if r.Par == nil {
+			continue
+		}
+		for _, op := range append(append([]*CommOp{}, r.Par.Scatters...), r.Par.Collects...) {
+			if op.PackThreshold != 0 {
+				t.Errorf("op on %s carries pack threshold %d with coalescing off", op.Sym.Name, op.PackThreshold)
+			}
+		}
+	}
+	for i, tr := range collectTransfers(p) {
+		if tr.Packed {
+			t.Errorf("transfer %d is packed with coalescing off: %+v", i, tr)
+		}
+	}
+}
+
+// With the stage on against the V-Bus machine, every comm op gets the
+// machine crossover and the long strided transfers of the stride-3
+// kernel come back marked Packed, shapes untouched.
+func TestCoalesceMarksLongStridedTransfers(t *testing.T) {
+	machine := cluster.DefaultParams()
+	off := translate(t, strideSrc, Options{NumProcs: 4, Grain: lmad.Fine, LiveOutAll: true})
+	on := translate(t, strideSrc, Options{NumProcs: 4, Grain: lmad.Fine, LiveOutAll: true,
+		Coalesce: true, Machine: &machine})
+	var threshold int64
+	for _, r := range on.Regions {
+		if r.Par == nil {
+			continue
+		}
+		for _, op := range append(append([]*CommOp{}, r.Par.Scatters...), r.Par.Collects...) {
+			if op.PackThreshold <= 0 {
+				t.Fatalf("op on %s has no pack threshold with coalescing on", op.Sym.Name)
+			}
+			threshold = op.PackThreshold
+		}
+	}
+	offPlan, onPlan := collectTransfers(off), collectTransfers(on)
+	if len(offPlan) != len(onPlan) {
+		t.Fatalf("coalescing changed the plan size: %d -> %d", len(offPlan), len(onPlan))
+	}
+	packed := 0
+	for i := range onPlan {
+		if onPlan[i].Offset != offPlan[i].Offset || onPlan[i].Elems != offPlan[i].Elems ||
+			onPlan[i].Stride != offPlan[i].Stride {
+			t.Fatalf("coalescing reshaped transfer %d: %+v -> %+v", i, offPlan[i], onPlan[i])
+		}
+		wantPacked := onPlan[i].Stride > 1 && onPlan[i].Elems >= threshold
+		if onPlan[i].Packed != wantPacked {
+			t.Errorf("transfer %d packed=%v, want %v (threshold %d): %+v",
+				i, onPlan[i].Packed, wantPacked, threshold, onPlan[i])
+		}
+		if onPlan[i].Packed {
+			packed++
+		}
+	}
+	if packed == 0 {
+		t.Error("stride-3 kernel produced no packed transfers with coalescing on")
+	}
+}
+
+// The coalesce stage's decision and the static estimator's pricing use
+// the same pack model: turning the stage on must strictly lower the
+// estimated comm cost of a kernel with long strided transfers.
+func TestCoalesceLowersEstimatedCost(t *testing.T) {
+	machine := cluster.DefaultParams()
+	off := translate(t, strideSrc, Options{NumProcs: 4, Grain: lmad.Fine, LiveOutAll: true})
+	on := translate(t, strideSrc, Options{NumProcs: 4, Grain: lmad.Fine, LiveOutAll: true,
+		Coalesce: true, Machine: &machine})
+	costOff := EstimateCommCost(off, machine)
+	costOn := EstimateCommCost(on, machine)
+	if costOn >= costOff {
+		t.Errorf("coalescing did not lower the estimated comm cost: %v -> %v", costOff, costOn)
+	}
+}
+
+// The stage reports its decision in the pass note: the crossover and
+// the eligible op count when on, "off" when off, and "never" on a
+// fabric whose PIO path is free.
+func TestCoalesceStageNotes(t *testing.T) {
+	var notes []string
+	hook := func(stage string, _ time.Duration, note string, _ *Program) {
+		if stage == StageCoalesce {
+			notes = append(notes, note)
+		}
+	}
+	run := func(opts Options) string {
+		t.Helper()
+		notes = nil
+		prog, err := f77.Parse(strideSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := analysis.FrontEnd(prog); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := TranslateStaged(prog, opts, hook); err != nil {
+			t.Fatal(err)
+		}
+		if len(notes) != 1 {
+			t.Fatalf("coalesce stage ran %d times, want 1", len(notes))
+		}
+		return notes[0]
+	}
+	if note := run(Options{NumProcs: 4, Grain: lmad.Fine, LiveOutAll: true}); note != "off" {
+		t.Errorf("stage note with coalescing off = %q, want \"off\"", note)
+	}
+	machine := cluster.DefaultParams()
+	note := run(Options{NumProcs: 4, Grain: lmad.Fine, LiveOutAll: true, Coalesce: true, Machine: &machine})
+	if !strings.Contains(note, "crossover") {
+		t.Errorf("stage note %q does not report the crossover", note)
+	}
+	ideal, err := cluster.ParamsForFabric("ideal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	note = run(Options{NumProcs: 4, Grain: lmad.Fine, LiveOutAll: true, Coalesce: true, Machine: &ideal})
+	if !strings.Contains(note, "never beats") {
+		t.Errorf("stage note on the ideal fabric = %q, want a \"never beats\" report", note)
+	}
+}

@@ -3,6 +3,7 @@ package postpass
 import (
 	"vbuscluster/internal/cluster"
 	"vbuscluster/internal/lmad"
+	"vbuscluster/internal/nic"
 	"vbuscluster/internal/sim"
 )
 
@@ -18,14 +19,19 @@ import (
 func EstimateCommCost(p *Program, params cluster.Params) sim.Time {
 	card := params.Fabric
 	procs := p.Opts.NumProcs
+	pm := nic.PackModel{Card: card, MemCopyPerByte: params.CPU.MemCopyPerByte}
 	pricePlan := func(plan []lmad.Transfer, target int) sim.Time {
 		var t sim.Time
 		for _, tr := range plan {
-			t += card.SendSetup()
-			if tr.Stride > 1 {
-				t += card.StridedTime(int(tr.Elems), 8, params.Hops(0, target))
-			} else {
-				t += card.ContigTime(int(tr.Elems)*8, params.Hops(0, target))
+			switch {
+			case tr.Stride > 1 && tr.Packed:
+				// PackedTime covers both setups (request + staging burst),
+				// mirroring the runtime's pack charge exactly.
+				t += pm.PackedTime(int(tr.Elems), 8, params.Hops(0, target))
+			case tr.Stride > 1:
+				t += card.SendSetup() + card.StridedTime(int(tr.Elems), 8, params.Hops(0, target))
+			default:
+				t += card.SendSetup() + card.ContigTime(int(tr.Elems)*8, params.Hops(0, target))
 			}
 		}
 		return t

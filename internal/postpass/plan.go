@@ -36,8 +36,13 @@ func RankTrips(trips int64, rank, procs int, sched f77.Schedule) []int64 {
 // the parallel dimension, expanded into MPI_PUT/MPI_GET transfers at
 // the op's effective granularity. A replicated op (ParallelDim == -1)
 // plans the whole region for every rank. An empty plan means the rank
-// moves nothing.
+// moves nothing. When the coalesce stage stamped a pack threshold on
+// the op, qualifying strided transfers come back marked Packed.
 func RankPlan(op *CommOp, ctx analysis.LoopCtx, rank, procs int, sched f77.Schedule) []lmad.Transfer {
+	return lmad.MarkPacked(rankPlan(op, ctx, rank, procs, sched), op.PackThreshold)
+}
+
+func rankPlan(op *CommOp, ctx analysis.LoopCtx, rank, procs int, sched f77.Schedule) []lmad.Transfer {
 	l := op.Acc.L
 	pd := op.ParallelDim
 	if pd < 0 {

@@ -30,6 +30,7 @@ import (
 
 	"vbuscluster/internal/analysis"
 	"vbuscluster/internal/avpg"
+	"vbuscluster/internal/cluster"
 	"vbuscluster/internal/f77"
 	"vbuscluster/internal/lmad"
 )
@@ -75,6 +76,16 @@ type Options struct {
 	// CkptEvery closes a checkpoint epoch after this many parallel
 	// regions (minimum 1; only meaningful with Resilient).
 	CkptEvery int
+	// Coalesce enables the pack-and-coalesce stage: strided
+	// scatter/collect transfers at or above the machine's pack crossover
+	// are rewritten into pack → contiguous DMA burst → unpack. Off by
+	// default so translations (and every table the evaluation prints)
+	// are bit-identical to a build without the stage.
+	Coalesce bool
+	// Machine is the target machine the coalesce stage prices the
+	// crossover against; nil means cluster.DefaultParams(). Only the
+	// fabric and CPU memcpy rate are consulted.
+	Machine *cluster.Params
 }
 
 // CommOp is one data-scattering or data-collecting obligation for one
@@ -98,6 +109,11 @@ type CommOp struct {
 	Grain lmad.Grain
 	// RaceFallback records that the §5.6 overlap check demoted this op.
 	RaceFallback bool
+	// PackThreshold is the machine's pack crossover stamped by the
+	// coalesce stage: strided transfers of at least this many elements
+	// in the op's rank plans are marked Packed. 0 (the default) leaves
+	// every transfer on the per-element PIO path.
+	PackThreshold int64
 }
 
 // Region is one schedulable unit of the SPMD program.
@@ -151,6 +167,7 @@ const (
 	StageSPMDize        = "spmdize"
 	StageScatterCollect = "scatter-collect"
 	StageGrainOpt       = "grain-opt"
+	StageCoalesce       = "coalesce"
 	StageAVPG           = "avpg"
 	StageEnvGen         = "env-gen"
 	StageResilience     = "resilience"
@@ -190,6 +207,7 @@ func TranslateStaged(prog *f77.Program, opts Options, hook StageHook) (*Program,
 		{StageSPMDize, t.spmdize},
 		{StageScatterCollect, t.scatterCollect},
 		{StageGrainOpt, t.grainOpt},
+		{StageCoalesce, t.coalesce},
 		{StageAVPG, t.avpg},
 		{StageEnvGen, t.envGen},
 		{StageResilience, t.resilience},

@@ -38,7 +38,8 @@ func dataTransport(t interconnect.Transport) bool {
 	switch t {
 	case interconnect.TransportLocal, interconnect.TransportDMA,
 		interconnect.TransportPIO, interconnect.TransportP2P,
-		interconnect.TransportBcast, interconnect.TransportRetry:
+		interconnect.TransportBcast, interconnect.TransportRetry,
+		interconnect.TransportPack:
 		return true
 	}
 	return false

@@ -42,6 +42,12 @@ const (
 	OpPutStrided = "put.s"
 	OpGet        = "get"
 	OpGetStrided = "get.s"
+	// OpPutPacked / OpGetPacked are strided one-sided transfers the
+	// coalescer rewrote into pack → contiguous DMA burst → unpack; they
+	// travel the dedicated pack transport class so profiles separate
+	// coalesced bursts from the per-element PIO path they replace.
+	OpPutPacked  = "put.p"
+	OpGetPacked  = "get.p"
 	OpAccumulate = "accumulate"
 	OpBarrier    = "barrier"
 	OpFence      = "fence"

@@ -1,0 +1,19 @@
+      PROGRAM STRIDE
+C     Stride-3 read-modify-write kernel: every planned transfer of the
+C     update region is strided, so with -coalesce the transfers past
+C     the fabric's pack crossover travel as packed DMA bursts (put.p /
+C     get.p on the pack transport class). The CI coalesce-smoke target
+C     runs this under -coalesce -trace and validates the exported
+C     timeline with vbtrace.
+      INTEGER N, S
+      PARAMETER (N = 512, S = 3)
+      REAL W(S*N)
+      INTEGER I
+      DO I = 1, S*N
+        W(I) = 0.0
+      ENDDO
+      DO I = 1, N
+        W(S*I - S + 1) = W(S*I - S + 1) + 0.5
+      ENDDO
+      PRINT *, W(1), W(S*N - S + 1)
+      END
