@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke bench
+.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke bench
 
-ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke
+ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -73,6 +73,27 @@ coalesce-smoke:
 	grep -q '"cat":"pack"' /tmp/vbus-coal.json
 	$(GO) run ./cmd/vbtrace /tmp/vbus-coal.json > /dev/null
 	@rm -f /tmp/vbus-coal-plain.txt /tmp/vbus-coal-on.txt /tmp/vbus-coal.json
+
+# Scale gate: a 64-rank MM weak-scaling point on the 3D-torus fabric
+# must complete under the race detector inside a 512 MB memory budget
+# (runtime.MemStats), and a vbus3d run's exported timeline must
+# validate against its pinned rank count and geometry.
+scale-smoke:
+	$(GO) test -race -run TestScaleSmoke ./internal/bench
+	$(GO) run ./cmd/vbrun -fabric vbus3d -mode timing -trace /tmp/vbus-3d-smoke.json testdata/jacobi.f > /dev/null
+	$(GO) run ./cmd/vbtrace -ranks 4 -dims 2x2x1 /tmp/vbus-3d-smoke.json > /dev/null
+	@rm -f /tmp/vbus-3d-smoke.json
+
+# Worker-pool gate: program output must be byte-identical with one
+# worker, the default pool (GOMAXPROCS) and the legacy unpooled
+# launcher.
+workers-smoke:
+	$(GO) run ./cmd/vbrun -workers 1 testdata/matmul.f > /tmp/vbus-w1.txt
+	$(GO) run ./cmd/vbrun testdata/matmul.f > /tmp/vbus-wn.txt
+	$(GO) run ./cmd/vbrun -workers -1 testdata/matmul.f > /tmp/vbus-wu.txt
+	cmp /tmp/vbus-w1.txt /tmp/vbus-wn.txt
+	cmp /tmp/vbus-w1.txt /tmp/vbus-wu.txt
+	@rm -f /tmp/vbus-w1.txt /tmp/vbus-wn.txt /tmp/vbus-wu.txt
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -11,7 +11,13 @@
 //	vbbench -faultsweep         # completion time / bandwidth vs flit-drop rate
 //	vbbench -killsweep          # checkpoint/restart survival vs crash point
 //	vbbench -coalsweep          # pack-vs-PIO crossover of strided PUTs
+//	vbbench -scalesweep         # weak scaling 4..1024 ranks across fabrics -> BENCH_scale.json
+//	vbbench -corebench          # end-to-end wall-time baseline at 4 ranks -> BENCH_core.json
 //	vbbench -all -quick         # everything at reduced sizes
+//
+// -workers bounds the rank scheduler's worker pool for every run
+// (0 = GOMAXPROCS, negative = legacy unpooled); virtual results are
+// bit-identical across all settings.
 //
 // -faults applies a deterministic fault-injection spec (see
 // internal/fault) to the Table 1/2 runs; -faultsweep runs its own
@@ -49,6 +55,11 @@ func main() {
 	killVictim := flag.Int("killvictim", 1, "rank to crash in -killsweep")
 	coalSweep := flag.Bool("coalsweep", false, "sweep strided PUT shapes to locate the pack-vs-PIO crossover, payload-verified")
 	coalesce := flag.Bool("coalesce", false, "enable the compiler's pack-and-coalesce stage for the table runs")
+	scaleSweep := flag.Bool("scalesweep", false, "weak-scaling sweep of MM and SWIM, 4..1024 ranks, across all fabrics")
+	scaleOut := flag.String("scaleout", "BENCH_scale.json", "write the -scalesweep rows as JSON to this file ('' = stdout table only)")
+	coreBench := flag.Bool("corebench", false, "end-to-end wall-time baseline of the benchmark trio at 4 ranks")
+	coreOut := flag.String("coreout", "BENCH_core.json", "write the -corebench rows as JSON to this file ('' = stdout table only)")
+	workers := flag.Int("workers", 0, "rank scheduler worker-pool size: 0 = GOMAXPROCS, negative = unpooled (results identical)")
 	flag.Parse()
 
 	check(validateFabric(*fabric))
@@ -61,6 +72,9 @@ func main() {
 	if *coalesce {
 		tableOpts = append(tableOpts, bench.WithCoalesce())
 	}
+	if *workers != 0 {
+		tableOpts = append(tableOpts, bench.WithWorkers(*workers))
+	}
 	runT1 := *table == 1 || *all
 	runT2 := *table == 2 || *all
 	runMicro := *micro || *all
@@ -70,8 +84,10 @@ func main() {
 	runSweep := *faultSweep || *all
 	runKill := *killSweep || *all
 	runCoal := *coalSweep || *all
-	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep or -all")
+	runScale := *scaleSweep || *all
+	runCore := *coreBench || *all
+	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal && !runScale && !runCore {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep, -scalesweep, -corebench or -all")
 		os.Exit(2)
 	}
 
@@ -147,6 +163,37 @@ func main() {
 		points, err := bench.CoalSweep(elems, []int{2, 4, 16}, *fabric)
 		check(err)
 		fmt.Println(bench.FormatCoalSweep(points, *fabric))
+	}
+
+	if runScale {
+		ranks := []int{4, 16, 64, 256, 1024}
+		if *quick {
+			ranks = []int{4, 16, 64}
+		}
+		fabrics := []string{"vbus", "vbus3d", "ethernet", "ideal"}
+		rows, err := bench.ScaleSweep(nil, ranks, fabrics, tableOpts...)
+		check(err)
+		fmt.Println(bench.FormatScaleSweep(rows))
+		if *scaleOut != "" {
+			f, err := os.Create(*scaleOut)
+			check(err)
+			check(bench.WriteJSON(f, "vbbench-scalesweep/v1", rows))
+			check(f.Close())
+			fmt.Fprintf(os.Stderr, "vbbench: wrote %d scale rows to %s\n", len(rows), *scaleOut)
+		}
+	}
+
+	if runCore {
+		rows, err := bench.CoreBench(*fabric, tableOpts...)
+		check(err)
+		fmt.Println(bench.FormatCoreBench(rows))
+		if *coreOut != "" {
+			f, err := os.Create(*coreOut)
+			check(err)
+			check(bench.WriteJSON(f, "vbbench-corebench/v1", rows))
+			check(f.Close())
+			fmt.Fprintf(os.Stderr, "vbbench: wrote %d baseline rows to %s\n", len(rows), *coreOut)
+		}
 	}
 
 	if runProfile {

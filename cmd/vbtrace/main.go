@@ -5,16 +5,23 @@
 // pipeline:
 //
 //	vbrun -trace out.json prog.f && vbtrace out.json
+//
+// -ranks pins the expected rank count: any non-compiler track outside
+// [0, ranks) fails validation. -dims pins the mesh geometry ("16x8x8"):
+// a geometry too small for the trace's ranks fails. Both catch a trace
+// replayed against the wrong machine configuration.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"vbuscluster/internal/interconnect"
@@ -41,27 +48,64 @@ type traceFile struct {
 // added there explicitly before their traces validate.
 var errUnknownTransport = errors.New("unknown transport class")
 
+// errRankMismatch rejects a trace whose tracks fall outside the rank
+// count pinned with -ranks.
+var errRankMismatch = errors.New("rank count mismatch")
+
+// errGeometryMismatch rejects a -dims geometry that cannot hold the
+// trace's ranks (or has a dimension below 1).
+var errGeometryMismatch = errors.New("geometry mismatch")
+
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: vbtrace trace.json")
+	ranks := flag.Int("ranks", 0, "expected rank count; tracks outside [0, ranks) fail validation (0 = don't check)")
+	dimsFlag := flag.String("dims", "", "expected mesh geometry, e.g. 16x8x8; too small for the trace's ranks fails ('' = don't check)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vbtrace [-ranks N] [-dims WxHxD] trace.json")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	dims, err := parseDims(*dimsFlag)
 	if err != nil {
 		fail(err.Error())
 	}
-	summary, err := validate(os.Args[1], data)
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err.Error())
+	}
+	summary, err := validate(flag.Arg(0), data, *ranks, dims)
 	if err != nil {
 		fail(err.Error())
 	}
 	fmt.Print(summary)
 }
 
+// parseDims parses a "16x8x8"-style geometry; "" means no check.
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, "x")
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		d, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("-dims %q: %w: %q is not a number", s, errGeometryMismatch, p)
+		}
+		if d < 1 {
+			return nil, fmt.Errorf("-dims %q: %w: dimension %d below 1", s, errGeometryMismatch, d)
+		}
+		dims[i] = d
+	}
+	return dims, nil
+}
+
 // validate checks a trace file's structure and returns the printable
 // per-track summary. Every way the file can be wrong — empty,
 // truncated mid-object, trailing garbage, wrong shape, negative
-// durations, unknown phases — yields a descriptive error.
-func validate(name string, data []byte) (string, error) {
+// durations, unknown phases — yields a descriptive error. ranks > 0
+// pins the expected rank count; a non-empty dims pins the mesh
+// geometry (both named errors, errRankMismatch/errGeometryMismatch).
+func validate(name string, data []byte, ranks int, dims []int) (string, error) {
 	if len(bytes.TrimSpace(data)) == 0 {
 		return "", fmt.Errorf("%s: empty trace file", name)
 	}
@@ -136,6 +180,33 @@ func validate(name string, data []byte) (string, error) {
 			return "", fmt.Errorf("%s: event %d has unexpected phase %q (want \"X\" or \"M\")", name, i, ev.Ph)
 		}
 	}
+	// Tracks map 1:1 to physical ranks (the compiler's pseudo-rank -1
+	// track excepted), so a pinned rank count or geometry can be
+	// checked against the trace itself.
+	maxRank := -1
+	for tid := range tracks {
+		if tid > maxRank {
+			maxRank = tid
+		}
+		if ranks > 0 && tid >= ranks {
+			return "", fmt.Errorf("%s: %w: track tid %d outside the %d expected ranks",
+				name, errRankMismatch, tid, ranks)
+		}
+	}
+	if len(dims) > 0 {
+		nodes := 1
+		for _, d := range dims {
+			nodes *= d
+		}
+		need := ranks
+		if need == 0 {
+			need = maxRank + 1
+		}
+		if nodes < need {
+			return "", fmt.Errorf("%s: %w: geometry %s holds %d nodes but the trace needs %d ranks",
+				name, errGeometryMismatch, geomString(dims), nodes, need)
+		}
+	}
 	tids := make([]int, 0, len(tracks))
 	for tid := range tracks {
 		tids = append(tids, tid)
@@ -182,6 +253,15 @@ func checkPackClass(op string, tp interconnect.Transport) error {
 			tp, op, trace.OpPutPacked, trace.OpGetPacked)
 	}
 	return nil
+}
+
+// geomString renders a geometry as "16x8x8".
+func geomString(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, "x")
 }
 
 func fail(msg string) {

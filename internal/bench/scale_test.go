@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// TestScaleSmoke is the CI scale gate (make scale-smoke): a 64-rank MM
+// weak-scaling point on the 3D-torus fabric must complete — under the
+// race detector in CI — and the process must stay far below the
+// 1024-rank acceptance budget: < 512 MB at 64 ranks.
+func TestScaleSmoke(t *testing.T) {
+	rows, err := ScaleSweep([]string{"MM"}, []int{64}, []string{"vbus3d"})
+	if err != nil {
+		t.Fatalf("ScaleSweep: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Benchmark != "MM" || r.Fabric != "vbus3d" || r.Ranks != 64 || r.Problem != 64 {
+		t.Fatalf("row identity wrong: %+v", r)
+	}
+	if r.VirtualSec <= 0 {
+		t.Errorf("virtual time not positive: %v", r.VirtualSec)
+	}
+	if r.CommOps <= 0 {
+		t.Errorf("no comm ops charged: %d", r.CommOps)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const budget = 512 << 20
+	if ms.Sys > budget {
+		t.Errorf("memory high-water %d bytes exceeds %d budget", ms.Sys, budget)
+	}
+	if r.PeakRSSBytes > budget {
+		t.Errorf("row peak RSS %d bytes exceeds %d budget", r.PeakRSSBytes, budget)
+	}
+}
+
+// The sweep must price the same program differently on different
+// fabrics, and identically on repeated runs of the same fabric
+// (virtual time is deterministic even though wall time is not).
+func TestScaleSweepFabricsDiffer(t *testing.T) {
+	rows, err := ScaleSweep([]string{"MM"}, []int{16}, []string{"vbus", "vbus3d", "ethernet", "ideal"})
+	if err != nil {
+		t.Fatalf("ScaleSweep: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	virt := map[string]float64{}
+	for _, r := range rows {
+		virt[r.Fabric] = r.VirtualSec
+	}
+	if virt["ideal"] >= virt["ethernet"] {
+		t.Errorf("ideal (%v) should beat ethernet (%v)", virt["ideal"], virt["ethernet"])
+	}
+	if virt["vbus"] >= virt["ethernet"] {
+		t.Errorf("vbus (%v) should beat ethernet (%v)", virt["vbus"], virt["ethernet"])
+	}
+	again, err := ScaleSweep([]string{"MM"}, []int{16}, []string{"vbus3d"})
+	if err != nil {
+		t.Fatalf("ScaleSweep rerun: %v", err)
+	}
+	if again[0].VirtualSec != virt["vbus3d"] {
+		t.Errorf("vbus3d virtual time not deterministic: %v vs %v", again[0].VirtualSec, virt["vbus3d"])
+	}
+}
+
+func TestScaleSweepUnknownBenchmark(t *testing.T) {
+	if _, err := ScaleSweep([]string{"LINPACK"}, []int{4}, []string{""}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestCoreBenchShape(t *testing.T) {
+	rows, err := CoreBench("")
+	if err != nil {
+		t.Fatalf("CoreBench: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ranks != 4 {
+			t.Errorf("%s: ranks = %d, want 4", r.Benchmark, r.Ranks)
+		}
+		if r.VirtualSec <= 0 || r.WallSec <= 0 {
+			t.Errorf("%s: non-positive times: %+v", r.Benchmark, r)
+		}
+		if r.CommOps <= 0 {
+			t.Errorf("%s: no comm ops", r.Benchmark)
+		}
+	}
+}
+
+func TestWriteJSONEnvelope(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []ScaleRow{{Benchmark: "MM", Fabric: "vbus3d", Ranks: 4, Problem: 4}}
+	if err := WriteJSON(&buf, "vbbench-scalesweep/v1", rows); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var env struct {
+		Schema string     `json:"schema"`
+		Rows   []ScaleRow `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if env.Schema != "vbbench-scalesweep/v1" || len(env.Rows) != 1 || env.Rows[0].Fabric != "vbus3d" {
+		t.Fatalf("envelope mangled: %+v", env)
+	}
+}

@@ -11,14 +11,25 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"vbuscluster/internal/fault"
 	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/mesh"
 	"vbuscluster/internal/nic"
 	"vbuscluster/internal/sim"
 	"vbuscluster/internal/trace"
 )
+
+// geomString renders a geometry as "16x8x8".
+func geomString(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return strings.Join(parts, "x")
+}
 
 // CPUParams is the processor cost model. The defaults approximate a
 // 300 MHz Pentium II running naive compiled Fortran loops: each
@@ -66,9 +77,13 @@ type Params struct {
 	// ethernet, ideal, ...) slots in here; see ParamsForFabric.
 	Fabric interconnect.Interconnect
 	// MeshWidth/MeshHeight place the nodes. Nodes beyond the process
-	// count stay idle.
+	// count stay idle. Ignored when MeshDims is set.
 	MeshWidth, MeshHeight int
-	// Torus wraps the mesh in both dimensions, shortening worst-case
+	// MeshDims generalizes the placement to an N-dimensional grid
+	// (e.g. [16, 8, 8] for a 1024-node 3-D torus). Empty means
+	// [MeshWidth, MeshHeight]. See Dims.
+	MeshDims []int
+	// Torus wraps the mesh in every dimension, shortening worst-case
 	// hop distances (see mesh.Config.Torus for the flit-level model).
 	Torus bool
 	// Faults is the optional deterministic fault injector. Nil (the
@@ -109,53 +124,87 @@ func ParamsForFabric(name string) (Params, error) {
 	return p, nil
 }
 
+// Dims is the normalized mesh geometry: MeshDims when set, otherwise
+// [MeshWidth, MeshHeight].
+func (p Params) Dims() []int {
+	if len(p.MeshDims) > 0 {
+		return p.MeshDims
+	}
+	return []int{p.MeshWidth, p.MeshHeight}
+}
+
+// dimStrides returns the row-major coordinate strides of a geometry.
+func dimStrides(dims []int) []int {
+	strides := make([]int, len(dims))
+	s := 1
+	for i, d := range dims {
+		strides[i] = s
+		s *= d
+	}
+	return strides
+}
+
 // Hops reports the mesh hop distance between the nodes of two ranks
-// placed row-major on the params' mesh. It is the single geometry
-// helper shared by the runtime's charging and the compiler's static
-// cost estimator, so the two cannot disagree.
+// placed row-major on the params' mesh (any number of dimensions). It
+// is the single geometry helper shared by the runtime's charging and
+// the compiler's static cost estimator, so the two cannot disagree.
 func (p Params) Hops(a, b int) int {
-	ax, ay := a%p.MeshWidth, a/p.MeshWidth
-	bx, by := b%p.MeshWidth, b/p.MeshWidth
-	dx, dy := ax-bx, ay-by
-	if dx < 0 {
-		dx = -dx
-	}
-	if dy < 0 {
-		dy = -dy
-	}
-	if p.Torus {
-		if w := p.MeshWidth - dx; w < dx {
-			dx = w
+	dims := p.Dims()
+	strides := dimStrides(dims)
+	total := 0
+	for i, size := range dims {
+		ac, bc := a/strides[i], b/strides[i]
+		if i < len(dims)-1 {
+			ac, bc = ac%size, bc%size
 		}
-		if h := p.MeshHeight - dy; h < dy {
-			dy = h
+		d := ac - bc
+		if d < 0 {
+			d = -d
 		}
+		if p.Torus {
+			if w := size - d; w < d {
+				d = w
+			}
+		}
+		total += d
 	}
-	return dx + dy
+	return total
 }
 
 // Path lists the mesh nodes a message from rank a's node to rank b's
 // node visits in order (endpoints included), following the same
-// dimension-ordered XY routing as the flit-level simulator: the X
-// coordinate is corrected first, then Y, taking the shorter wrap
+// dimension-ordered routing as the flit-level simulator: dimension 0
+// is corrected first, then 1, and so on, taking the shorter wrap
 // direction on a torus (ties go to the positive direction). The fault
 // injector's link outages are resolved against this path.
 func (p Params) Path(a, b int) []int {
-	ax, ay := a%p.MeshWidth, a/p.MeshWidth
-	bx, by := b%p.MeshWidth, b/p.MeshWidth
+	dims := p.Dims()
+	strides := dimStrides(dims)
+	cur := make([]int, len(dims))
+	dst := make([]int, len(dims))
+	for i, size := range dims {
+		cur[i] = (a / strides[i]) % size
+		dst[i] = (b / strides[i]) % size
+	}
+	node := func() int {
+		n := 0
+		for i := range dims {
+			n += cur[i] * strides[i]
+		}
+		return n
+	}
 	path := []int{a}
-	x, y := ax, ay
 	// dir picks +1 or -1 along one axis: toward the destination on a
 	// plain mesh, the shorter wrap on a torus (ties go positive). The
 	// step counts match Params.Hops by construction.
-	dir := func(cur, dst, size int) int {
-		fwd := dst - cur
+	dir := func(curv, dstv, size int) int {
+		fwd := dstv - curv
 		if fwd < 0 {
 			fwd += size
 		}
 		bwd := size - fwd
 		if !p.Torus {
-			if dst > cur {
+			if dstv > curv {
 				return 1
 			}
 			return -1
@@ -165,13 +214,11 @@ func (p Params) Path(a, b int) []int {
 		}
 		return -1
 	}
-	for x != bx {
-		x = (x + dir(x, bx, p.MeshWidth) + p.MeshWidth) % p.MeshWidth
-		path = append(path, y*p.MeshWidth+x)
-	}
-	for y != by {
-		y = (y + dir(y, by, p.MeshHeight) + p.MeshHeight) % p.MeshHeight
-		path = append(path, y*p.MeshWidth+x)
+	for i, size := range dims {
+		for cur[i] != dst[i] {
+			cur[i] = (cur[i] + dir(cur[i], dst[i], size) + size) % size
+			path = append(path, node())
+		}
 	}
 	return path
 }
@@ -201,16 +248,24 @@ type Cluster struct {
 }
 
 // New builds a cluster of n processes. Ranks are placed row-major on
-// the mesh; n may not exceed the mesh capacity.
+// the mesh; n may not exceed the mesh capacity. Geometry rejections
+// carry the mesh package's named errors (mesh.ErrBadGeometry,
+// mesh.ErrGeometryMismatch) so callers can classify them.
 func New(n int, params Params) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one process, got %d", n)
 	}
-	if params.MeshWidth <= 0 || params.MeshHeight <= 0 {
-		return nil, fmt.Errorf("cluster: invalid mesh %dx%d", params.MeshWidth, params.MeshHeight)
+	dims := params.Dims()
+	capacity := 1
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("cluster: invalid mesh %s: %w", geomString(dims), mesh.ErrBadGeometry)
+		}
+		capacity *= d
 	}
-	if cap := params.MeshWidth * params.MeshHeight; n > cap {
-		return nil, fmt.Errorf("cluster: %d processes exceed %d mesh nodes", n, cap)
+	if n > capacity {
+		return nil, fmt.Errorf("cluster: %d processes exceed %d mesh nodes (%s): %w",
+			n, capacity, geomString(dims), mesh.ErrGeometryMismatch)
 	}
 	if params.Fabric == nil {
 		return nil, fmt.Errorf("cluster: nil interconnect backend")

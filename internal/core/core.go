@@ -20,6 +20,7 @@ import (
 	"vbuscluster/internal/cluster"
 	"vbuscluster/internal/f77"
 	"vbuscluster/internal/fault"
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/interp"
 	"vbuscluster/internal/lmad"
 	"vbuscluster/internal/postpass"
@@ -106,6 +107,12 @@ type Options struct {
 	// (vbcc/vbrun/vbbench -coalesce). Off by default, keeping every
 	// translation and table bit-identical to earlier builds.
 	Coalesce bool
+	// Workers bounds the number of rank goroutines executing
+	// concurrently (vbrun/vbbench -workers). Zero uses
+	// runtime.GOMAXPROCS(0); negative launches one free-running
+	// goroutine per rank. Results are bit-identical across all
+	// settings. See interp.RunConfig.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -260,17 +267,24 @@ func MeshFor(n int) (w, h int) {
 }
 
 // machineParams resolves the machine model for n processes: the
-// override (or the default parameters) with the mesh widened to the
-// smallest near-square geometry that fits n. Both the AutoGrain
-// pricing and cluster construction go through here so the compiler
-// prices exactly the machine the program will run on.
+// override (or the default parameters) with the mesh sized to fit n.
+// A fabric with a geometry preference (interconnect.GeometryHinter —
+// the 3D-torus card) picks its own dimensions; otherwise the 2D mesh
+// widens to the smallest near-square geometry that fits. An explicit
+// MeshDims override always wins. Both the AutoGrain pricing and
+// cluster construction go through here so the compiler prices exactly
+// the machine the program will run on.
 func machineParams(override *cluster.Params, n int) cluster.Params {
 	params := cluster.DefaultParams()
 	if override != nil {
 		params = *override
 	}
-	if params.MeshWidth*params.MeshHeight < n {
-		params.MeshWidth, params.MeshHeight = MeshFor(n)
+	if len(params.MeshDims) == 0 {
+		if h, ok := params.Fabric.(interconnect.GeometryHinter); ok {
+			params.MeshDims, params.Torus = h.PreferredGeometry(n)
+		} else if params.MeshWidth*params.MeshHeight < n {
+			params.MeshWidth, params.MeshHeight = MeshFor(n)
+		}
 	}
 	return params
 }
@@ -305,7 +319,7 @@ func (c *Compiled) RunParallel(mode Mode) (*interp.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return interp.RunParallel(c.SPMD, cl, mode)
+	return interp.RunParallelConfig(c.SPMD, cl, mode, interp.RunConfig{Workers: c.opts.Workers})
 }
 
 // RunResilient executes the SPMD translation with coordinated
@@ -342,6 +356,7 @@ func (c *Compiled) RunResilient(mode Mode) (*interp.Result, error) {
 	return interp.RunResilient(c.SPMD, cl, mode, interp.ResilientConfig{
 		Retranslate: retranslate,
 		Dir:         c.opts.CkptDir,
+		Workers:     c.opts.Workers,
 	})
 }
 

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/lmad"
+)
+
+// A fabric with a geometry preference (vbus3d) must drive the machine
+// resolution: the 3D dims and wraparound come from the card, while
+// hinting-free fabrics keep the legacy near-square 2D widening.
+func TestMachineParamsGeometryHinter(t *testing.T) {
+	p3d, err := cluster.ParamsForFabric("vbus3d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := machineParams(&p3d, 64)
+	if want := []int{4, 4, 4}; !reflect.DeepEqual(got.MeshDims, want) {
+		t.Fatalf("vbus3d 64-rank dims = %v, want %v", got.MeshDims, want)
+	}
+	if !got.Torus {
+		t.Fatal("vbus3d geometry should enable wraparound")
+	}
+
+	got = machineParams(&p3d, 1024)
+	if want := []int{16, 8, 8}; !reflect.DeepEqual(got.MeshDims, want) {
+		t.Fatalf("vbus3d 1024-rank dims = %v, want %v", got.MeshDims, want)
+	}
+
+	// An explicit MeshDims override beats the hint.
+	pinned := p3d
+	pinned.MeshDims = []int{8, 8}
+	got = machineParams(&pinned, 64)
+	if want := []int{8, 8}; !reflect.DeepEqual(got.MeshDims, want) {
+		t.Fatalf("pinned dims overridden: %v, want %v", got.MeshDims, want)
+	}
+
+	// Hinting-free fabrics keep the 2D widening bit-identical.
+	p2d, err := cluster.ParamsForFabric("vbus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = machineParams(&p2d, 9)
+	if len(got.MeshDims) != 0 {
+		t.Fatalf("vbus grew MeshDims %v", got.MeshDims)
+	}
+	if got.MeshWidth != 3 || got.MeshHeight != 3 {
+		t.Fatalf("vbus 9-rank mesh = %dx%d, want 3x3", got.MeshWidth, got.MeshHeight)
+	}
+	if got.Torus {
+		t.Fatal("vbus should not enable wraparound")
+	}
+}
+
+func TestEndToEndOnVBus3D(t *testing.T) {
+	c, err := Compile(testSrc, Options{NumProcs: 8, Grain: lmad.Coarse, Fabric: "vbus3d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3d, err := c.RunParallel(Full)
+	if err != nil {
+		t.Fatalf("vbus3d run: %v", err)
+	}
+	cv, err := Compile(testSrc, Options{NumProcs: 8, Grain: lmad.Coarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resVB, err := cv.RunParallel(Full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3d.Output != resVB.Output {
+		t.Fatalf("numeric output depends on fabric: %q vs %q", res3d.Output, resVB.Output)
+	}
+	if res3d.Elapsed == resVB.Elapsed {
+		t.Fatal("vbus3d priced identically to vbus; hop model not in effect")
+	}
+}

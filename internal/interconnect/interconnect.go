@@ -103,6 +103,19 @@ type Interconnect interface {
 	Caps() Caps
 }
 
+// GeometryHinter is an optional Interconnect extension: a backend
+// whose hop model assumes a particular mesh shape (the 3D-torus
+// vbus3d card, for instance, prices hops over three dimensions)
+// implements it to tell the machine layer which geometry to build
+// for n processes when the caller did not pin one. Backends without
+// a preference simply don't implement it and get the default
+// near-square 2D mesh.
+type GeometryHinter interface {
+	// PreferredGeometry returns the mesh dimensions (product >= n)
+	// and whether wraparound links should be enabled.
+	PreferredGeometry(n int) (dims []int, torus bool)
+}
+
 // Factory builds a fresh backend instance with its default calibration.
 type Factory func() (Interconnect, error)
 

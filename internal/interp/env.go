@@ -60,6 +60,14 @@ type Env struct {
 	mode Mode
 	out  io.Writer
 
+	// lazy defers array allocation to first touch. Set on slave ranks
+	// in Timing mode, where bulk-charged loops and charge-only
+	// transfers never read the arrays: a 1024-rank timing run then
+	// allocates the program's arrays once (on the master) instead of
+	// 1024 times. Layouts are still registered eagerly so subscript
+	// checking and cost analysis see constant bounds.
+	lazy bool
+
 	// pending accumulates compute charges between flushes so the
 	// cluster mutex is not taken per statement.
 	pending sim.Time
@@ -110,6 +118,7 @@ func newEnv(prog *f77.Program, unit *f77.Unit, cl *cluster.Cluster, rank int, mo
 		varDep:   map[*f77.DoLoop]bool{},
 		commons:  map[string][][]float64{},
 	}
+	env.lazy = mode == Timing && rank != 0
 	if err := env.allocUnit(unit); err != nil {
 		return nil, err
 	}
@@ -145,7 +154,9 @@ func (env *Env) allocUnit(u *f77.Unit) error {
 			continue
 		}
 		env.layouts[sym] = &lay
-		env.mem[sym] = make([]float64, lay.Size)
+		if !env.lazy {
+			env.mem[sym] = make([]float64, lay.Size)
+		}
 	}
 	return nil
 }
@@ -201,8 +212,30 @@ func (env *Env) storage(sym *f77.Symbol, line int) []float64 {
 		env.mem[sym] = buf
 		return buf
 	}
+	if lay, ok := env.layouts[sym]; ok && lay.Size > 0 {
+		// Lazily deferred array touched after all: allocate now.
+		// Zero-filled, exactly as the eager path would have left it.
+		buf := make([]float64, lay.Size)
+		env.mem[sym] = buf
+		return buf
+	}
 	env.fail(line, "array %s has no storage (unbound dummy or non-constant bounds)", sym.Name)
 	return nil
+}
+
+// winBacking returns the backing slice a window over sym should
+// expose, without forcing a lazily deferred array into existence: a
+// Timing-mode slave creates windows for charge accounting only and
+// never moves real data through them, so a nil region is fine (the
+// mpi layer only dereferences regions on actual data movement).
+func (env *Env) winBacking(sym *f77.Symbol) []float64 {
+	if buf, ok := env.mem[sym]; ok {
+		return buf
+	}
+	if env.lazy {
+		return nil
+	}
+	return env.storage(sym, 0)
 }
 
 // charge books compute time locally.

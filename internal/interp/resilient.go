@@ -27,6 +27,9 @@ type ResilientConfig struct {
 	// keeps checkpoints in memory only — the recovery protocol is
 	// identical, nothing touches the filesystem.
 	Dir string
+	// Workers bounds concurrent rank goroutines exactly as
+	// RunConfig.Workers does; each recovery attempt gets a fresh pool.
+	Workers int
 }
 
 // RunResilient executes the SPMD translation with coordinated
@@ -73,6 +76,14 @@ func RunResilient(pp *postpass.Program, cl *cluster.Cluster, mode Mode, cfg Resi
 	)
 	for {
 		P := world.Size()
+		var sched *pool
+		if cfg.Workers >= 0 {
+			// A fresh pool per attempt: a shrunken world re-parks on
+			// clean state, and crashed ranks cannot leak slots across
+			// attempts.
+			sched = newPool(cl, effectiveWorkers(cfg.Workers))
+			world.SetScheduler(sched)
+		}
 		var out bytes.Buffer
 		if last != nil {
 			out.Write(last.Output)
@@ -93,11 +104,16 @@ func RunResilient(pp *postpass.Program, cl *cluster.Cluster, mode Mode, cfg Resi
 		}
 		envs := make([]*Env, P)
 		errs := make([]error, P)
+		nodes := world.Nodes()
 		var wg sync.WaitGroup
 		for r := 0; r < P; r++ {
 			wg.Add(1)
 			go func(rank int) {
 				defer wg.Done()
+				if sched != nil {
+					sched.acquire(nodes[rank])
+					defer sched.release()
+				}
 				errs[rank] = runRankEpochs(cur, world.Rank(rank), mode, &out, &envs[rank], st)
 				if errs[rank] != nil {
 					// ULFM: the rank observing a failure revokes the
@@ -232,7 +248,7 @@ func runRankEpochs(pp *postpass.Program, p *mpi.Proc, mode Mode, masterOut *byte
 
 	wins := map[*f77.Symbol]*mpi.Win{}
 	for _, sym := range pp.Windows {
-		wins[sym] = p.WinCreate(sym.Name, env.storage(sym, 0))
+		wins[sym] = p.WinCreate(sym.Name, env.winBacking(sym))
 	}
 	redWins := map[*f77.Symbol]*mpi.Win{}
 	if pp.Opts.LockReductions {

@@ -137,26 +137,45 @@ func RunSequential(prog *f77.Program, cl *cluster.Cluster, mode Mode) (*Result, 
 	}, nil
 }
 
-// RunParallel executes the SPMD translation on the cluster: one
-// goroutine per rank over the MPI-2 runtime, master/slave execution
-// with scatter/fence/compute/collect/fence per parallel region (§3,
-// §5.4, §5.5).
+// RunParallel executes the SPMD translation on the cluster with the
+// default run configuration: rank goroutines multiplexed over a
+// GOMAXPROCS-sized worker pool, master/slave execution with
+// scatter/fence/compute/collect/fence per parallel region (§3, §5.4,
+// §5.5).
 func RunParallel(pp *postpass.Program, cl *cluster.Cluster, mode Mode) (*Result, error) {
+	return RunParallelConfig(pp, cl, mode, RunConfig{})
+}
+
+// RunParallelConfig is RunParallel with an explicit run configuration
+// (worker-pool sizing; see RunConfig).
+func RunParallelConfig(pp *postpass.Program, cl *cluster.Cluster, mode Mode, cfg RunConfig) (*Result, error) {
 	P := cl.N()
 	if P != pp.Opts.NumProcs {
 		return nil, fmt.Errorf("interp: program compiled for %d procs, cluster has %d", pp.Opts.NumProcs, P)
 	}
 	world := mpi.NewWorld(cl)
 	defer world.Shutdown()
+	var sched *pool
+	if cfg.Workers >= 0 {
+		sched = newPool(cl, effectiveWorkers(cfg.Workers))
+		world.SetScheduler(sched)
+	}
 	var out bytes.Buffer
 
 	envs := make([]*Env, P)
 	errs := make([]error, P)
+	nodes := world.Nodes()
 	var wg sync.WaitGroup
 	for r := 0; r < P; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			if sched != nil {
+				// Hold a worker slot while runnable; release runs
+				// before wg.Done (LIFO), after any Depart below.
+				sched.acquire(nodes[rank])
+				defer sched.release()
+			}
 			errs[rank] = runRank(pp, world.Rank(rank), mode, &out, &envs[rank])
 			if errs[rank] != nil {
 				// A rank that dies on an error must not strand its
@@ -204,7 +223,7 @@ func runRank(pp *postpass.Program, p *mpi.Proc, mode Mode, masterOut *bytes.Buff
 	// accessed variable.
 	wins := map[*f77.Symbol]*mpi.Win{}
 	for _, sym := range pp.Windows {
-		wins[sym] = p.WinCreate(sym.Name, env.storage(sym, 0))
+		wins[sym] = p.WinCreate(sym.Name, env.winBacking(sym))
 	}
 	// Lock-based reductions merge through dedicated one-cell windows
 	// (separate from the live scalar, which the owning rank keeps
@@ -600,7 +619,6 @@ func rankPlans(p *mpi.Proc, par *postpass.ParInfo, ops []*postpass.CommOp, rank 
 // plan and SEND it (tag identifies the peer pairing).
 func (env *Env) sendOps(p *mpi.Proc, par *postpass.ParInfo, ops []*postpass.CommOp, rank, tag int) {
 	for _, pl := range rankPlans(p, par, ops, rank) {
-		src := env.storage(pl.sym, 0)
 		dst := 0
 		if p.Rank() == 0 {
 			dst = rank
@@ -610,6 +628,7 @@ func (env *Env) sendOps(p *mpi.Proc, par *postpass.ParInfo, ops []*postpass.Comm
 				p.SendRegion(dst, tag, int(tr.Elems), nil)
 				continue
 			}
+			src := env.storage(pl.sym, 0)
 			payload := make([]float64, tr.Elems)
 			for i := range payload {
 				payload[i] = src[tr.Offset+int64(i)*tr.Stride]
@@ -627,12 +646,12 @@ func (env *Env) recvOps(p *mpi.Proc, par *postpass.ParInfo, ops []*postpass.Comm
 		from = rank
 	}
 	for _, pl := range rankPlans(p, par, ops, rank) {
-		buf := env.storage(pl.sym, 0)
 		for _, tr := range pl.plan {
 			payload := p.RecvRegion(from, tag, int(tr.Elems))
 			if env.mode == Timing || len(payload) == 0 {
 				continue
 			}
+			buf := env.storage(pl.sym, 0)
 			for i, v := range payload {
 				buf[tr.Offset+int64(i)*tr.Stride] = v
 			}
@@ -644,7 +663,6 @@ func (env *Env) recvOps(p *mpi.Proc, par *postpass.ParInfo, ops []*postpass.Comm
 // plan's regions from the master's window into its own storage.
 func (env *Env) pullOps(p *mpi.Proc, wins map[*f77.Symbol]*mpi.Win, par *postpass.ParInfo, ops []*postpass.CommOp, rank int) {
 	for _, pl := range rankPlans(p, par, ops, rank) {
-		dst := env.storage(pl.sym, 0)
 		win := wins[pl.sym]
 		for _, tr := range pl.plan {
 			d := mpi.DescFromTransfer(tr)
@@ -652,6 +670,7 @@ func (env *Env) pullOps(p *mpi.Proc, wins map[*f77.Symbol]*mpi.Win, par *postpas
 				p.ChargePutD(0, d)
 				continue
 			}
+			dst := env.storage(pl.sym, 0)
 			if tr.Stride == 1 {
 				p.GetD(win, 0, d, dst[tr.Offset:tr.Offset+tr.Elems])
 			} else {
@@ -666,13 +685,13 @@ func (env *Env) pullOps(p *mpi.Proc, wins map[*f77.Symbol]*mpi.Win, par *postpas
 }
 
 func (env *Env) execTransfers(p *mpi.Proc, win *mpi.Win, sym *f77.Symbol, plan []lmad.Transfer, target int) {
-	src := env.storage(sym, 0)
 	for _, tr := range plan {
 		d := mpi.DescFromTransfer(tr)
 		if env.mode == Timing {
 			p.ChargePutD(target, d)
 			continue
 		}
+		src := env.storage(sym, 0)
 		if tr.Stride == 1 {
 			p.PutD(win, target, d, src[tr.Offset:tr.Offset+tr.Elems])
 		} else {

@@ -1,0 +1,98 @@
+package interp
+
+import (
+	"runtime"
+	"sync"
+
+	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/sim"
+)
+
+// RunConfig tunes how a parallel execution maps ranks onto goroutines.
+type RunConfig struct {
+	// Workers bounds the number of rank goroutines executing
+	// concurrently. Ranks blocked inside the runtime (receive waits,
+	// collective rendezvous, contended window locks) park and release
+	// their slot, so P ranks need only min(P, Workers) goroutine slots
+	// plus the parked residue — the memory and scheduler pressure of a
+	// 1024-rank run stays bounded. Zero (the default) uses
+	// runtime.GOMAXPROCS(0); negative disables pooling entirely and
+	// launches one free-running goroutine per rank (the pre-pool
+	// behavior, kept as the equivalence-test reference). Results are
+	// bit-identical across all settings: the pool only decides which
+	// runnable goroutine proceeds when, never what it charges.
+	Workers int
+}
+
+// effectiveWorkers resolves the Workers setting to a concrete pool
+// size (callers have already excluded the negative "no pool" case).
+func effectiveWorkers(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// pool is the bounded worker-slot scheduler behind RunConfig.Workers.
+// Each rank goroutine acquires a slot before executing and releases it
+// on exit; the mpi layer's Park/Unpark hooks release the slot while a
+// rank is blocked inside the runtime. A freed slot is handed directly
+// to the parked rank with the lowest (virtual clock, arrival) key —
+// the furthest-behind rank resumes first, mirroring the engine's
+// deterministic lowest-time-first discipline. That order is a
+// throughput heuristic only: virtual results are identical whatever
+// order slots are granted in.
+type pool struct {
+	cl *cluster.Cluster
+
+	mu    sync.Mutex
+	free  int
+	queue *sim.ReadyQueue // parked ranks, keyed by virtual clock at park time
+}
+
+func newPool(cl *cluster.Cluster, workers int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &pool{cl: cl, free: workers, queue: sim.NewReadyQueue()}
+}
+
+// acquire blocks until a worker slot is available. The rank's clock is
+// sampled before taking the pool lock (the cluster has its own lock;
+// the two are never nested).
+func (s *pool) acquire(node int) {
+	at := s.cl.Clock(node)
+	s.mu.Lock()
+	if s.free > 0 {
+		s.free--
+		s.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	s.queue.Push(at, ch)
+	s.mu.Unlock()
+	<-ch
+}
+
+// release frees a slot, handing it directly to the longest-behind
+// parked rank if any is waiting. It never blocks, so it is safe to
+// call with runtime-internal locks held (the Park contract).
+func (s *pool) release() {
+	s.mu.Lock()
+	if v, ok := s.queue.Pop(); ok {
+		s.mu.Unlock()
+		close(v.(chan struct{}))
+		return
+	}
+	s.free++
+	s.mu.Unlock()
+}
+
+// Park and Unpark implement mpi.Scheduler: a rank blocking inside the
+// runtime gives its slot away and reclaims one once runnable again.
+func (s *pool) Park(node int) { s.release() }
+
+func (s *pool) Unpark(node int) { s.acquire(node) }

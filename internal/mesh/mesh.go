@@ -16,30 +16,53 @@
 package mesh
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"vbuscluster/internal/fabric"
 	"vbuscluster/internal/fault"
 	"vbuscluster/internal/sim"
 )
 
-// NodeID identifies a node (PC) on the mesh, numbered row-major.
+// NodeID identifies a node (PC) on the mesh, numbered row-major
+// (dimension 0 is the fastest-varying coordinate).
 type NodeID int
+
+// Named configuration errors, matchable with errors.Is.
+var (
+	// ErrBadGeometry rejects a geometry with a dimension below 1.
+	ErrBadGeometry = errors.New("mesh: invalid geometry")
+	// ErrGeometryMismatch rejects inconsistent geometry specifications
+	// (conflicting Width×Height vs Dims, or a node population that
+	// does not fit the geometry).
+	ErrGeometryMismatch = errors.New("mesh: geometry mismatch")
+)
 
 // Config describes the mesh geometry and its physical channels.
 type Config struct {
+	// Width and Height are the classic 2-D geometry (kept as the
+	// common case and for backward compatibility). Ignored when Dims
+	// is set — unless both are given and disagree, which is an error.
 	Width, Height int
 
-	// Torus adds wrap-around channels in both dimensions (the paper
+	// Dims generalizes the geometry to an N-dimensional grid (e.g.
+	// [16, 8, 8] for the 1024-node 3-D torus an APEnet-style fabric
+	// uses). Empty means [Width, Height]. Routing stays
+	// dimension-ordered across all dimensions.
+	Dims []int
+
+	// Torus adds wrap-around channels in every dimension (the paper
 	// lists "mesh, torus and hypercube" as the switched networks the
 	// V-Bus design targets). Routing stays dimension-ordered but picks
 	// the shorter direction around each ring.
 	Torus bool
 
 	// Hypercube replaces the grid entirely with a binary n-cube over
-	// Width*Height nodes (which must be a power of two): node i links
-	// to i^(1<<d) for each dimension d, routed e-cube (lowest differing
-	// bit first), which is deadlock-free by dimension ordering.
+	// the geometry's node count (which must be a power of two): node i
+	// links to i^(1<<d) for each dimension d, routed e-cube (lowest
+	// differing bit first), which is deadlock-free by dimension
+	// ordering.
 	Hypercube bool
 
 	// Channel physics (shared by every mesh channel).
@@ -61,6 +84,10 @@ type Config struct {
 type Dir int
 
 // Channel directions. Inject/Eject are the NIC-router channels.
+// Values beyond Eject encode either a hypercube dimension (cubeDir)
+// or a mesh dimension beyond the first two (dirFor) — the two
+// encodings share the value space because the topologies are mutually
+// exclusive.
 const (
 	East Dir = iota
 	West
@@ -84,9 +111,58 @@ func (d Dir) String() string {
 		return "inj"
 	case Eject:
 		return "ej"
-	default:
-		return fmt.Sprintf("Dir(%d)", int(d))
 	}
+	if k := int(d) - int(Eject) - 1; k >= 0 {
+		// Higher mesh dimension: D2+, D2-, D3+, ... (a hypercube
+		// channel of cube dimension c prints as the mesh encoding of
+		// the same value).
+		sign := "+"
+		if k%2 == 1 {
+			sign = "-"
+		}
+		return fmt.Sprintf("D%d%s", 2+k/2, sign)
+	}
+	return fmt.Sprintf("Dir(%d)", int(d))
+}
+
+// dirFor encodes a mesh dimension and direction as a channel Dir:
+// dimensions 0 and 1 keep the classic compass names, higher
+// dimensions extend past Eject in (positive, negative) pairs.
+func dirFor(d int, fwd bool) Dir {
+	switch d {
+	case 0:
+		if fwd {
+			return East
+		}
+		return West
+	case 1:
+		if fwd {
+			return South
+		}
+		return North
+	}
+	k := int(Eject) + 1 + 2*(d-2)
+	if !fwd {
+		k++
+	}
+	return Dir(k)
+}
+
+// meshDim decodes dirFor: the dimension and direction of a mesh
+// channel Dir.
+func meshDim(d Dir) (dim int, fwd bool) {
+	switch d {
+	case East:
+		return 0, true
+	case West:
+		return 0, false
+	case South:
+		return 1, true
+	case North:
+		return 1, false
+	}
+	k := int(d) - int(Eject) - 1
+	return 2 + k/2, k%2 == 0
 }
 
 // chanKey names one directed channel: the channel leaving node in
@@ -137,6 +213,11 @@ type Mesh struct {
 	cfg  Config
 	link *fabric.Link // channel timing model (per hop, freshly sampled)
 
+	// dims is the normalized geometry ([Width, Height] when cfg.Dims
+	// is empty); strides are the row-major coordinate multipliers.
+	dims    []int
+	strides []int
+
 	channels map[chanKey]*channel
 	draining map[*message]struct{}
 
@@ -154,10 +235,41 @@ type Mesh struct {
 	stats Stats
 }
 
-// New validates cfg and builds the mesh.
+// geomString renders a geometry as "16x8x8".
+func geomString(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return strings.Join(parts, "x")
+}
+
+// prodDims is the node count of a geometry.
+func prodDims(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	return n
+}
+
+// New validates cfg and builds the mesh. A geometry with a dimension
+// below 1 fails with ErrBadGeometry; conflicting Width×Height and
+// Dims specifications fail with ErrGeometryMismatch — both named, so
+// callers fed from external configuration can classify the rejection
+// instead of discovering it as an index panic deep inside Route.
 func New(eng *sim.Engine, cfg Config) (*Mesh, error) {
-	if cfg.Width <= 0 || cfg.Height <= 0 {
-		return nil, fmt.Errorf("mesh: invalid geometry %dx%d", cfg.Width, cfg.Height)
+	dims := append([]int(nil), cfg.Dims...)
+	if len(dims) == 0 {
+		dims = []int{cfg.Width, cfg.Height}
+	} else if (cfg.Width != 0 || cfg.Height != 0) && cfg.Width*cfg.Height != prodDims(dims) {
+		return nil, fmt.Errorf("%w: Width×Height %dx%d conflicts with Dims %s",
+			ErrGeometryMismatch, cfg.Width, cfg.Height, geomString(dims))
+	}
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("%w %s", ErrBadGeometry, geomString(dims))
+		}
 	}
 	if cfg.RouterLatency < 0 || cfg.BusArbitration < 0 {
 		return nil, fmt.Errorf("mesh: negative latency config")
@@ -166,7 +278,7 @@ func New(eng *sim.Engine, cfg Config) (*Mesh, error) {
 		if cfg.Torus {
 			return nil, fmt.Errorf("mesh: Torus and Hypercube are mutually exclusive")
 		}
-		if n := cfg.Width * cfg.Height; n&(n-1) != 0 {
+		if n := prodDims(dims); n&(n-1) != 0 {
 			return nil, fmt.Errorf("mesh: hypercube needs a power-of-two node count, got %d", n)
 		}
 	}
@@ -179,10 +291,18 @@ func New(eng *sim.Engine, cfg Config) (*Mesh, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mesh: %w", err)
 	}
+	strides := make([]int, len(dims))
+	s := 1
+	for i, d := range dims {
+		strides[i] = s
+		s *= d
+	}
 	m := &Mesh{
 		eng:      eng,
 		cfg:      cfg,
 		link:     l,
+		dims:     dims,
+		strides:  strides,
 		channels: make(map[chanKey]*channel),
 		draining: make(map[*message]struct{}),
 		meshSeq:  make(map[[2]NodeID]int),
@@ -193,7 +313,10 @@ func New(eng *sim.Engine, cfg Config) (*Mesh, error) {
 }
 
 // Nodes reports the node count.
-func (m *Mesh) Nodes() int { return m.cfg.Width * m.cfg.Height }
+func (m *Mesh) Nodes() int { return prodDims(m.dims) }
+
+// Dims returns the normalized geometry (a copy).
+func (m *Mesh) Dims() []int { return append([]int(nil), m.dims...) }
 
 // Engine returns the driving event engine.
 func (m *Mesh) Engine() *sim.Engine { return m.eng }
@@ -208,24 +331,48 @@ func (m *Mesh) Stats() Stats { return m.stats }
 // restore clean operation. Must be called before traffic is injected.
 func (m *Mesh) SetFaults(inj *fault.Injector) { m.inj = inj }
 
-// Coord maps a NodeID to mesh coordinates.
+// Coord maps a NodeID to its first two mesh coordinates (the classic
+// 2-D view; use coords for the full coordinate vector).
 func (m *Mesh) Coord(n NodeID) (x, y int) {
-	return int(n) % m.cfg.Width, int(n) / m.cfg.Width
+	return int(n) % m.dims[0], int(n) / m.dims[0]
 }
 
-// NodeAt maps coordinates to a NodeID.
-func (m *Mesh) NodeAt(x, y int) NodeID { return NodeID(y*m.cfg.Width + x) }
+// NodeAt maps 2-D coordinates to a NodeID.
+func (m *Mesh) NodeAt(x, y int) NodeID { return NodeID(y*m.dims[0] + x) }
+
+// coords maps a NodeID to its full row-major coordinate vector.
+func (m *Mesh) coords(n NodeID) []int {
+	c := make([]int, len(m.dims))
+	for d := range m.dims {
+		c[d] = (int(n) / m.strides[d]) % m.dims[d]
+	}
+	return c
+}
+
+// nodeAtCoords maps a coordinate vector back to a NodeID.
+func (m *Mesh) nodeAtCoords(c []int) NodeID {
+	n := 0
+	for d := range m.dims {
+		n += c[d] * m.strides[d]
+	}
+	return NodeID(n)
+}
 
 // valid reports whether n is a node of this mesh.
 func (m *Mesh) valid(n NodeID) bool { return n >= 0 && int(n) < m.Nodes() }
 
-// Route computes the dimension-ordered (X then Y) channel sequence from
-// src to dst, including the injection and ejection channels. Nodes
-// outside the mesh yield an error rather than a panic, so callers fed
-// from external configuration can report the problem.
+// Route computes the dimension-ordered channel sequence from src to
+// dst (dimension 0 fully corrected first, then 1, ...), including the
+// injection and ejection channels. Dimension ordering makes the
+// wormhole hold graph acyclic in any number of dimensions; on a torus
+// each dimension additionally switches to virtual channel 1 after
+// crossing that dimension's wrap-around link (its dateline), breaking
+// the per-ring cyclic dependency. Nodes outside the mesh yield an
+// error rather than a panic, so callers fed from external
+// configuration can report the problem.
 func (m *Mesh) Route(src, dst NodeID) ([]chanKey, error) {
 	if !m.valid(src) || !m.valid(dst) {
-		return nil, fmt.Errorf("mesh: route %d->%d outside %dx%d mesh", src, dst, m.cfg.Width, m.cfg.Height)
+		return nil, fmt.Errorf("mesh: route %d->%d outside %s mesh", src, dst, geomString(m.dims))
 	}
 	route := []chanKey{{src, Inject, 0}}
 	if m.cfg.Hypercube {
@@ -243,66 +390,37 @@ func (m *Mesh) Route(src, dst NodeID) ([]chanKey, error) {
 		route = append(route, chanKey{dst, Eject, 0})
 		return route, nil
 	}
-	x, y := m.Coord(src)
-	dx, dy := m.Coord(dst)
-	vcX, vcY := 0, 0
-	stepX := func() {
-		goEast := x < dx
-		if m.cfg.Torus {
-			fwd := mod(dx-x, m.cfg.Width)
-			goEast = fwd <= m.cfg.Width-fwd
-		}
-		if goEast {
-			if m.cfg.Torus && x == m.cfg.Width-1 {
-				vcX = 1 // crossing the X dateline
-			}
-			route = append(route, chanKey{m.NodeAt(x, y), East, vcX})
-			x = x + 1
+	cur := m.coords(src)
+	want := m.coords(dst)
+	for d := range m.dims {
+		size := m.dims[d]
+		vc := 0
+		for cur[d] != want[d] {
+			fwd := cur[d] < want[d]
 			if m.cfg.Torus {
-				x = mod(x, m.cfg.Width)
+				f := mod(want[d]-cur[d], size)
+				fwd = f <= size-f // ties break toward the positive ring
 			}
-		} else {
-			if m.cfg.Torus && x == 0 {
-				vcX = 1
-			}
-			route = append(route, chanKey{m.NodeAt(x, y), West, vcX})
-			x = x - 1
-			if m.cfg.Torus {
-				x = mod(x, m.cfg.Width)
-			}
-		}
-	}
-	stepY := func() {
-		goSouth := y < dy
-		if m.cfg.Torus {
-			fwd := mod(dy-y, m.cfg.Height)
-			goSouth = fwd <= m.cfg.Height-fwd
-		}
-		if goSouth {
-			if m.cfg.Torus && y == m.cfg.Height-1 {
-				vcY = 1 // crossing the Y dateline
-			}
-			route = append(route, chanKey{m.NodeAt(x, y), South, vcY})
-			y = y + 1
-			if m.cfg.Torus {
-				y = mod(y, m.cfg.Height)
-			}
-		} else {
-			if m.cfg.Torus && y == 0 {
-				vcY = 1
-			}
-			route = append(route, chanKey{m.NodeAt(x, y), North, vcY})
-			y = y - 1
-			if m.cfg.Torus {
-				y = mod(y, m.cfg.Height)
+			if fwd {
+				if m.cfg.Torus && cur[d] == size-1 {
+					vc = 1 // crossing this dimension's dateline
+				}
+				route = append(route, chanKey{m.nodeAtCoords(cur), dirFor(d, true), vc})
+				cur[d]++
+				if m.cfg.Torus {
+					cur[d] = mod(cur[d], size)
+				}
+			} else {
+				if m.cfg.Torus && cur[d] == 0 {
+					vc = 1
+				}
+				route = append(route, chanKey{m.nodeAtCoords(cur), dirFor(d, false), vc})
+				cur[d]--
+				if m.cfg.Torus {
+					cur[d] = mod(cur[d], size)
+				}
 			}
 		}
-	}
-	for x != dx {
-		stepX()
-	}
-	for y != dy {
-		stepY()
 	}
 	route = append(route, chanKey{dst, Eject, 0})
 	return route, nil
@@ -331,33 +449,39 @@ func (m *Mesh) Hops(src, dst NodeID) int {
 		}
 		return n
 	}
-	x1, y1 := m.Coord(src)
-	x2, y2 := m.Coord(dst)
-	dx, dy := abs(x1-x2), abs(y1-y2)
-	if m.cfg.Torus {
-		if w := m.cfg.Width - dx; w < dx {
-			dx = w
+	a := m.coords(src)
+	b := m.coords(dst)
+	total := 0
+	for d := range m.dims {
+		diff := abs(a[d] - b[d])
+		if m.cfg.Torus {
+			if w := m.dims[d] - diff; w < diff {
+				diff = w
+			}
 		}
-		if w := m.cfg.Height - dy; w < dy {
-			dy = w
-		}
+		total += diff
 	}
-	return dx + dy
+	return total
 }
 
 // Diameter is the longest shortest-path hop count on the network.
 func (m *Mesh) Diameter() int {
 	if m.cfg.Hypercube {
 		d := 0
-		for n := m.cfg.Width * m.cfg.Height; n > 1; n >>= 1 {
+		for n := m.Nodes(); n > 1; n >>= 1 {
 			d++
 		}
 		return d
 	}
-	if m.cfg.Torus {
-		return m.cfg.Width/2 + m.cfg.Height/2
+	total := 0
+	for _, size := range m.dims {
+		if m.cfg.Torus {
+			total += size / 2
+		} else {
+			total += size - 1
+		}
 	}
-	return m.cfg.Width - 1 + m.cfg.Height - 1
+	return total
 }
 
 func abs(v int) int {
@@ -508,26 +632,22 @@ func (m *Mesh) deliver(msg *message) {
 // linkEnds reports the two nodes an inter-router channel connects
 // (ok=false for the node-local inject/eject channels).
 func (m *Mesh) linkEnds(k chanKey) (a, b NodeID, ok bool) {
-	switch {
-	case k.dir == Inject || k.dir == Eject:
+	if k.dir == Inject || k.dir == Eject {
 		return 0, 0, false
-	case k.dir > Eject:
+	}
+	if m.cfg.Hypercube && k.dir > Eject {
 		// Hypercube dimension channel.
 		d := int(k.dir) - int(Eject) - 1
 		return k.node, NodeID(int(k.node) ^ (1 << d)), true
 	}
-	x, y := m.Coord(k.node)
-	switch k.dir {
-	case East:
-		x = mod(x+1, m.cfg.Width)
-	case West:
-		x = mod(x-1, m.cfg.Width)
-	case South:
-		y = mod(y+1, m.cfg.Height)
-	case North:
-		y = mod(y-1, m.cfg.Height)
+	dim, fwd := meshDim(k.dir)
+	c := m.coords(k.node)
+	if fwd {
+		c[dim] = mod(c[dim]+1, m.dims[dim])
+	} else {
+		c[dim] = mod(c[dim]-1, m.dims[dim])
 	}
-	return k.node, m.NodeAt(x, y), true
+	return k.node, m.nodeAtCoords(c), true
 }
 
 // scheduleRelease arms (or re-arms, after a bus freeze) the event that
@@ -572,7 +692,7 @@ func (m *Mesh) scheduleRelease(msg *message, release sim.Time) {
 // nothing.
 func (m *Mesh) Broadcast(src NodeID, bytes int, done func(sim.Time)) error {
 	if !m.valid(src) {
-		return fmt.Errorf("mesh: broadcast from invalid node %d on %dx%d mesh", src, m.cfg.Width, m.cfg.Height)
+		return fmt.Errorf("mesh: broadcast from invalid node %d on %s mesh", src, geomString(m.dims))
 	}
 	if bytes < 0 {
 		return fmt.Errorf("mesh: broadcast from %d with negative payload %d", src, bytes)

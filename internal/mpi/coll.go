@@ -77,6 +77,18 @@ func (w *World) collectiveE(rank int, op string, contrib []float64,
 		entry = w.cl.Clock(node)
 		wallStart = time.Now()
 	}
+	// A waiter releases its worker slot while blocked in the rendezvous
+	// (Park under w.mu is non-blocking by contract) and reclaims one on
+	// every exit path — release, revocation, crashed peer, watchdog —
+	// after w.mu is dropped. The last arrival never parks: it runs
+	// finish and returns holding its slot.
+	sched := w.sched
+	parked := false
+	defer func() {
+		if parked {
+			sched.Unpark(node)
+		}
+	}()
 	w.mu.Lock()
 	if w.nDown > 0 {
 		w.mu.Unlock()
@@ -119,6 +131,10 @@ func (w *World) collectiveE(rank int, op string, contrib []float64,
 				w.arrived--
 				w.mu.Unlock()
 				return nil, 0, &Error{Kind: ErrTimeout, Rank: rank, Op: op, Peer: -1, Time: entry + deadline}
+			}
+			if sched != nil && !parked {
+				parked = true
+				sched.Park(node)
 			}
 			w.cond.Wait()
 		}

@@ -225,7 +225,30 @@ func (p *Proc) LockE(win *Win, target int) error {
 	}
 	entry := p.entryClock()
 	rec, begin := p.traceBegin()
-	if d := p.w.inj.Deadline(); d > 0 {
+	d := p.w.inj.Deadline()
+	if sched := p.w.sched; sched != nil {
+		// Contended acquisitions release the worker slot while blocked
+		// so the lock holder can run to its Unlock even when every slot
+		// is busy (critical sections contain no blocking operations, so
+		// a holder always progresses). The uncontended fast path keeps
+		// the slot.
+		select {
+		case win.lockCh[target] <- struct{}{}:
+		default:
+			sched.Park(p.node())
+			if d > 0 {
+				select {
+				case win.lockCh[target] <- struct{}{}:
+				case <-time.After(WatchdogWall):
+					sched.Unpark(p.node())
+					return &Error{Kind: ErrTimeout, Rank: p.rank, Op: trace.OpLock, Peer: target, Time: entry + d}
+				}
+			} else {
+				win.lockCh[target] <- struct{}{}
+			}
+			sched.Unpark(p.node())
+		}
+	} else if d > 0 {
 		select {
 		case win.lockCh[target] <- struct{}{}:
 		case <-time.After(WatchdogWall):

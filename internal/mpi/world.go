@@ -87,7 +87,35 @@ type World struct {
 	revoked bool
 	// watchStop stops the deadline watchdog goroutine.
 	watchStop chan struct{}
+
+	// sched, when non-nil, is notified whenever a rank blocks inside
+	// the runtime (SetScheduler). Nil — the default — keeps every
+	// blocking operation exactly as before.
+	sched Scheduler
 }
+
+// Scheduler lets the rank-execution layer above multiplex many ranks
+// over a bounded set of worker goroutine slots: a rank about to block
+// inside the runtime (receive wait, collective rendezvous, lock
+// acquisition) Parks — releasing its slot so a runnable rank can use
+// the goroutine budget — and Unparks once the wait is over, which may
+// block until a slot frees up again.
+//
+// Contract: Park may be called with runtime-internal locks held and
+// must never block; Unpark is always called with no runtime locks held
+// and may block. Both are keyed by the rank's physical cluster node,
+// which stays stable across communicator shrinks. The scheduler only
+// affects which goroutines run when — it adds no virtual-time charges,
+// so results are bit-identical with and without one.
+type Scheduler interface {
+	Park(node int)
+	Unpark(node int)
+}
+
+// SetScheduler attaches the blocked-rank scheduler. It must be called
+// before the world's rank goroutines start issuing operations; nil
+// detaches.
+func (w *World) SetScheduler(s Scheduler) { w.sched = s }
 
 // NewWorld creates the communicator for all ranks of c.
 func NewWorld(c *cluster.Cluster) *World {

@@ -1,0 +1,65 @@
+package sim
+
+import "container/heap"
+
+// ReadyQueue orders opaque items by (Time, sequence): the same
+// discipline the engine's event queue uses, exposed for higher layers
+// that schedule runnable work outside the single-threaded engine. The
+// interpreter's bounded worker pool keys parked ranks by their virtual
+// clock so a freed worker slot always resumes the furthest-behind
+// rank, mirroring the engine's deterministic lowest-time-first order.
+//
+// ReadyQueue is not safe for concurrent use; callers serialize access
+// with their own lock.
+type ReadyQueue struct {
+	items  readyHeap
+	nextID uint64
+}
+
+// NewReadyQueue returns an empty queue.
+func NewReadyQueue() *ReadyQueue { return &ReadyQueue{} }
+
+// Len reports the number of queued items.
+func (q *ReadyQueue) Len() int { return len(q.items) }
+
+// Push enqueues v keyed by time at. Items pushed with equal times pop
+// in push order.
+func (q *ReadyQueue) Push(at Time, v any) {
+	heap.Push(&q.items, readyItem{at: at, seq: q.nextID, v: v})
+	q.nextID++
+}
+
+// Pop removes and returns the item with the lowest (time, sequence)
+// key. ok is false on an empty queue.
+func (q *ReadyQueue) Pop() (v any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	it := heap.Pop(&q.items).(readyItem)
+	return it.v, true
+}
+
+type readyItem struct {
+	at  Time
+	seq uint64
+	v   any
+}
+
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,49 @@
+package sim
+
+import "testing"
+
+func TestReadyQueueOrder(t *testing.T) {
+	q := NewReadyQueue()
+	q.Push(30*Nanosecond, "c")
+	q.Push(10*Nanosecond, "a")
+	q.Push(20*Nanosecond, "b")
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		v, ok := q.Pop()
+		if !ok || v.(string) != w {
+			t.Fatalf("Pop = %v, %v; want %q", v, ok, w)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+}
+
+func TestReadyQueueTiesPopInPushOrder(t *testing.T) {
+	q := NewReadyQueue()
+	for i := 0; i < 5; i++ {
+		q.Push(Microsecond, i)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Pop()
+		if !ok || v.(int) != i {
+			t.Fatalf("tie %d popped as %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestReadyQueueLen(t *testing.T) {
+	q := NewReadyQueue()
+	if q.Len() != 0 {
+		t.Fatalf("empty Len = %d", q.Len())
+	}
+	q.Push(0, nil)
+	q.Push(Second, nil)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	q.Pop()
+	if q.Len() != 1 {
+		t.Fatalf("Len after Pop = %d, want 1", q.Len())
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/sim"
+)
+
+// synthTimeline records a deterministic pseudo-random traffic pattern
+// over n ranks and returns the recorder plus the reference dense
+// matrix accumulated independently.
+func synthTimeline(n int) (*Recorder, [][]int64) {
+	r := New()
+	want := make([][]int64, n)
+	for i := range want {
+		want[i] = make([]int64, n)
+	}
+	seed := int64(1)
+	for i := 0; i < 40*n; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		src := int(uint64(seed)>>33) % n
+		dst := int(uint64(seed)>>17) % n
+		bytes := int64(uint64(seed)>>50) % 4096 // sometimes zero
+		r.Add(Event{
+			Rank: src, Peer: dst, Op: OpPut, Bytes: bytes,
+			Transport: interconnect.TransportDMA,
+			Begin:     sim.Time(i), End: sim.Time(i + 1),
+		})
+		want[src][dst] += bytes
+	}
+	// Events the account must ignore: no single peer, out of range.
+	r.Add(Event{Rank: 0, Peer: -1, Op: OpBarrier, Begin: 1, End: 2})
+	r.Add(Event{Rank: CompilerRank, Peer: 0, Op: "parse", Bytes: 99, Begin: 0, End: 1})
+	r.Add(Event{Rank: 0, Peer: n, Op: OpPut, Bytes: 99, Begin: 0, End: 1})
+	return r, want
+}
+
+// The sparse account must agree cell-for-cell with the dense matrix at
+// every rank count, and its cells must hold no zeros.
+func TestCommAccountMatchesDense(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		r, want := synthTimeline(n)
+		a := r.CommAccount(n)
+		if got := a.Dense(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: account dense rendering disagrees with reference:\ngot  %v\nwant %v", n, got, want)
+		}
+		if got := r.CommMatrix(n); !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: CommMatrix disagrees with reference", n)
+		}
+		for cell, b := range a.Cells {
+			if b == 0 {
+				t.Fatalf("n=%d: zero cell %v stored", n, cell)
+			}
+		}
+	}
+}
+
+// Format must be byte-identical to the dense formatter for small rank
+// counts — existing vbtrace/report consumers see no change.
+func TestCommAccountFormatDenseCompat(t *testing.T) {
+	for _, n := range []int{1, 4, 16} {
+		r, _ := synthTimeline(n)
+		a := r.CommAccount(n)
+		if got, want := a.Format(), FormatCommMatrix(a.Dense()); got != want {
+			t.Fatalf("n=%d: Format diverged from dense matrix:\n%s\nvs\n%s", n, got, want)
+		}
+	}
+}
+
+func TestCommAccountFormatLarge(t *testing.T) {
+	n := denseFormatMax + 16
+	r, want := synthTimeline(n)
+	a := r.CommAccount(n)
+	out := a.Format()
+	// The dense table's column header is "->0" with no spaces; the
+	// summary's edge lines always space the arrow.
+	if strings.Contains(out, "->0") {
+		t.Fatalf("large-N format fell back to the dense table:\n%s", out)
+	}
+	var total int64
+	for i := range want {
+		for j := range want[i] {
+			total += want[i][j]
+		}
+	}
+	if !strings.Contains(out, "bytes total") || !strings.Contains(out, "top ") {
+		t.Fatalf("large-N summary missing expected lines:\n%s", out)
+	}
+	edges := a.TopK(denseFormatMax)
+	if len(edges) == 0 {
+		t.Fatal("no edges in a synthetic timeline with traffic")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Bytes > edges[i-1].Bytes {
+			t.Fatalf("TopK not sorted by bytes descending: %v", edges)
+		}
+	}
+}
+
+func TestCommAccountScalesSparsely(t *testing.T) {
+	// A neighbor-ring pattern over many ranks: the account must hold
+	// O(n) cells, not O(n²).
+	n := 1024
+	r := New()
+	for i := 0; i < n; i++ {
+		r.Add(Event{
+			Rank: i, Peer: (i + 1) % n, Op: OpSend, Bytes: 64,
+			Transport: interconnect.TransportP2P,
+			Begin:     sim.Time(i), End: sim.Time(i + 1),
+		})
+	}
+	a := r.CommAccount(n)
+	if len(a.Cells) != n {
+		t.Fatalf("ring account holds %d cells, want %d", len(a.Cells), n)
+	}
+}

@@ -99,22 +99,112 @@ func (r *Recorder) Summaries(finalClocks []sim.Time) []Summary {
 	return out
 }
 
+// CommAccount is the sparse communication account: accounted bytes
+// keyed by (origin, peer), holding only the non-zero cells. SPMD
+// programs communicate master↔slave and neighbor↔neighbor, so a
+// 1024-rank account holds thousands of cells where the dense N×N
+// matrix would hold a million — the account scales with traffic, not
+// with the square of the rank count.
+type CommAccount struct {
+	// N is the rank count the account spans.
+	N int
+	// Cells maps [origin, peer] to accounted bytes; zero cells are
+	// absent.
+	Cells map[[2]int]int64
+}
+
+// denseFormatMax is the largest rank count Format renders as the full
+// dense matrix; beyond it the account summarizes (the 1024-rank table
+// would be a megacell wall of mostly zeros).
+const denseFormatMax = 16
+
+// CommAccount builds the sparse communication account over n ranks:
+// the bytes of operations initiated by rank i with peer j (the
+// diagonal holds rank-local copies). Collectives have no single peer
+// and do not appear.
+func (r *Recorder) CommAccount(n int) *CommAccount {
+	a := &CommAccount{N: n, Cells: map[[2]int]int64{}}
+	for _, e := range r.Events() {
+		if e.Rank < 0 || e.Rank >= n || e.Peer < 0 || e.Peer >= n || e.Bytes == 0 {
+			continue
+		}
+		a.Cells[[2]int{e.Rank, e.Peer}] += e.Bytes
+	}
+	return a
+}
+
+// Dense renders the account as the full N×N matrix.
+func (a *CommAccount) Dense() [][]int64 {
+	m := make([][]int64, a.N)
+	for i := range m {
+		m[i] = make([]int64, a.N)
+	}
+	for cell, b := range a.Cells {
+		m[cell[0]][cell[1]] = b
+	}
+	return m
+}
+
+// CommEdge is one non-zero account cell.
+type CommEdge struct {
+	From, To int
+	Bytes    int64
+}
+
+// TopK returns the k heaviest edges, sorted by bytes descending, then
+// origin, then peer. k beyond the edge count returns them all.
+func (a *CommAccount) TopK(k int) []CommEdge {
+	edges := make([]CommEdge, 0, len(a.Cells))
+	for cell, b := range a.Cells {
+		edges = append(edges, CommEdge{From: cell[0], To: cell[1], Bytes: b})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Bytes != edges[j].Bytes {
+			return edges[i].Bytes > edges[j].Bytes
+		}
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	if k < len(edges) {
+		edges = edges[:k]
+	}
+	return edges
+}
+
+// Format renders the account: the full dense matrix up to
+// denseFormatMax ranks (byte-identical to FormatCommMatrix of the
+// dense rendering), an aggregate summary with the heaviest edges
+// above it.
+func (a *CommAccount) Format() string {
+	if a.N <= denseFormatMax {
+		return FormatCommMatrix(a.Dense())
+	}
+	var total int64
+	for _, b := range a.Cells {
+		total += b
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d ranks, %d of %d cells non-zero, %d bytes total\n",
+		a.N, len(a.Cells), int64(a.N)*int64(a.N), total)
+	edges := a.TopK(denseFormatMax)
+	if len(edges) > 0 {
+		fmt.Fprintf(&sb, "top %d edges (origin -> peer: bytes):\n", len(edges))
+		for _, e := range edges {
+			fmt.Fprintf(&sb, "  %d -> %d: %d\n", e.From, e.To, e.Bytes)
+		}
+	}
+	return sb.String()
+}
+
 // CommMatrix builds the N×N communication matrix: cell [i][j] is the
 // interconnect-accounted bytes of operations initiated by rank i with
 // peer j (the diagonal holds rank-local copies). Collectives have no
-// single peer and do not appear.
+// single peer and do not appear. Dense rendering of CommAccount; at
+// large rank counts prefer the account itself.
 func (r *Recorder) CommMatrix(n int) [][]int64 {
-	m := make([][]int64, n)
-	for i := range m {
-		m[i] = make([]int64, n)
-	}
-	for _, e := range r.Events() {
-		if e.Rank < 0 || e.Rank >= n || e.Peer < 0 || e.Peer >= n {
-			continue
-		}
-		m[e.Rank][e.Peer] += e.Bytes
-	}
-	return m
+	return r.CommAccount(n).Dense()
 }
 
 // FormatCommMatrix renders a communication matrix as an aligned table
@@ -194,6 +284,6 @@ func (r *Recorder) Profile(finalClocks []sim.Time) string {
 		fmt.Fprintf(&sb, "  rank %d: %s\n", s.Rank, opBreakdown(s))
 	}
 	sb.WriteString("communication matrix (accounted bytes, origin row -> peer column):\n")
-	sb.WriteString(FormatCommMatrix(r.CommMatrix(len(sums))))
+	sb.WriteString(r.CommAccount(len(sums)).Format())
 	return sb.String()
 }

@@ -102,25 +102,58 @@ type Event struct {
 // Duration is the interval length.
 func (e Event) Duration() sim.Time { return e.End - e.Begin }
 
-// Recorder collects events from concurrently running ranks. All
-// methods are safe for concurrent use, and safe on a nil receiver
-// (where they record and return nothing).
+// Recorder collects events from concurrently running ranks. Storage
+// is sharded per rank: each rank's goroutine appends to its own shard
+// under a shard-local lock, so a 1024-rank run never serializes its
+// event stream through one global mutex. Shards are merged in rank
+// order on export, then canonically sorted, so the sharding is
+// invisible to every consumer. All methods are safe for concurrent
+// use, and safe on a nil receiver (where they record and return
+// nothing).
 type Recorder struct {
+	mu     sync.RWMutex // guards the shard map, not the events
+	shards map[int]*traceShard
+}
+
+// traceShard is one rank's private event stream.
+type traceShard struct {
 	mu     sync.Mutex
 	events []Event
 }
 
 // New returns an empty recorder.
-func New() *Recorder { return &Recorder{} }
+func New() *Recorder { return &Recorder{shards: map[int]*traceShard{}} }
+
+// shard returns rank's shard, creating it on first use. The read lock
+// covers the common case; creation upgrades with a double-check.
+func (r *Recorder) shard(rank int) *traceShard {
+	r.mu.RLock()
+	s := r.shards[rank]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.shards == nil {
+		r.shards = map[int]*traceShard{}
+	}
+	if s = r.shards[rank]; s == nil {
+		s = &traceShard{}
+		r.shards[rank] = s
+	}
+	return s
+}
 
 // Add records one event. No-op on a nil recorder.
 func (r *Recorder) Add(ev Event) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.events = append(r.events, ev)
-	r.mu.Unlock()
+	s := r.shard(ev.Rank)
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
 }
 
 // Len reports the number of recorded events (0 on a nil recorder).
@@ -128,22 +161,42 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.events)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, s := range r.shards {
+		s.mu.Lock()
+		n += len(s.events)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Events returns a copy of the recorded events in the canonical
 // stable order: by rank, then begin time, then end time, then op,
-// then peer. The order is independent of goroutine interleaving, so
-// golden tests and exports never flake.
+// then peer. Shards are concatenated in ascending rank order before
+// the stable sort, so the merge is deterministic regardless of both
+// goroutine interleaving and shard layout.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	evs := append([]Event(nil), r.events...)
-	r.mu.Unlock()
+	r.mu.RLock()
+	ranks := make([]int, 0, len(r.shards))
+	byRank := make(map[int]*traceShard, len(r.shards))
+	for rank, s := range r.shards {
+		ranks = append(ranks, rank)
+		byRank[rank] = s
+	}
+	r.mu.RUnlock()
+	sort.Ints(ranks)
+	var evs []Event
+	for _, rank := range ranks {
+		s := byRank[rank]
+		s.mu.Lock()
+		evs = append(evs, s.events...)
+		s.mu.Unlock()
+	}
 	sort.SliceStable(evs, func(i, j int) bool {
 		a, b := evs[i], evs[j]
 		if a.Rank != b.Rank {
