@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke bench
+.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke bench-gate bench
 
-ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke
+ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke bench-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -94,6 +94,27 @@ workers-smoke:
 	cmp /tmp/vbus-w1.txt /tmp/vbus-wn.txt
 	cmp /tmp/vbus-w1.txt /tmp/vbus-wu.txt
 	@rm -f /tmp/vbus-w1.txt /tmp/vbus-wn.txt /tmp/vbus-wu.txt
+
+# Service gate: a race-built vbserve must accept the example MM job
+# twice over HTTP (the second as a plan-cache hit), then drain clean on
+# SIGTERM with exit status 0.
+serve-smoke:
+	$(GO) build -race -o /tmp/vbserve-smoke ./cmd/vbserve
+	/tmp/vbserve-smoke -addr 127.0.0.1:18807 -clusters 2 & \
+	pid=$$!; \
+	sleep 1; \
+	curl -sf -X POST --data @examples/serve_mm.json 'http://127.0.0.1:18807/v1/jobs?wait=1' > /tmp/vbus-serve-1.json && \
+	curl -sf -X POST --data @examples/serve_mm.json 'http://127.0.0.1:18807/v1/jobs?wait=1' > /tmp/vbus-serve-2.json && \
+	grep -q '"cache_hit": false' /tmp/vbus-serve-1.json && \
+	grep -q '"cache_hit": true' /tmp/vbus-serve-2.json && \
+	grep -q '"state": "done"' /tmp/vbus-serve-2.json && \
+	kill -TERM $$pid && wait $$pid
+	@rm -f /tmp/vbserve-smoke /tmp/vbus-serve-1.json /tmp/vbus-serve-2.json
+
+# Performance gate: the core baseline must stay within 10% of the
+# checked-in BENCH_core.json (best of 3 runs absorbs host noise).
+bench-gate:
+	$(GO) run ./cmd/vbbench -benchgate
 
 bench:
 	$(GO) test -bench=. -benchmem .

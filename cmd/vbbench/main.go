@@ -13,6 +13,8 @@
 //	vbbench -coalsweep          # pack-vs-PIO crossover of strided PUTs
 //	vbbench -scalesweep         # weak scaling 4..1024 ranks across fabrics -> BENCH_scale.json
 //	vbbench -corebench          # end-to-end wall-time baseline at 4 ranks -> BENCH_core.json
+//	vbbench -servesweep         # closed-loop throughput vs client count against an in-process vbserve -> BENCH_serve.json
+//	vbbench -benchgate          # re-run -corebench; fail on >10% events/sec regression vs BENCH_core.json
 //	vbbench -all -quick         # everything at reduced sizes
 //
 // -workers bounds the rank scheduler's worker pool for every run
@@ -31,6 +33,8 @@ import (
 	"strings"
 
 	"vbuscluster/internal/bench"
+	"vbuscluster/internal/bench/serve"
+	"vbuscluster/internal/cliutil"
 	"vbuscluster/internal/core"
 	"vbuscluster/internal/fault"
 	"vbuscluster/internal/interconnect"
@@ -59,10 +63,15 @@ func main() {
 	scaleOut := flag.String("scaleout", "BENCH_scale.json", "write the -scalesweep rows as JSON to this file ('' = stdout table only)")
 	coreBench := flag.Bool("corebench", false, "end-to-end wall-time baseline of the benchmark trio at 4 ranks")
 	coreOut := flag.String("coreout", "BENCH_core.json", "write the -corebench rows as JSON to this file ('' = stdout table only)")
+	serveSweep := flag.Bool("servesweep", false, "closed-loop throughput sweep against an in-process vbserve job server")
+	serveOut := flag.String("serveout", "BENCH_serve.json", "write the -servesweep rows as JSON to this file ('' = stdout table only)")
+	serveClusters := flag.Int("serveclusters", 4, "simulated cluster (worker) count for -servesweep")
+	benchGate := flag.Bool("benchgate", false, "re-run -corebench and fail if events/sec regresses >10% vs the checked-in baseline")
+	benchBase := flag.String("benchbase", "BENCH_core.json", "baseline file for -benchgate")
 	workers := flag.Int("workers", 0, "rank scheduler worker-pool size: 0 = GOMAXPROCS, negative = unpooled (results identical)")
 	flag.Parse()
 
-	check(validateFabric(*fabric))
+	check(cliutil.ValidateFabric(*fabric))
 	var tableOpts []bench.RunOption
 	if *faultSpec != "" {
 		inj, err := fault.FromString(*faultSpec)
@@ -86,8 +95,9 @@ func main() {
 	runCoal := *coalSweep || *all
 	runScale := *scaleSweep || *all
 	runCore := *coreBench || *all
-	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal && !runScale && !runCore {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep, -scalesweep, -corebench or -all")
+	runServe := *serveSweep || *all
+	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal && !runScale && !runCore && !runServe && !*benchGate {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep, -scalesweep, -corebench, -servesweep, -benchgate or -all")
 		os.Exit(2)
 	}
 
@@ -196,6 +206,30 @@ func main() {
 		}
 	}
 
+	if runServe {
+		clients := []int{1, 2, 4, 8, 16}
+		perClient := 24
+		if *quick {
+			clients = []int{1, 4}
+			perClient = 8
+		}
+		rows, err := serve.ServeSweep(clients, perClient, *serveClusters)
+		check(err)
+		fmt.Println(serve.FormatServeSweep(rows))
+		if *serveOut != "" {
+			f, err := os.Create(*serveOut)
+			check(err)
+			check(bench.WriteJSON(f, "vbbench-servesweep/v1", rows))
+			check(f.Close())
+			fmt.Fprintf(os.Stderr, "vbbench: wrote %d service rows to %s\n", len(rows), *serveOut)
+		}
+	}
+
+	if *benchGate {
+		check(serve.BenchGate(*benchBase, *fabric, 3, 0.10))
+		fmt.Println("bench-gate: core baseline within tolerance")
+	}
+
 	if runProfile {
 		mmN, swimN, cfftM := 1024, 512, 11
 		if *quick {
@@ -253,24 +287,4 @@ func main() {
 	}
 }
 
-// validateFabric fails fast on a mistyped -fabric, before any
-// benchmark starts running.
-func validateFabric(name string) error {
-	if name == "" {
-		return nil
-	}
-	for _, n := range interconnect.Names() {
-		if n == name {
-			return nil
-		}
-	}
-	return fmt.Errorf("unknown backend %q for -fabric (registered: %s)",
-		name, strings.Join(interconnect.Names(), ", "))
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vbbench:", err)
-		os.Exit(1)
-	}
-}
+func check(err error) { cliutil.Check("vbbench", err) }

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"vbuscluster/internal/analysis"
+	"vbuscluster/internal/cliutil"
 	"vbuscluster/internal/core"
 	"vbuscluster/internal/f77"
 	"vbuscluster/internal/interconnect"
@@ -44,7 +45,7 @@ func main() {
 	coalesce := flag.Bool("coalesce", false, "enable the pack-and-coalesce stage: strided transfers past the NIC's crossover go as packed DMA bursts")
 	flag.Parse()
 
-	check(validateFabric(*fabric))
+	check(cliutil.ValidateFabric(*fabric))
 	auto := *grainName == "auto"
 	var grain lmad.Grain
 	if !auto {
@@ -154,24 +155,4 @@ func main() {
 	}
 }
 
-// validateFabric fails fast on a mistyped -fabric, before any source
-// is read or compiled.
-func validateFabric(name string) error {
-	if name == "" {
-		return nil
-	}
-	for _, n := range interconnect.Names() {
-		if n == name {
-			return nil
-		}
-	}
-	return fmt.Errorf("unknown backend %q for -fabric (registered: %s)",
-		name, strings.Join(interconnect.Names(), ", "))
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vbcc:", err)
-		os.Exit(1)
-	}
-}
+func check(err error) { cliutil.Check("vbcc", err) }

@@ -34,6 +34,7 @@ import (
 	"os"
 	"strings"
 
+	"vbuscluster/internal/cliutil"
 	"vbuscluster/internal/core"
 	"vbuscluster/internal/fault"
 	"vbuscluster/internal/interconnect"
@@ -66,7 +67,7 @@ func main() {
 		check(fmt.Errorf("-ckpt-every must be at least 1"))
 	}
 
-	check(validateFabric(*fabric))
+	check(cliutil.ValidateFabric(*fabric))
 	var inj *fault.Injector
 	if *faultSpec != "" {
 		var err error
@@ -168,24 +169,4 @@ func main() {
 	}
 }
 
-// validateFabric fails fast on a mistyped -fabric, before any source
-// is read or compiled.
-func validateFabric(name string) error {
-	if name == "" {
-		return nil
-	}
-	for _, n := range interconnect.Names() {
-		if n == name {
-			return nil
-		}
-	}
-	return fmt.Errorf("unknown backend %q for -fabric (registered: %s)",
-		name, strings.Join(interconnect.Names(), ", "))
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vbrun:", err)
-		os.Exit(1)
-	}
-}
+func check(err error) { cliutil.Check("vbrun", err) }

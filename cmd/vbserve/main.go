@@ -1,0 +1,101 @@
+// Command vbserve runs the simulated V-Bus PC-cluster as a long-lived
+// compile-and-run service. Clients POST Fortran 77 jobs as JSON; the
+// daemon compiles each distinct (program, options) pair once, caches
+// the compiled plan in an LRU, and executes jobs over a fixed pool of
+// simulated clusters with per-tenant weighted fair scheduling and
+// explicit load shedding.
+//
+// Usage:
+//
+//	vbserve [-addr :8077] [-clusters N] [-queue D] [-cache P] [-workers W] [-fabric vbus|vbus3d|ethernet|ideal]
+//
+// Endpoints:
+//
+//	POST /v1/jobs            submit a job (?wait=1 blocks until done)
+//	GET  /v1/jobs/{id}       job record
+//	GET  /v1/jobs/{id}/trace Chrome trace-event JSON (jobs with "trace": true)
+//	GET  /metrics            throughput, cache hit rate, queue depth, latency quantiles
+//	GET  /healthz            200 serving / 503 draining
+//
+// A saturated queue answers 429 with a Retry-After estimate. SIGTERM
+// or SIGINT starts a graceful drain: admission stops, every admitted
+// job finishes, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"vbuscluster/internal/cliutil"
+	"vbuscluster/internal/interconnect"
+	"vbuscluster/internal/jobs"
+	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "HTTP listen address")
+	clusters := flag.Int("clusters", 2, "concurrent simulated clusters (job workers)")
+	queueDepth := flag.Int("queue", 64, "admission queue depth; beyond it submissions shed with 429")
+	cacheEntries := flag.Int("cache", 32, "compiled-plan LRU capacity")
+	workers := flag.Int("workers", 0, "per-run rank scheduler pool size (0 = GOMAXPROCS)")
+	fabric := flag.String("fabric", "", "default interconnect backend for jobs that omit one: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "maximum time to wait for in-flight jobs on shutdown")
+	flag.Parse()
+
+	check(cliutil.ValidateFabric(*fabric))
+	if *clusters < 1 {
+		check(fmt.Errorf("-clusters must be at least 1"))
+	}
+	if *queueDepth < 1 {
+		check(fmt.Errorf("-queue must be at least 1"))
+	}
+
+	srv := jobs.New(jobs.Config{
+		Clusters:      *clusters,
+		QueueDepth:    *queueDepth,
+		CacheEntries:  *cacheEntries,
+		RankWorkers:   *workers,
+		DefaultFabric: *fabric,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "vbserve: listening on %s (%d clusters, queue %d, cache %d plans)\n",
+			*addr, *clusters, *queueDepth, *cacheEntries)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		check(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "vbserve: %v: draining (admission stopped, finishing in-flight jobs)\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vbserve: %v\n", err)
+		os.Exit(1)
+	}
+	// Jobs are done; now close the listener so late pollers get their
+	// final snapshots instead of connection-refused mid-drain.
+	check(httpSrv.Shutdown(ctx))
+	m := srv.Metrics()
+	fmt.Fprintf(os.Stderr, "vbserve: drained clean: %d completed, %d failed, %d shed, cache hit rate %.2f\n",
+		m.Completed, m.Failed, m.Shed, m.Cache.HitRate)
+}
+
+func check(err error) { cliutil.Check("vbserve", err) }

@@ -1,0 +1,211 @@
+// Package serve benchmarks the vbserve job service: a closed-loop
+// client sweep and the core-baseline regression gate. It lives below
+// internal/bench so the bench package itself stays importable from
+// the jobs package's tests (bench must not import jobs).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vbuscluster/internal/bench"
+	"vbuscluster/internal/jobs"
+)
+
+// ServeRow is one closed-loop load level against an in-process job
+// server: Clients loops of submit-and-wait over the mixed
+// MM/SWIM/CFFT2INIT workload.
+type ServeRow struct {
+	Clients  int `json:"clients"`
+	Clusters int `json:"clusters"`
+	// Jobs is the number of jobs completed at this level.
+	Jobs int `json:"jobs"`
+	// WallSec is the host wall time of the whole level.
+	WallSec float64 `json:"wall_seconds"`
+	// JobsPerSec is the sustained service throughput.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// P50TotalMs / P99TotalMs are submit-to-done latency quantiles.
+	P50TotalMs float64 `json:"p50_total_ms"`
+	P99TotalMs float64 `json:"p99_total_ms"`
+	// CacheHitRate is the plan cache's hit fraction over the level.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// ColdCompiles counts front-end pipeline executions; with three
+	// distinct programs it should stay 3 however many jobs ran.
+	ColdCompiles int64 `json:"cold_compiles"`
+}
+
+// serveWorkload is the mixed job stream: the paper's trio at modest
+// sizes, cycled per submission so every client interleaves programs.
+func serveWorkload() []jobs.Spec {
+	return []jobs.Spec{
+		{Source: bench.MMSource(48), Procs: 4, Tenant: "sweep"},
+		{Source: bench.SwimSource(64, 64), Procs: 4, Tenant: "sweep"},
+		{Source: bench.CFFTSource(9), Procs: 4, Tenant: "sweep"},
+	}
+}
+
+// ServeSweep drives a closed-loop workload against an in-process
+// server at each client count: every client submits a job, waits for
+// it, and immediately submits the next, jobsPerClient times. A fresh
+// server per level makes levels independent (each pays exactly three
+// cold compiles, then runs hot).
+func ServeSweep(clientLevels []int, jobsPerClient, clusters int) ([]ServeRow, error) {
+	mix := serveWorkload()
+	var rows []ServeRow
+	for _, clients := range clientLevels {
+		srv := jobs.New(jobs.Config{
+			Clusters: clusters,
+			// The queue must absorb every client's one outstanding job:
+			// closed-loop clients never trigger shedding by construction.
+			QueueDepth: clients + 1,
+		})
+		var (
+			mu     sync.Mutex
+			totals []float64
+			firstE error
+		)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < jobsPerClient; i++ {
+					j, err := srv.Submit(mix[(c+i)%len(mix)])
+					if err == nil {
+						<-j.Done()
+						err = j.Err()
+					}
+					mu.Lock()
+					if err != nil && firstE == nil {
+						firstE = fmt.Errorf("bench: servesweep client %d job %d: %w", c, i, err)
+					}
+					if err == nil {
+						totals = append(totals, j.Snapshot().TotalMs)
+					}
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(start).Seconds()
+		if err := srv.Drain(context.Background()); err != nil {
+			return nil, err
+		}
+		if firstE != nil {
+			return nil, firstE
+		}
+		m := srv.Metrics()
+		sort.Float64s(totals)
+		row := ServeRow{
+			Clients:      clients,
+			Clusters:     clusters,
+			Jobs:         len(totals),
+			WallSec:      wall,
+			P50TotalMs:   quantile(totals, 0.50),
+			P99TotalMs:   quantile(totals, 0.99),
+			CacheHitRate: m.Cache.HitRate,
+			ColdCompiles: m.CompileColdMs.Count,
+		}
+		if wall > 0 {
+			row.JobsPerSec = float64(row.Jobs) / wall
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// quantile reads the nearest-rank q-quantile from sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// FormatServeSweep renders the sweep as an aligned text table.
+func FormatServeSweep(rows []ServeRow) string {
+	var sb strings.Builder
+	sb.WriteString("Service throughput (closed loop, MM48/SWIM64/CFFT9 mix, timing mode)\n")
+	sb.WriteString("clients  clusters  jobs    wall(s)  jobs/s   p50(ms)  p99(ms)  hit-rate  cold\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8d %-9d %-7d %-8.3f %-8.1f %-8.3f %-8.3f %-9.3f %d\n",
+			r.Clients, r.Clusters, r.Jobs, r.WallSec, r.JobsPerSec,
+			r.P50TotalMs, r.P99TotalMs, r.CacheHitRate, r.ColdCompiles)
+	}
+	return sb.String()
+}
+
+// BenchGate re-runs the core baseline and compares it against the
+// checked-in BENCH_core.json: any benchmark whose events/sec falls
+// below baseline × (1 - tolerance) fails the gate. The current run
+// takes the best of `runs` attempts so a noisy host does not fail a
+// healthy build.
+func BenchGate(baselinePath, fabric string, runs int, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench: gate baseline: %w", err)
+	}
+	var envelope struct {
+		Schema string          `json:"schema"`
+		Rows   []bench.CoreRow `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil {
+		return fmt.Errorf("bench: gate baseline %s: %w", baselinePath, err)
+	}
+	if len(envelope.Rows) == 0 {
+		return fmt.Errorf("bench: gate baseline %s has no rows", baselinePath)
+	}
+
+	best := map[string]bench.CoreRow{}
+	if runs < 1 {
+		runs = 1
+	}
+	for i := 0; i < runs; i++ {
+		rows, err := bench.CoreBench(fabric)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if b, ok := best[r.Benchmark]; !ok || r.EventsPerSec > b.EventsPerSec {
+				best[r.Benchmark] = r
+			}
+		}
+	}
+
+	var failures []string
+	for _, base := range envelope.Rows {
+		cur, ok := best[base.Benchmark]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", base.Benchmark))
+			continue
+		}
+		floor := base.EventsPerSec * (1 - tolerance)
+		verdict := "ok"
+		if cur.EventsPerSec < floor {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f events/s vs baseline %.0f (floor %.0f)",
+				base.Benchmark, cur.EventsPerSec, base.EventsPerSec, floor))
+		}
+		fmt.Printf("bench-gate %-11s baseline=%-9.0f current=%-9.0f floor=%-9.0f %s\n",
+			base.Benchmark, base.EventsPerSec, cur.EventsPerSec, floor, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: gate failed (>%d%% regression): %s",
+			int(tolerance*100), strings.Join(failures, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package cliutil holds the small helpers every command-line tool in
+// cmd/ shares: fabric-flag validation against the interconnect
+// registry and the uniform fatal-error exit. One implementation here
+// replaces the per-CLI copies that used to drift independently.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"vbuscluster/internal/interconnect"
+)
+
+// ValidateFabric fails fast on a mistyped fabric flag value, before
+// any source is read or compiled. The empty string selects the default
+// backend and is always valid.
+func ValidateFabric(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, n := range interconnect.Names() {
+		if n == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown backend %q for -fabric (registered: %s)",
+		name, strings.Join(interconnect.Names(), ", "))
+}
+
+// Check exits the tool with status 1 and a "tool: error" line on
+// stderr when err is non-nil; a nil err is a no-op.
+func Check(tool string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+}

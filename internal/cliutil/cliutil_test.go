@@ -1,0 +1,32 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+
+	"vbuscluster/internal/interconnect"
+	_ "vbuscluster/internal/nic" // register the real backends
+)
+
+func TestValidateFabricAcceptsRegistered(t *testing.T) {
+	if err := ValidateFabric(""); err != nil {
+		t.Fatalf("empty fabric (default) rejected: %v", err)
+	}
+	for _, name := range interconnect.Names() {
+		if err := ValidateFabric(name); err != nil {
+			t.Fatalf("registered backend %q rejected: %v", name, err)
+		}
+	}
+}
+
+func TestValidateFabricRejectsUnknownListingBackends(t *testing.T) {
+	err := ValidateFabric("token-ring")
+	if err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	for _, name := range interconnect.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list registered backend %q", err, name)
+		}
+	}
+}

@@ -289,18 +289,44 @@ func machineParams(override *cluster.Params, n int) cluster.Params {
 	return params
 }
 
+// RunParams configure one execution of a Compiled independently of its
+// compile-time Options, so one cached compilation can drive many runs
+// — including concurrent ones on separate simulated clusters (the
+// vbserve plan cache). A run must not inherit the recorder or fault
+// injector baked in at compile time: two concurrent runs sharing one
+// recorder would interleave their timelines into a single corrupt
+// trace. The zero value runs exactly like RunParallel with a nil
+// Options.Recorder/Faults.
+type RunParams struct {
+	// Recorder, when non-nil, collects this run's per-rank event
+	// timeline. Use a fresh recorder per run.
+	Recorder *trace.Recorder
+	// Faults, when non-nil, injects deterministic faults into this
+	// run's cluster.
+	Faults *fault.Injector
+	// Workers bounds the rank scheduler's worker pool for this run
+	// (same semantics as Options.Workers).
+	Workers int
+}
+
 // clusterFor builds the machine for n processes, with the compile
 // options' event recorder (if any) attached.
 func (c *Compiled) clusterFor(n int) (*cluster.Cluster, error) {
+	return c.clusterWith(n, RunParams{Recorder: c.opts.Recorder, Faults: c.opts.Faults})
+}
+
+// clusterWith builds the machine for n processes with per-run
+// recorder and fault overrides.
+func (c *Compiled) clusterWith(n int, rp RunParams) (*cluster.Cluster, error) {
 	params := machineParams(c.opts.Params, n)
-	if c.opts.Faults != nil {
-		params.Faults = c.opts.Faults
+	if rp.Faults != nil {
+		params.Faults = rp.Faults
 	}
 	cl, err := cluster.New(n, params)
 	if err != nil {
 		return nil, err
 	}
-	cl.SetRecorder(c.opts.Recorder)
+	cl.SetRecorder(rp.Recorder)
 	return cl, nil
 }
 
@@ -315,11 +341,24 @@ func (c *Compiled) RunSequential(mode Mode) (*interp.Result, error) {
 
 // RunParallel executes the SPMD translation on NumProcs processors.
 func (c *Compiled) RunParallel(mode Mode) (*interp.Result, error) {
-	cl, err := c.clusterFor(c.opts.NumProcs)
+	return c.RunParallelWith(mode, RunParams{
+		Recorder: c.opts.Recorder,
+		Faults:   c.opts.Faults,
+		Workers:  c.opts.Workers,
+	})
+}
+
+// RunParallelWith executes the SPMD translation on NumProcs processors
+// with per-run overrides. The compiled plan itself is immutable at run
+// time (every run builds its own cluster, MPI world and per-rank
+// environments), so concurrent RunParallelWith calls on one Compiled
+// are safe as long as each passes its own RunParams.Recorder.
+func (c *Compiled) RunParallelWith(mode Mode, rp RunParams) (*interp.Result, error) {
+	cl, err := c.clusterWith(c.opts.NumProcs, rp)
 	if err != nil {
 		return nil, err
 	}
-	return interp.RunParallelConfig(c.SPMD, cl, mode, interp.RunConfig{Workers: c.opts.Workers})
+	return interp.RunParallelConfig(c.SPMD, cl, mode, interp.RunConfig{Workers: rp.Workers})
 }
 
 // RunResilient executes the SPMD translation with coordinated

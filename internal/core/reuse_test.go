@@ -1,0 +1,135 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"vbuscluster/internal/bench"
+	"vbuscluster/internal/core"
+	"vbuscluster/internal/trace"
+)
+
+// TestCompiledConcurrentReuse is the plan-cache safety contract: one
+// cached Compiled must be able to drive several concurrent clusters
+// (vbserve runs repeat submissions of a cached plan on N worker
+// clusters at once) with no shared mutable state. Run under -race
+// (make ci does), this fails on any run-time write into the shared
+// AST, postpass program or plan structures; without -race it still
+// pins bit-identical results across all concurrent runs.
+func TestCompiledConcurrentReuse(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		opts core.Options
+	}{
+		{"one-sided", bench.MMSource(24), core.Options{NumProcs: 4}},
+		{"two-sided", bench.MMSource(24), core.Options{NumProcs: 4, TwoSided: true}},
+		{"pull-scatter", bench.MMSource(24), core.Options{NumProcs: 4, PullScatter: true}},
+		{"coalesce", bench.CFFTSource(8), core.Options{NumProcs: 4, Coalesce: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			testConcurrentReuse(t, tc.src, tc.opts)
+		})
+	}
+}
+
+func testConcurrentReuse(t *testing.T, src string, opts core.Options) {
+	c, err := core.Compile(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.RunParallelWith(core.Full, core.RunParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const concurrent = 6
+	results := make([]struct {
+		out     string
+		elapsed int64
+		events  int
+	}, concurrent)
+	errs := make([]error, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Half the runs are core.Full, half core.Timing, each with its own
+			// recorder: the mix exercises both execution paths against
+			// the same shared plan at once.
+			mode := core.Full
+			if i%2 == 1 {
+				mode = core.Timing
+			}
+			rec := trace.New()
+			res, err := c.RunParallelWith(mode, core.RunParams{Recorder: rec})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i].out = res.Output
+			results[i].elapsed = int64(res.Elapsed)
+			results[i].events = rec.Len()
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+	}
+	for i, r := range results {
+		if r.elapsed != int64(ref.Elapsed) {
+			t.Errorf("run %d: elapsed %d, reference %d", i, r.elapsed, int64(ref.Elapsed))
+		}
+		if i%2 == 0 && r.out != ref.Output {
+			t.Errorf("run %d: output %q, reference %q", i, r.out, ref.Output)
+		}
+		if r.events == 0 {
+			t.Errorf("run %d: per-run recorder saw no events", i)
+		}
+		// Every run must record the same timeline length: a shared
+		// recorder (the bug RunParams exists to prevent) would instead
+		// accumulate events across runs.
+		if r.events != results[0].events {
+			t.Errorf("run %d: %d trace events, run 0 recorded %d", i, r.events, results[0].events)
+		}
+	}
+}
+
+// TestCompiledConcurrentReuseAutoGrain covers the cache's other hot
+// entry: an AutoGrain compilation (three candidate translations priced,
+// one kept) reused across concurrent clusters.
+func TestCompiledConcurrentReuseAutoGrain(t *testing.T) {
+	c, err := core.Compile(bench.CFFTSource(7), core.Options{NumProcs: 4, AutoGrain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.RunParallelWith(core.Full, core.RunParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.RunParallelWith(core.Full, core.RunParams{})
+			if err == nil && res.Output != ref.Output {
+				err = fmt.Errorf("output %q differs from reference %q", res.Output, ref.Output)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent auto-grain run %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"vbuscluster/internal/core"
+)
+
+// PlanCache is the LRU compiled-plan cache. A hit returns the cached
+// *core.Compiled — immutable at run time, so concurrent workers run it
+// on separate clusters without copying (see core.RunParallelWith) —
+// plus the cold compile cost it originally paid, kept so reports can
+// show what the hit saved.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type planEntry struct {
+	key      string
+	compiled *core.Compiled
+	coldWall time.Duration
+}
+
+// NewPlanCache builds a cache holding up to capacity plans (minimum 1).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &PlanCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached plan for key and the wall time its cold
+// compile took, marking the entry most recently used.
+func (c *PlanCache) Get(key string) (*core.Compiled, time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*planEntry)
+	return e.compiled, e.coldWall, true
+}
+
+// Put inserts (or refreshes) a plan, evicting the least recently used
+// entry beyond capacity.
+func (c *PlanCache) Put(key string, compiled *core.Compiled, coldWall time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*planEntry)
+		e.compiled, e.coldWall = compiled, coldWall
+		return
+	}
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, compiled: compiled, coldWall: coldWall})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*planEntry).key)
+	}
+}
+
+// CacheStats is the cache's externally visible state.
+type CacheStats struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+}
+
+// Stats snapshots the counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.capacity}
+	if total := c.hits + c.misses; total > 0 {
+		st.HitRate = float64(c.hits) / float64(total)
+	}
+	return st
+}

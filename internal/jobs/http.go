@@ -1,0 +1,114 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// maxBodyBytes bounds a submission body (a megabyte of Fortran is a
+// very large program in this subset).
+const maxBodyBytes = 1 << 20
+
+// Handler builds the service's HTTP API:
+//
+//	POST /v1/jobs            submit (async by default; ?wait=1 blocks)
+//	GET  /v1/jobs/{id}       job state / result
+//	GET  /v1/jobs/{id}/trace Chrome trace-event JSON (spec.trace jobs)
+//	GET  /metrics            counters, cache stats, latency quantiles
+//	GET  /healthz            200 serving / 503 draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{"bad job spec: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Load shedding: tell the client when the backlog should have
+		// cleared instead of letting it queue-build.
+		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, httpError{err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, httpError{err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.Done():
+			writeJSON(w, http.StatusOK, j.Snapshot())
+		case <-r.Context().Done():
+			// Client gave up; the job still runs. Report where it got to.
+			writeJSON(w, http.StatusAccepted, j.Snapshot())
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, httpError{"no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, httpError{"no such job"})
+		return
+	}
+	rec := j.TraceRecorder()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound,
+			httpError{"no trace: submit with \"trace\": true and wait for completion"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = rec.WriteChrome(w)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	_, _ = w.Write([]byte("ok\n"))
+}

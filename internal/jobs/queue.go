@@ -1,0 +1,181 @@
+package jobs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull reports that admission would exceed the queue bound:
+// the submission is shed (HTTP 429 + Retry-After) rather than letting
+// latency grow without limit.
+var ErrQueueFull = errors.New("jobs: queue full, try again later")
+
+// ErrDraining reports that the server has stopped admitting work
+// (graceful shutdown in progress, HTTP 503).
+var ErrDraining = errors.New("jobs: server draining, not admitting jobs")
+
+// Queue is the bounded admission queue with per-tenant weighted fair
+// scheduling — stride scheduling over per-tenant FIFOs. Each tenant
+// owns a FIFO and a virtual "pass"; Pop always dispatches the active
+// tenant with the smallest pass, then advances that pass by 1/weight.
+// A tenant hammering the queue therefore cannot starve the others: a
+// 10:1 hostile mix still dequeues ~alternately (see the fairness
+// test), and the hostile tenant is the one that hits the bound and
+// gets shed. Jobs within one tenant stay strictly FIFO.
+type Queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cap     int
+	size    int
+	tenants map[string]*tenantQ
+	// globalPass is the virtual clock: the pass of the last dispatch.
+	// A tenant going from idle to active starts at the current clock
+	// rather than its stale pass, so sleeping never accrues credit.
+	globalPass float64
+	weights    map[string]int
+	closed     bool
+}
+
+type tenantQ struct {
+	name   string
+	weight int
+	jobs   []*Job
+	pass   float64
+	// accounting (guarded by Queue.mu)
+	admitted  int64
+	shed      int64
+	completed int64
+	failed    int64
+}
+
+// NewQueue builds a queue admitting at most capacity jobs across all
+// tenants (minimum 1). weights gives per-tenant scheduling weight
+// (default 1); a weight-2 tenant receives twice the dispatch rate of a
+// weight-1 tenant under contention.
+func NewQueue(capacity int, weights map[string]int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{cap: capacity, tenants: map[string]*tenantQ{}, weights: weights}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *Queue) tenant(name string) *tenantQ {
+	t, ok := q.tenants[name]
+	if !ok {
+		w := q.weights[name]
+		if w < 1 {
+			w = 1
+		}
+		t = &tenantQ{name: name, weight: w}
+		q.tenants[name] = t
+	}
+	return t
+}
+
+// Enqueue admits a job or refuses with ErrQueueFull / ErrDraining.
+func (q *Queue) Enqueue(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenant(j.Spec.Tenant)
+	if q.closed {
+		return ErrDraining
+	}
+	if q.size >= q.cap {
+		t.shed++
+		return ErrQueueFull
+	}
+	if len(t.jobs) == 0 && t.pass < q.globalPass {
+		t.pass = q.globalPass
+	}
+	t.jobs = append(t.jobs, j)
+	t.admitted++
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until a job is available and returns the fair-share pick.
+// It returns ok=false once the queue is closed and fully drained —
+// the workers' exit signal.
+func (q *Queue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 {
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+	var pick *tenantQ
+	for _, t := range q.tenants {
+		if len(t.jobs) == 0 {
+			continue
+		}
+		if pick == nil || t.pass < pick.pass || (t.pass == pick.pass && t.name < pick.name) {
+			pick = t
+		}
+	}
+	j := pick.jobs[0]
+	pick.jobs = pick.jobs[1:]
+	q.size--
+	q.globalPass = pick.pass
+	pick.pass += 1 / float64(pick.weight)
+	return j, true
+}
+
+// Close stops admission; queued jobs still drain through Pop.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Depth is the number of queued (admitted, not yet running) jobs.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// finish books a job's terminal state into its tenant's counters.
+func (q *Queue) finish(tenant string, failed bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.tenant(tenant)
+	if failed {
+		t.failed++
+	} else {
+		t.completed++
+	}
+}
+
+// TenantStats is one tenant's admission accounting.
+type TenantStats struct {
+	Weight    int   `json:"weight"`
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Queued    int   `json:"queued"`
+}
+
+// Stats snapshots every tenant's counters.
+func (q *Queue) Stats() map[string]TenantStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]TenantStats, len(q.tenants))
+	for name, t := range q.tenants {
+		out[name] = TenantStats{
+			Weight:    t.weight,
+			Admitted:  t.admitted,
+			Shed:      t.shed,
+			Completed: t.completed,
+			Failed:    t.failed,
+			Queued:    len(t.jobs),
+		}
+	}
+	return out
+}

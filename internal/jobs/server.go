@@ -1,0 +1,365 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vbuscluster/internal/core"
+	"vbuscluster/internal/trace"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Clusters is the number of concurrent simulated clusters — worker
+	// goroutines executing jobs (default 2). Each job still runs its
+	// ranks over the interpreter's own bounded pool, so total host
+	// parallelism is Clusters × per-run workers.
+	Clusters int
+	// QueueDepth bounds admitted-but-not-running jobs across all
+	// tenants (default 64). Beyond it, submissions shed with
+	// ErrQueueFull.
+	QueueDepth int
+	// CacheEntries sizes the compiled-plan LRU (default 32 plans).
+	CacheEntries int
+	// RankWorkers is each run's rank-scheduler pool size
+	// (core.Options.Workers semantics: 0 = GOMAXPROCS).
+	RankWorkers int
+	// DefaultFabric is the backend for specs that omit one ("" = vbus).
+	DefaultFabric string
+	// TenantWeights overrides fair-share weights (default 1 each).
+	TenantWeights map[string]int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clusters == 0 {
+		c.Clusters = 2
+	}
+	if c.Clusters < 1 {
+		c.Clusters = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 32
+	}
+	return c
+}
+
+// Server is the long-lived compile-and-run service. New starts its
+// workers immediately; Drain retires it.
+type Server struct {
+	cfg   Config
+	cache *PlanCache
+	queue *Queue
+	start time.Time
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	nextID int64
+	// retired is the FIFO of finished job IDs; beyond maxRetainedJobs
+	// the oldest records (and their trace recorders) are dropped so a
+	// long-lived server's job table stays bounded.
+	retired []string
+
+	// flights deduplicates concurrent cold compiles of one plan key:
+	// the first submission compiles, contemporaries wait and share.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	draining  atomic.Bool
+	workersWG sync.WaitGroup
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	shed      atomic.Int64
+
+	compileCold sampler
+	compileHit  sampler
+	runLat      sampler
+	totalLat    sampler
+}
+
+type flight struct {
+	done chan struct{}
+	cc   *core.Compiled
+	wall time.Duration
+	err  error
+}
+
+// New builds and starts a server: Config.Clusters workers begin
+// waiting on the queue immediately.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.startWorkers(s.cfg.Clusters)
+	return s
+}
+
+// newServer builds the server without starting workers (tests admit
+// jobs deterministically before dispatch begins).
+func newServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		cache:   NewPlanCache(cfg.CacheEntries),
+		queue:   NewQueue(cfg.QueueDepth, cfg.TenantWeights),
+		start:   time.Now(),
+		jobs:    map[string]*Job{},
+		flights: map[string]*flight{},
+	}
+}
+
+func (s *Server) startWorkers(n int) {
+	for i := 0; i < n; i++ {
+		s.workersWG.Add(1)
+		go func() {
+			defer s.workersWG.Done()
+			s.worker()
+		}()
+	}
+}
+
+// Submit validates, admits and enqueues a job. ErrQueueFull means the
+// caller should retry later (HTTP 429); ErrDraining means the server
+// is shutting down (HTTP 503). Any other error is a rejected spec
+// (HTTP 400).
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	spec, err := spec.normalized(s.cfg.DefaultFabric)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		Spec:      spec,
+		Key:       PlanKey(spec),
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.nextID++
+	j.ID = fmt.Sprintf("j-%06d", s.nextID)
+	s.jobs[j.ID] = j
+	s.mu.Unlock()
+	if err := s.queue.Enqueue(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.ID)
+		s.mu.Unlock()
+		if err == ErrQueueFull {
+			s.shed.Add(1)
+		}
+		return nil, err
+	}
+	s.submitted.Add(1)
+	return j, nil
+}
+
+// Job looks up an admitted job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// worker is one simulated cluster: it executes queued jobs until the
+// queue closes and drains.
+func (s *Server) worker() {
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.process(j)
+	}
+}
+
+// process runs one job end to end: plan acquisition (cache hit, or
+// cold compile deduplicated per key), then an isolated run with the
+// job's own recorder.
+func (s *Server) process(j *Job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	t0 := time.Now()
+	cc, hit, err := s.plan(j.Spec, j.Key)
+	compileWall := time.Since(t0)
+	if hit {
+		s.compileHit.add(compileWall)
+	} else if err == nil {
+		s.compileCold.add(compileWall)
+	}
+	if err != nil {
+		s.fail(j, compileWall, err)
+		return
+	}
+
+	var rec *trace.Recorder
+	if j.Spec.Trace {
+		rec = trace.New()
+	}
+	r0 := time.Now()
+	res, err := cc.RunParallelWith(j.Spec.runMode(), core.RunParams{
+		Recorder: rec,
+		Workers:  s.cfg.RankWorkers,
+	})
+	runWall := time.Since(r0)
+	if err != nil {
+		s.fail(j, compileWall, fmt.Errorf("run: %w", err))
+		return
+	}
+	s.runLat.add(runWall)
+
+	j.mu.Lock()
+	j.state = StateDone
+	j.cacheHit = hit
+	j.compile = compileWall
+	j.run = runWall
+	j.finished = time.Now()
+	j.virtual = res.Elapsed.Seconds()
+	j.grain = cc.Grain().String()
+	j.output = res.Output
+	j.rec = rec
+	total := j.finished.Sub(j.submitted)
+	j.mu.Unlock()
+
+	s.totalLat.add(total)
+	s.completed.Add(1)
+	s.queue.finish(j.Spec.Tenant, false)
+	close(j.done)
+	s.retire(j.ID)
+}
+
+// maxRetainedJobs bounds the finished-job table.
+const maxRetainedJobs = 4096
+
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	s.retired = append(s.retired, id)
+	for len(s.retired) > maxRetainedJobs {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) fail(j *Job, compileWall time.Duration, err error) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.compile = compileWall
+	j.finished = time.Now()
+	j.err = err
+	j.mu.Unlock()
+	s.failed.Add(1)
+	s.queue.finish(j.Spec.Tenant, true)
+	close(j.done)
+	s.retire(j.ID)
+}
+
+// plan returns the compiled plan for spec, from cache when possible.
+// Concurrent misses on one key coalesce onto a single compile; the
+// waiters count as hits (they skipped the pipeline).
+func (s *Server) plan(spec Spec, key string) (*core.Compiled, bool, error) {
+	if cc, _, ok := s.cache.Get(key); ok {
+		return cc, true, nil
+	}
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.flightMu.Unlock()
+		<-f.done
+		return f.cc, f.err == nil, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	t0 := time.Now()
+	f.cc, f.err = core.Compile(spec.Source, spec.compileOptions())
+	f.wall = time.Since(t0)
+	if f.err == nil {
+		s.cache.Put(key, f.cc, f.wall)
+	}
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.cc, false, f.err
+}
+
+// Draining reports whether admission has stopped.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully retires the server: admission stops (Submit returns
+// ErrDraining), every already-admitted job still executes, and Drain
+// returns once the workers exit — or with the context's error if it
+// expires first (jobs keep draining in the background either way).
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.Close()
+	done := make(chan struct{})
+	go func() {
+		s.workersWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: drain interrupted with work in flight: %w", ctx.Err())
+	}
+}
+
+// RetryAfterSeconds estimates when a shed client should retry: the
+// current backlog over the observed service rate, clamped to [1, 30].
+func (s *Server) RetryAfterSeconds() int {
+	rate := s.jobsPerSec()
+	if rate <= 0 {
+		return 1
+	}
+	est := int(float64(s.queue.Depth())/rate + 0.5)
+	if est < 1 {
+		return 1
+	}
+	if est > 30 {
+		return 30
+	}
+	return est
+}
+
+func (s *Server) jobsPerSec() float64 {
+	up := time.Since(s.start).Seconds()
+	if up <= 0 {
+		return 0
+	}
+	return float64(s.completed.Load()) / up
+}
+
+// Metrics snapshots the server's counters and latency distributions.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Submitted:     s.submitted.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		Shed:          s.shed.Load(),
+		JobsPerSec:    s.jobsPerSec(),
+		QueueDepth:    s.queue.Depth(),
+		QueueCap:      s.cfg.QueueDepth,
+		Clusters:      s.cfg.Clusters,
+		Draining:      s.draining.Load(),
+		Cache:         s.cache.Stats(),
+		Tenants:       s.queue.Stats(),
+		CompileColdMs: s.compileCold.quantiles(),
+		CompileHitMs:  s.compileHit.quantiles(),
+		RunMs:         s.runLat.quantiles(),
+		TotalMs:       s.totalLat.quantiles(),
+	}
+}

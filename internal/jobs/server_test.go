@@ -1,0 +1,246 @@
+package jobs
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"vbuscluster/internal/bench"
+)
+
+func mmSpec(tenant string) Spec {
+	return Spec{Source: bench.MMSource(16), Tenant: tenant}
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("job %s failed: %v", j.ID, err)
+	}
+}
+
+// TestServerCacheHitSkipsFrontEnd is the serving layer's core claim: a
+// repeat submission of an identical job must hit the plan cache and
+// acquire its plan at least 10× faster than the cold compile.
+func TestServerCacheHitSkipsFrontEnd(t *testing.T) {
+	s := New(Config{Clusters: 1})
+	defer s.Drain(context.Background())
+
+	first, err := s.Submit(mmSpec("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first)
+	second, err := s.Submit(mmSpec("t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, second)
+
+	v1, v2 := first.Snapshot(), second.Snapshot()
+	if v1.CacheHit {
+		t.Fatal("first submission reported a cache hit")
+	}
+	if !v2.CacheHit {
+		t.Fatal("repeat submission missed the plan cache")
+	}
+	if v2.CompileMs > v1.CompileMs/10 {
+		t.Fatalf("cache hit compile %.3fms, cold %.3fms: hit must be <= cold/10",
+			v2.CompileMs, v1.CompileMs)
+	}
+	if v1.Output != v2.Output {
+		t.Fatalf("cached plan changed the program's output: %q vs %q", v1.Output, v2.Output)
+	}
+	m := s.Metrics()
+	if m.Cache.Hits != 1 || m.Cache.Misses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 1/1", m.Cache.Hits, m.Cache.Misses)
+	}
+	if m.Completed != 2 {
+		t.Fatalf("completed = %d, want 2", m.Completed)
+	}
+}
+
+// TestServerShedsWhenSaturated: with no dispatch happening, admissions
+// beyond QueueDepth shed with ErrQueueFull and are accounted per
+// tenant.
+func TestServerShedsWhenSaturated(t *testing.T) {
+	s := newServer(Config{Clusters: 1, QueueDepth: 3})
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(mmSpec("flood")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit(mmSpec("flood")); err != ErrQueueFull {
+		t.Fatalf("saturated submit: got %v, want ErrQueueFull", err)
+	}
+	m := s.Metrics()
+	if m.Shed != 1 || m.QueueDepth != 3 {
+		t.Fatalf("shed=%d depth=%d, want 1/3", m.Shed, m.QueueDepth)
+	}
+	if m.Tenants["flood"].Shed != 1 {
+		t.Fatalf("tenant shed=%d, want 1", m.Tenants["flood"].Shed)
+	}
+	// The backlog still drains once workers start, and shed jobs left
+	// no ghost records behind.
+	s.startWorkers(1)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().Completed; got != 3 {
+		t.Fatalf("completed=%d after drain, want 3", got)
+	}
+}
+
+// TestServerFairnessUnderHostileMix pre-queues a 10:1 hostile mix and
+// then lets a single worker drain it: the victim's jobs must all
+// complete within the first few dispatches, not behind the flood.
+func TestServerFairnessUnderHostileMix(t *testing.T) {
+	s := newServer(Config{Clusters: 1, QueueDepth: 64})
+	var hostile, victim []*Job
+	for i := 0; i < 20; i++ {
+		j, err := s.Submit(mmSpec("hostile"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hostile = append(hostile, j)
+	}
+	for i := 0; i < 2; i++ {
+		j, err := s.Submit(mmSpec("victim"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		victim = append(victim, j)
+	}
+	s.startWorkers(1)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A single worker completes jobs in dispatch order, so finish
+	// timestamps reconstruct it.
+	type fin struct {
+		tenant string
+		at     time.Time
+	}
+	var fins []fin
+	for _, j := range append(hostile, victim...) {
+		waitDone(t, j)
+		j.mu.Lock()
+		fins = append(fins, fin{j.Spec.Tenant, j.finished})
+		j.mu.Unlock()
+	}
+	sort.Slice(fins, func(a, b int) bool { return fins[a].at.Before(fins[b].at) })
+	lastVictim := -1
+	for i, f := range fins {
+		if f.tenant == "victim" {
+			lastVictim = i
+		}
+	}
+	if lastVictim >= 4 {
+		t.Fatalf("victim's last job finished at position %d; fair share is within the first 4", lastVictim)
+	}
+}
+
+// TestServerDrainCompletesAdmitted: every job admitted before Drain
+// finishes; admission afterwards is refused.
+func TestServerDrainCompletesAdmitted(t *testing.T) {
+	s := New(Config{Clusters: 2, QueueDepth: 32})
+	var jobsIn []*Job
+	for i := 0; i < 10; i++ {
+		j, err := s.Submit(mmSpec("drain"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobsIn = append(jobsIn, j)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobsIn {
+		select {
+		case <-j.Done():
+		default:
+			t.Fatalf("job %s still open after drain returned", j.ID)
+		}
+		if st := j.Snapshot().State; st != StateDone {
+			t.Fatalf("job %s state %s after drain, want done", j.ID, st)
+		}
+	}
+	if _, err := s.Submit(mmSpec("late")); err != ErrDraining {
+		t.Fatalf("submit after drain: got %v, want ErrDraining", err)
+	}
+	m := s.Metrics()
+	if m.Completed != 10 || !m.Draining {
+		t.Fatalf("metrics after drain: completed=%d draining=%t", m.Completed, m.Draining)
+	}
+}
+
+// TestServerConcurrentSameKeyCoalesces: concurrent cold submissions of
+// one program compile once (single flight), and every job still
+// completes correctly.
+func TestServerConcurrentSameKeyCoalesces(t *testing.T) {
+	s := New(Config{Clusters: 4, QueueDepth: 32})
+	var batch []*Job
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit(mmSpec("burst"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch = append(batch, j)
+	}
+	for _, j := range batch {
+		waitDone(t, j)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	// CompileColdMs counts actual pipeline executions; waiters that
+	// coalesced onto the single flight record as hits. (Cache.Misses
+	// can exceed 1: a waiter probes the cache before finding the
+	// flight.)
+	if m.CompileColdMs.Count != 1 {
+		t.Fatalf("one program compiled %d times; single-flight should make it 1", m.CompileColdMs.Count)
+	}
+	if m.Completed != 8 {
+		t.Fatalf("completed=%d, want 8", m.Completed)
+	}
+}
+
+// TestServerFailedJobAccounting: a program the front end rejects must
+// fail the job (not the server), stay uncached and count per tenant.
+func TestServerFailedJobAccounting(t *testing.T) {
+	s := New(Config{Clusters: 1})
+	j, err := s.Submit(Spec{Source: "      THIS IS NOT FORTRAN\n", Tenant: "oops"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("failed job never finished")
+	}
+	if j.Err() == nil {
+		t.Fatal("nonsense program compiled successfully")
+	}
+	if st := j.Snapshot().State; st != StateFailed {
+		t.Fatalf("state %s, want failed", st)
+	}
+	m := s.Metrics()
+	if m.Failed != 1 || m.Tenants["oops"].Failed != 1 {
+		t.Fatalf("failed=%d tenant failed=%d, want 1/1", m.Failed, m.Tenants["oops"].Failed)
+	}
+	if m.Cache.Entries != 0 {
+		t.Fatal("failed compile was cached")
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
