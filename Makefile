@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke bench-gate bench
+.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke chaos-smoke bench-gate bench
 
-ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke bench-gate
+ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke chaos-smoke bench-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -110,6 +110,39 @@ serve-smoke:
 	grep -q '"state": "done"' /tmp/vbus-serve-2.json && \
 	kill -TERM $$pid && wait $$pid
 	@rm -f /tmp/vbserve-smoke /tmp/vbus-serve-1.json /tmp/vbus-serve-2.json
+
+# Robustness gate: the jobs layer's hardening tests under the race
+# detector, the seeded chaos sweep (poison specs, worker kills,
+# deadline storms, rate-limit floods — every invariant asserted), and
+# an end-to-end daemon exercise: a poison job fails without taking the
+# server down, a stalled job is cancelled at its deadline, SIGTERM
+# journals the plan cache, and the restarted server answers the same
+# job from the warmed cache.
+chaos-smoke:
+	$(GO) test -race ./internal/jobs
+	$(GO) run ./cmd/vbbench -chaossweep -chaosout '' > /dev/null
+	$(GO) build -race -o /tmp/vbserve-chaos ./cmd/vbserve
+	sed 's/"tenant": "demo",/"tenant": "demo", "faults": "panicjob=1",/' examples/serve_mm.json > /tmp/vbus-chaos-poison.json
+	sed 's/"tenant": "demo",/"tenant": "demo", "faults": "stalljob=10s", "deadline_ms": 200,/' examples/serve_mm.json > /tmp/vbus-chaos-stall.json
+	rm -f /tmp/vbus-chaos.vbpj
+	/tmp/vbserve-chaos -addr 127.0.0.1:18809 -clusters 2 -cache-journal /tmp/vbus-chaos.vbpj & \
+	pid=$$!; \
+	sleep 1; \
+	curl -sf 'http://127.0.0.1:18809/healthz/ready' > /dev/null && \
+	curl -sf -X POST --data @/tmp/vbus-chaos-poison.json 'http://127.0.0.1:18809/v1/jobs?wait=1' | grep -q '"state": "failed"' && \
+	curl -sf -X POST --data @/tmp/vbus-chaos-stall.json 'http://127.0.0.1:18809/v1/jobs?wait=1' | grep -q '"state": "cancelled"' && \
+	curl -sf -X POST --data @examples/serve_mm.json 'http://127.0.0.1:18809/v1/jobs?wait=1' | grep -q '"state": "done"' && \
+	curl -sf 'http://127.0.0.1:18809/healthz/live' > /dev/null && \
+	kill -TERM $$pid && wait $$pid
+	test -s /tmp/vbus-chaos.vbpj
+	/tmp/vbserve-chaos -addr 127.0.0.1:18809 -clusters 2 -cache-journal /tmp/vbus-chaos.vbpj & \
+	pid=$$!; \
+	sleep 1; \
+	curl -sf -X POST --data @examples/serve_mm.json 'http://127.0.0.1:18809/v1/jobs?wait=1' > /tmp/vbus-chaos-warm.json && \
+	grep -q '"cache_hit": true' /tmp/vbus-chaos-warm.json && \
+	grep -q '"state": "done"' /tmp/vbus-chaos-warm.json && \
+	kill -TERM $$pid && wait $$pid
+	@rm -f /tmp/vbserve-chaos /tmp/vbus-chaos-poison.json /tmp/vbus-chaos-stall.json /tmp/vbus-chaos.vbpj /tmp/vbus-chaos-warm.json
 
 # Performance gate: the core baseline must stay within 10% of the
 # checked-in BENCH_core.json (best of 3 runs absorbs host noise).

@@ -14,6 +14,7 @@
 //	vbbench -scalesweep         # weak scaling 4..1024 ranks across fabrics -> BENCH_scale.json
 //	vbbench -corebench          # end-to-end wall-time baseline at 4 ranks -> BENCH_core.json
 //	vbbench -servesweep         # closed-loop throughput vs client count against an in-process vbserve -> BENCH_serve.json
+//	vbbench -chaossweep         # seeded hostile workload asserting the server's robustness invariants -> BENCH_serve.json
 //	vbbench -benchgate          # re-run -corebench; fail on >10% events/sec regression vs BENCH_core.json
 //	vbbench -all -quick         # everything at reduced sizes
 //
@@ -27,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -66,6 +68,9 @@ func main() {
 	serveSweep := flag.Bool("servesweep", false, "closed-loop throughput sweep against an in-process vbserve job server")
 	serveOut := flag.String("serveout", "BENCH_serve.json", "write the -servesweep rows as JSON to this file ('' = stdout table only)")
 	serveClusters := flag.Int("serveclusters", 4, "simulated cluster (worker) count for -servesweep")
+	chaosSweep := flag.Bool("chaossweep", false, "seeded chaos sweep: poison specs, worker kills, deadline storms, rate-limit floods, restart-warm replay")
+	chaosSeed := flag.Uint64("chaosseed", 42, "seed for -chaossweep fault schedules (replayable)")
+	chaosOut := flag.String("chaosout", "BENCH_serve.json", "merge the -chaossweep result into this JSON file under \"chaos\" ('' = stdout only)")
 	benchGate := flag.Bool("benchgate", false, "re-run -corebench and fail if events/sec regresses >10% vs the checked-in baseline")
 	benchBase := flag.String("benchbase", "BENCH_core.json", "baseline file for -benchgate")
 	workers := flag.Int("workers", 0, "rank scheduler worker-pool size: 0 = GOMAXPROCS, negative = unpooled (results identical)")
@@ -96,8 +101,9 @@ func main() {
 	runScale := *scaleSweep || *all
 	runCore := *coreBench || *all
 	runServe := *serveSweep || *all
-	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal && !runScale && !runCore && !runServe && !*benchGate {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep, -scalesweep, -corebench, -servesweep, -benchgate or -all")
+	runChaos := *chaosSweep || *all
+	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal && !runScale && !runCore && !runServe && !runChaos && !*benchGate {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep, -scalesweep, -corebench, -servesweep, -chaossweep, -benchgate or -all")
 		os.Exit(2)
 	}
 
@@ -225,6 +231,16 @@ func main() {
 		}
 	}
 
+	if runChaos {
+		res, err := serve.ChaosSweep(*chaosSeed)
+		check(err)
+		fmt.Println(serve.FormatChaos(res))
+		if *chaosOut != "" {
+			check(mergeChaos(*chaosOut, res))
+			fmt.Fprintf(os.Stderr, "vbbench: merged chaos result into %s\n", *chaosOut)
+		}
+	}
+
 	if *benchGate {
 		check(serve.BenchGate(*benchBase, *fabric, 3, 0.10))
 		fmt.Println("bench-gate: core baseline within tolerance")
@@ -288,3 +304,27 @@ func main() {
 }
 
 func check(err error) { cliutil.Check("vbbench", err) }
+
+// mergeChaos folds the chaos result into the serve benchmark file
+// under a "chaos" key, preserving any -servesweep rows already there
+// (both sweeps report into BENCH_serve.json).
+func mergeChaos(path string, res *serve.ChaosResult) error {
+	doc := map[string]interface{}{"schema": "vbbench-servesweep/v1"}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("vbbench: %s exists but is not JSON: %w", path, err)
+		}
+	}
+	doc["chaos"] = res
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -8,18 +8,24 @@
 // Usage:
 //
 //	vbserve [-addr :8077] [-clusters N] [-queue D] [-cache P] [-workers W] [-fabric vbus|vbus3d|ethernet|ideal]
+//	        [-cache-journal F] [-default-deadline D] [-max-deadline D] [-retries N] [-rate R] [-burst B]
 //
 // Endpoints:
 //
-//	POST /v1/jobs            submit a job (?wait=1 blocks until done)
-//	GET  /v1/jobs/{id}       job record
-//	GET  /v1/jobs/{id}/trace Chrome trace-event JSON (jobs with "trace": true)
-//	GET  /metrics            throughput, cache hit rate, queue depth, latency quantiles
-//	GET  /healthz            200 serving / 503 draining
+//	POST   /v1/jobs            submit a job (?wait=1 blocks until done)
+//	GET    /v1/jobs/{id}       job record
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET    /v1/jobs/{id}/trace Chrome trace-event JSON (jobs with "trace": true)
+//	GET    /metrics            throughput, cache hit rate, queue depth, latency quantiles
+//	GET    /healthz/live       200 while the process serves at all
+//	GET    /healthz/ready      200 serving / 503 draining (alias: /healthz)
 //
-// A saturated queue answers 429 with a Retry-After estimate. SIGTERM
-// or SIGINT starts a graceful drain: admission stops, every admitted
-// job finishes, then the process exits 0.
+// A saturated queue or an exhausted per-tenant token bucket answers
+// 429 with a load-aware Retry-After estimate. SIGTERM or SIGINT starts
+// a graceful drain: admission stops, every admitted job finishes, the
+// plan cache is journaled to -cache-journal (if set), then the process
+// exits 0. On the next boot the journal is replayed — each cached plan
+// recompiled — so a restarted daemon starts warm.
 package main
 
 import (
@@ -47,6 +53,12 @@ func main() {
 	workers := flag.Int("workers", 0, "per-run rank scheduler pool size (0 = GOMAXPROCS)")
 	fabric := flag.String("fabric", "", "default interconnect backend for jobs that omit one: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "maximum time to wait for in-flight jobs on shutdown")
+	journal := flag.String("cache-journal", "", "plan-cache journal file: replayed on boot, written on drain (empty = no persistence)")
+	defaultDeadline := flag.Duration("default-deadline", 0, "deadline for jobs that omit deadline_ms (0 = none)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on any job deadline, including requested ones (0 = no cap)")
+	retries := flag.Int("retries", 2, "retry budget for transiently failed jobs")
+	rate := flag.Float64("rate", 0, "per-tenant admission rate limit in jobs/sec (0 = unlimited)")
+	burst := flag.Int("burst", 0, "token-bucket burst per tenant (0 = 2x rate)")
 	flag.Parse()
 
 	check(cliutil.ValidateFabric(*fabric))
@@ -58,12 +70,25 @@ func main() {
 	}
 
 	srv := jobs.New(jobs.Config{
-		Clusters:      *clusters,
-		QueueDepth:    *queueDepth,
-		CacheEntries:  *cacheEntries,
-		RankWorkers:   *workers,
-		DefaultFabric: *fabric,
+		Clusters:        *clusters,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		RankWorkers:     *workers,
+		DefaultFabric:   *fabric,
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+		MaxRetries:      *retries,
+		RatePerSec:      *rate,
+		RateBurst:       *burst,
 	})
+	if *journal != "" {
+		warmed, err := srv.WarmCache(*journal)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vbserve: cache journal ignored: %v\n", err)
+		} else if warmed > 0 {
+			fmt.Fprintf(os.Stderr, "vbserve: warmed %d plans from %s\n", warmed, *journal)
+		}
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
@@ -89,6 +114,13 @@ func main() {
 	if err := srv.Drain(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "vbserve: %v\n", err)
 		os.Exit(1)
+	}
+	if *journal != "" {
+		if err := srv.SaveCache(*journal); err != nil {
+			fmt.Fprintf(os.Stderr, "vbserve: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "vbserve: journaled %d plans to %s\n", srv.Metrics().Cache.Entries, *journal)
+		}
 	}
 	// Jobs are done; now close the listener so late pollers get their
 	// final snapshots instead of connection-refused mid-drain.

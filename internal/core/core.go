@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -307,6 +308,11 @@ type RunParams struct {
 	// Workers bounds the rank scheduler's worker pool for this run
 	// (same semantics as Options.Workers).
 	Workers int
+	// Ctx, when non-nil, bounds the run: cancelling it (a job
+	// deadline, a client abort) stops the simulated cluster and the
+	// run returns an mpi.Error of kind ErrCancelled. Nil means
+	// unbounded.
+	Ctx context.Context
 }
 
 // clusterFor builds the machine for n processes, with the compile
@@ -358,7 +364,7 @@ func (c *Compiled) RunParallelWith(mode Mode, rp RunParams) (*interp.Result, err
 	if err != nil {
 		return nil, err
 	}
-	return interp.RunParallelConfig(c.SPMD, cl, mode, interp.RunConfig{Workers: rp.Workers})
+	return interp.RunParallelConfig(c.SPMD, cl, mode, interp.RunConfig{Workers: rp.Workers, Ctx: rp.Ctx})
 }
 
 // RunResilient executes the SPMD translation with coordinated

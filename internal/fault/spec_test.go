@@ -215,6 +215,10 @@ func FuzzParseFaultSpec(f *testing.F) {
 		"seed=1,linkdown=0-1@1ms+2ms,slow=2*3,crash=1@40ms",
 		"seed=1,deadline=2ms,mtu=512,window=8,maxretry=3,backoff=1us,bustimeout=50us",
 		"seed=1,crashafter=1/40,crashafter=0/7",
+		"seed=1,panicjob=1",
+		"seed=7,stalljob=50ms,killworker=2",
+		"seed=0,panicjob=true,stalljob=1500us",
+		"panicjob=2,stalljob=-1ms,killworker=0",
 		"seed=,flitdrop=",
 		"linkdown=0-1@+",
 		"slow=*,crash=@",
@@ -241,6 +245,36 @@ func FuzzParseFaultSpec(f *testing.F) {
 			t.Fatalf("String() not stable: %q vs %q", again.String(), canon)
 		}
 	})
+}
+
+func TestServerChaosTokens(t *testing.T) {
+	spec, err := ParseSpec("seed=3,stalljob=50ms,panicjob=1,killworker=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.PanicJob {
+		t.Error("PanicJob = false")
+	}
+	if spec.StallJob != 50*sim.Millisecond {
+		t.Errorf("StallJob = %v, want 50ms", spec.StallJob)
+	}
+	if spec.KillWorker != 2 {
+		t.Errorf("KillWorker = %d, want 2", spec.KillWorker)
+	}
+	want := "seed=3,panicjob=1,stalljob=50ms,killworker=2"
+	if got := spec.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	for _, bad := range []string{
+		"seed=1,panicjob=maybe",
+		"seed=1,stalljob=5m",
+		"seed=1,killworker=0",
+		"seed=1,killworker=-1",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted, want error", bad)
+		}
+	}
 }
 
 func TestCrashAfter(t *testing.T) {

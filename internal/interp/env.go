@@ -27,6 +27,7 @@ import (
 	"vbuscluster/internal/analysis"
 	"vbuscluster/internal/cluster"
 	"vbuscluster/internal/f77"
+	"vbuscluster/internal/mpi"
 	"vbuscluster/internal/sim"
 )
 
@@ -80,6 +81,13 @@ type Env struct {
 	// regionStats collects the per-region profile on the master.
 	regionStats []RegionStat
 
+	// world, set on parallel runs, lets long compute loops observe an
+	// external cancellation (World.Cancel) between iterations — MPI
+	// calls already check on entry, but a partitioned loop with no
+	// communication would otherwise run to completion after its job's
+	// deadline expired. Nil for sequential runs.
+	world *mpi.World
+
 	// commons backs COMMON blocks: per block, per member-index storage,
 	// shared by every unit executed in this env.
 	commons map[string][][]float64
@@ -98,6 +106,17 @@ type runtimeError struct{ err error }
 
 func (e *Env) fail(line int, format string, args ...any) {
 	panic(runtimeError{fmt.Errorf("interp: line %d: %s", line, fmt.Sprintf(format, args...))})
+}
+
+// checkCancelled aborts execution when the run has been cancelled from
+// outside (job deadline, explicit abort). The panic carries the same
+// structured *mpi.Error the communication layer raises, and recoverRun
+// converts it into the run's error. A single atomic load per call —
+// uncancelled runs stay bit-identical (no virtual-time charge).
+func (e *Env) checkCancelled() {
+	if e.world != nil && e.world.Cancelled() {
+		panic(&mpi.Error{Kind: mpi.ErrCancelled, Rank: e.rank, Op: "compute", Peer: -1, Time: e.cl.Clock(e.rank)})
+	}
 }
 
 // newEnv allocates the environment for one rank executing unit.

@@ -160,6 +160,20 @@ func RunParallelConfig(pp *postpass.Program, cl *cluster.Cluster, mode Mode, cfg
 		sched = newPool(cl, effectiveWorkers(cfg.Workers))
 		world.SetScheduler(sched)
 	}
+	if cfg.Ctx != nil {
+		// Context monitor: translate an external cancellation into a
+		// world cancel so blocked and computing ranks both unwind. The
+		// monitor itself exits when the run completes.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-cfg.Ctx.Done():
+				world.Cancel()
+			case <-stop:
+			}
+		}()
+	}
 	var out bytes.Buffer
 
 	envs := make([]*Env, P)
@@ -213,6 +227,7 @@ func runRank(pp *postpass.Program, p *mpi.Proc, mode Mode, masterOut *bytes.Buff
 	if err != nil {
 		return err
 	}
+	env.world = p.World()
 	*envOut = env
 	if p.Rank() == 0 {
 		// "the master initially holds all program data objects".
@@ -257,6 +272,7 @@ func runRank(pp *postpass.Program, p *mpi.Proc, mode Mode, masterOut *bytes.Buff
 
 	halted := false
 	for ri, region := range pp.Regions {
+		env.checkCancelled()
 		var startClock, startComm sim.Time
 		if p.Rank() == 0 {
 			startClock = env.cl.Clock(0)
@@ -534,6 +550,7 @@ func (env *Env) runPartition(loop *f77.DoLoop, ctx analysis.LoopCtx, myTrips []i
 		}
 		var total sim.Time
 		for _, k := range myTrips {
+			env.checkCancelled()
 			env.setInt(loop.Var, ctx.From+k*ctx.Step, loop.Line())
 			total += iterCost + env.stmtsCost(loop.Body)
 		}
@@ -541,6 +558,7 @@ func (env *Env) runPartition(loop *f77.DoLoop, ctx analysis.LoopCtx, myTrips []i
 		return
 	}
 	for _, k := range myTrips {
+		env.checkCancelled()
 		env.setInt(loop.Var, ctx.From+k*ctx.Step, loop.Line())
 		env.charge(iterCost)
 		c, _ := env.execStmts(loop.Body)

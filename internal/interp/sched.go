@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -10,6 +11,12 @@ import (
 
 // RunConfig tunes how a parallel execution maps ranks onto goroutines.
 type RunConfig struct {
+	// Ctx, when non-nil, bounds the run: once it is cancelled (a job
+	// deadline, an HTTP client abort) the MPI world is cancelled and
+	// every rank unwinds with an mpi.ErrCancelled error instead of
+	// running — or blocking — forever. Nil means no external bound,
+	// exactly the pre-context behavior.
+	Ctx context.Context
 	// Workers bounds the number of rank goroutines executing
 	// concurrently. Ranks blocked inside the runtime (receive waits,
 	// collective rendezvous, contended window locks) park and release

@@ -24,6 +24,7 @@ type PlanCache struct {
 
 type planEntry struct {
 	key      string
+	spec     Spec
 	compiled *core.Compiled
 	coldWall time.Duration
 }
@@ -57,22 +58,37 @@ func (c *PlanCache) Get(key string) (*core.Compiled, time.Duration, bool) {
 }
 
 // Put inserts (or refreshes) a plan, evicting the least recently used
-// entry beyond capacity.
-func (c *PlanCache) Put(key string, compiled *core.Compiled, coldWall time.Duration) {
+// entry beyond capacity. spec is the normalized spec the plan was
+// compiled from, retained so the cache's working set can be journaled
+// and recompiled on restart (see SaveCache/WarmCache).
+func (c *PlanCache) Put(key string, spec Spec, compiled *core.Compiled, coldWall time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*planEntry)
-		e.compiled, e.coldWall = compiled, coldWall
+		e.spec, e.compiled, e.coldWall = spec, compiled, coldWall
 		return
 	}
-	c.items[key] = c.ll.PushFront(&planEntry{key: key, compiled: compiled, coldWall: coldWall})
+	c.items[key] = c.ll.PushFront(&planEntry{key: key, spec: spec, compiled: compiled, coldWall: coldWall})
 	for c.ll.Len() > c.capacity {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*planEntry).key)
 	}
+}
+
+// Entries lists the cached plans' specs from least to most recently
+// used — the replay order that reconstructs the same LRU stacking when
+// each entry is re-Put in sequence.
+func (c *PlanCache) Entries() []Spec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Spec, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*planEntry).spec)
+	}
+	return out
 }
 
 // CacheStats is the cache's externally visible state.

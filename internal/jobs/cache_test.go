@@ -15,10 +15,10 @@ func TestPlanCacheLRUEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewPlanCache(2)
-	c.Put("a", cc, time.Millisecond)
-	c.Put("b", cc, time.Millisecond)
+	c.Put("a", Spec{Source: "a"}, cc, time.Millisecond)
+	c.Put("b", Spec{Source: "b"}, cc, time.Millisecond)
 	c.Get("a") // refresh a: b is now least recently used
-	c.Put("c", cc, time.Millisecond)
+	c.Put("c", Spec{Source: "c"}, cc, time.Millisecond)
 	if _, _, ok := c.Get("b"); ok {
 		t.Fatal("b survived eviction; LRU order ignores Get refresh")
 	}

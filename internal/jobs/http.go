@@ -13,18 +13,30 @@ const maxBodyBytes = 1 << 20
 
 // Handler builds the service's HTTP API:
 //
-//	POST /v1/jobs            submit (async by default; ?wait=1 blocks)
-//	GET  /v1/jobs/{id}       job state / result
-//	GET  /v1/jobs/{id}/trace Chrome trace-event JSON (spec.trace jobs)
-//	GET  /metrics            counters, cache stats, latency quantiles
-//	GET  /healthz            200 serving / 503 draining
+//	POST   /v1/jobs            submit (async by default; ?wait=1 blocks)
+//	GET    /v1/jobs/{id}       job state / result
+//	DELETE /v1/jobs/{id}       cancel (queued: immediate; running: the
+//	                           run is cancelled and unwinds)
+//	GET    /v1/jobs/{id}/trace Chrome trace-event JSON (spec.trace jobs)
+//	GET    /metrics            counters, cache stats, latency quantiles
+//	GET    /healthz/live       200 while the process serves at all
+//	GET    /healthz/ready      200 serving / 503 "draining"
+//	GET    /healthz            alias for /healthz/ready
+//
+// Liveness vs readiness split: during a SIGTERM drain the process is
+// alive (in-flight jobs still complete, GETs still answer) but must
+// stop receiving new traffic — a load balancer watches ready, a
+// process supervisor watches live.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz", s.handleReady)
+	mux.HandleFunc("GET /healthz/live", s.handleLive)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	return mux
 }
 
@@ -50,9 +62,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.Submit(spec)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		// Load shedding: tell the client when the backlog should have
-		// cleared instead of letting it queue-build.
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):
+		// Load shedding / rate limiting: tell the client when the
+		// backlog should have cleared instead of letting it queue-build.
 		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, httpError{err.Error()})
 		return
@@ -85,6 +97,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Snapshot())
 }
 
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, httpError{"no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
@@ -105,10 +126,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte("ok\n"))
 }

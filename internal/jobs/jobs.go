@@ -18,6 +18,7 @@
 package jobs
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 
 	"vbuscluster/internal/cliutil"
 	"vbuscluster/internal/core"
+	"vbuscluster/internal/fault"
 	"vbuscluster/internal/lmad"
 	"vbuscluster/internal/trace"
 )
@@ -60,6 +62,17 @@ type Spec struct {
 	// Tenant attributes the job for fair scheduling and accounting
 	// ("" = "default").
 	Tenant string `json:"tenant,omitempty"`
+	// DeadlineMs bounds the job's wall-clock lifetime from admission
+	// (queueing included): past it the run is cancelled and the job
+	// ends "cancelled". 0 uses the server default; the server-side cap
+	// (Config.MaxDeadline) clamps it either way.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
+	// Faults is a fault-spec string in the internal/fault grammar.
+	// Cluster-level tokens (crash, flitdrop, ...) inject deterministic
+	// faults into the simulated run; the server-level chaos tokens
+	// (panicjob, stalljob, killworker) drive the serving layer itself.
+	// Run-time only — excluded from the plan cache key.
+	Faults string `json:"faults,omitempty"`
 }
 
 // maxProcs bounds a request's rank count (the scale sweep's ceiling).
@@ -107,7 +120,31 @@ func (s Spec) normalized(defaultFabric string) (Spec, error) {
 	if len(s.Tenant) > 64 {
 		return s, fmt.Errorf("jobs: tenant name longer than 64 bytes")
 	}
+	if s.DeadlineMs < 0 {
+		return s, fmt.Errorf("jobs: negative deadline_ms %d", s.DeadlineMs)
+	}
+	if s.Faults != "" {
+		fs, err := fault.ParseSpec(s.Faults)
+		if err != nil {
+			return s, fmt.Errorf("jobs: %w", err)
+		}
+		// Canonical form: equivalent spellings snapshot identically.
+		s.Faults = fs.String()
+	}
 	return s, nil
+}
+
+// faultSpec parses the (already canonicalized) fault field; nil when
+// the job injects nothing.
+func (s Spec) faultSpec() *fault.Spec {
+	if s.Faults == "" {
+		return nil
+	}
+	fs, err := fault.ParseSpec(s.Faults)
+	if err != nil {
+		return nil // normalized() already validated; unreachable
+	}
+	return fs
 }
 
 // compileOptions maps the spec onto the compiler's options.
@@ -154,14 +191,39 @@ func PlanKey(s Spec) string {
 // State is a job's lifecycle position.
 type State string
 
-// Job states. Shed submissions never become jobs (Submit returns
-// ErrQueueFull instead), so every Job ends done or failed.
+// Job states. The machine is
+//
+//	queued → running → done
+//	                 → failed      (compile/run error, recovered panic,
+//	                                retries exhausted)
+//	                 → cancelled   (deadline expired or DELETE'd)
+//	                 → retrying    (transient fault; re-queued with
+//	                                backoff, back to queued → running)
+//	queued → quarantined           (plan key tripped the circuit
+//	                                breaker after repeated panics)
+//
+// Shed and rate-limited submissions never become jobs (Submit returns
+// ErrQueueFull / ErrRateLimited instead), so every Job ends in one of
+// the four terminal states: done, failed, cancelled, quarantined.
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateCancelled   State = "cancelled"
+	StateRetrying    State = "retrying"
+	StateQuarantined State = "quarantined"
 )
+
+// terminal reports whether a state is final (Done() closed, job
+// retired).
+func (st State) terminal() bool {
+	switch st {
+	case StateDone, StateFailed, StateCancelled, StateQuarantined:
+		return true
+	}
+	return false
+}
 
 // Job is one admitted submission.
 type Job struct {
@@ -171,6 +233,15 @@ type Job struct {
 	Spec Spec
 	// Key is the compiled-plan cache key, PlanKey(Spec).
 	Key string
+
+	// ctx bounds the job's lifetime (deadline and explicit
+	// cancellation); cancel releases it and is always non-nil for
+	// admitted jobs. seq is the numeric ID (deterministic retry
+	// jitter); faults is the parsed Spec.Faults (nil when none).
+	ctx    context.Context
+	cancel context.CancelFunc
+	seq    int64
+	faults *fault.Spec
 
 	mu        sync.Mutex
 	state     State
@@ -185,6 +256,10 @@ type Job struct {
 	output    string
 	err       error
 	rec       *trace.Recorder
+	// attempts counts execution attempts (1 on the first); kills
+	// counts worker kills this job has performed (killworker token).
+	attempts int
+	kills    int
 
 	done chan struct{}
 }
@@ -237,6 +312,9 @@ type View struct {
 	Output         string  `json:"output,omitempty"`
 	Error          string  `json:"error,omitempty"`
 	HasTrace       bool    `json:"has_trace,omitempty"`
+	// Attempts is how many execution attempts the job has made
+	// (retries and post-kill requeues re-run the job).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Snapshot captures the job's current state for reporting.
@@ -253,6 +331,7 @@ func (j *Job) Snapshot() View {
 		Fabric:   j.Spec.Fabric,
 		Mode:     j.Spec.Mode,
 		HasTrace: j.rec != nil && j.state == StateDone,
+		Attempts: j.attempts,
 	}
 	if !j.started.IsZero() {
 		v.QueuedMs = ms(j.started.Sub(j.submitted))

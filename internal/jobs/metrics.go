@@ -77,6 +77,23 @@ type Metrics struct {
 	Completed     int64   `json:"jobs_completed"`
 	Failed        int64   `json:"jobs_failed"`
 	Shed          int64   `json:"jobs_shed"`
+	// Cancelled counts deadline and explicit cancellations;
+	// Quarantined counts jobs refused by an open circuit breaker
+	// (neither is included in Failed).
+	Cancelled   int64 `json:"jobs_cancelled"`
+	Quarantined int64 `json:"jobs_quarantined"`
+	// RateLimited counts submissions refused by token buckets (never
+	// admitted, like Shed).
+	RateLimited int64 `json:"jobs_rate_limited"`
+	// Retries counts re-executions of transiently failed jobs;
+	// PanicsRecovered counts worker panics converted to job failures;
+	// BreakerTrips counts plan keys newly quarantined;
+	// WorkersReplaced counts worker goroutines respawned after a kill
+	// or a recovered panic.
+	Retries         int64 `json:"retries"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	BreakerTrips    int64 `json:"breaker_trips"`
+	WorkersReplaced int64 `json:"workers_replaced"`
 	// JobsPerSec is completed jobs over uptime: the sustained service
 	// throughput.
 	JobsPerSec float64 `json:"jobs_per_sec"`

@@ -1,0 +1,217 @@
+package jobs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"vbuscluster/internal/core"
+)
+
+// Plan-cache journal: the crash-safe persistence that lets a restarted
+// daemon start warm. The journal records the cache's working set — the
+// normalized, compile-relevant spec of every cached plan, in LRU order
+// — not the compiled plans themselves: plans hold interned ASTs and
+// closures that do not serialize, and recompiling a journaled spec on
+// boot is exactly the cold path the cache exists to amortize, paid
+// once per restart instead of once per client.
+//
+// Framing follows internal/ckpt's discipline: magic, u32 version,
+// little-endian length-prefixed fields, and a trailing CRC-32C
+// (Castagnoli) over everything before it. A torn write (crash mid-save)
+// fails the CRC and WarmCache refuses the file rather than warming from
+// garbage; saves go through a temp file + rename so the previous
+// journal survives any crash during the save itself.
+//
+//	"VBPJ" | u32 version | u32 count | count × entry | u32 CRC-32C
+//	entry = bytes source | u32 procs | bytes grain | bytes fabric |
+//	        u32 flags (bit0 coalesce, bit1 twosided, bit2 pullscatter,
+//	                   bit3 lockreductions)
+
+// journalMagic identifies a plan-cache journal file.
+const journalMagic = "VBPJ"
+
+// JournalVersion is the current on-disk format version.
+const JournalVersion = 1
+
+// Journal read errors.
+var (
+	ErrJournalTruncated  = errors.New("jobs: journal truncated")
+	ErrJournalBadMagic   = errors.New("jobs: not a plan-cache journal (bad magic)")
+	ErrJournalBadVersion = errors.New("jobs: unsupported journal version")
+	ErrJournalCorrupt    = errors.New("jobs: journal CRC mismatch (torn or corrupted write)")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	flagCoalesce = 1 << iota
+	flagTwoSided
+	flagPullScatter
+	flagLockReductions
+)
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendBytes(b []byte, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// journalBytes encodes the cache's current working set.
+func journalBytes(entries []Spec) []byte {
+	b := []byte(journalMagic)
+	b = appendU32(b, JournalVersion)
+	b = appendU32(b, uint32(len(entries)))
+	for _, sp := range entries {
+		b = appendBytes(b, []byte(sp.Source))
+		b = appendU32(b, uint32(sp.Procs))
+		b = appendBytes(b, []byte(sp.Grain))
+		b = appendBytes(b, []byte(sp.Fabric))
+		var flags uint32
+		if sp.Coalesce {
+			flags |= flagCoalesce
+		}
+		if sp.TwoSided {
+			flags |= flagTwoSided
+		}
+		if sp.PullScatter {
+			flags |= flagPullScatter
+		}
+		if sp.LockReductions {
+			flags |= flagLockReductions
+		}
+		b = appendU32(b, flags)
+	}
+	return appendU32(b, crc32.Checksum(b, crcTable))
+}
+
+// journalReader is the bounds-checked decoder; err latches on first
+// failure so call sites read linearly and check once.
+type journalReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *journalReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.err = ErrJournalTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *journalReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = ErrJournalTruncated
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// decodeJournal validates framing and CRC, returning the journaled
+// specs in LRU-to-MRU order.
+func decodeJournal(b []byte) ([]Spec, error) {
+	if len(b) < len(journalMagic)+12 {
+		return nil, ErrJournalTruncated
+	}
+	if string(b[:len(journalMagic)]) != journalMagic {
+		return nil, ErrJournalBadMagic
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if binary.LittleEndian.Uint32(tail) != crc32.Checksum(body, crcTable) {
+		return nil, ErrJournalCorrupt
+	}
+	r := &journalReader{b: body, off: len(journalMagic)}
+	if v := r.u32(); r.err == nil && v != JournalVersion {
+		return nil, fmt.Errorf("%w: %d (want %d)", ErrJournalBadVersion, v, JournalVersion)
+	}
+	count := int(r.u32())
+	var out []Spec
+	for i := 0; i < count; i++ {
+		var sp Spec
+		sp.Source = string(r.bytes())
+		sp.Procs = int(r.u32())
+		sp.Grain = string(r.bytes())
+		sp.Fabric = string(r.bytes())
+		flags := r.u32()
+		sp.Coalesce = flags&flagCoalesce != 0
+		sp.TwoSided = flags&flagTwoSided != 0
+		sp.PullScatter = flags&flagPullScatter != 0
+		sp.LockReductions = flags&flagLockReductions != 0
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// SaveCache journals the plan cache's working set to path, atomically:
+// the bytes land in a temp file first and replace any previous journal
+// by rename, so a crash mid-save leaves the old journal intact. Called
+// on SIGTERM drain by cmd/vbserve.
+func (s *Server) SaveCache(path string) error {
+	b := journalBytes(s.cache.Entries())
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("jobs: save cache journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: save cache journal: %w", err)
+	}
+	return nil
+}
+
+// WarmCache replays a journal written by SaveCache: each entry is
+// recompiled and inserted in LRU order, so the restarted server's
+// cache has the same working set (and the same eviction stacking) as
+// the one that drained. A missing file is a cold start, not an error.
+// Entries that no longer compile (a compiler change across restart)
+// are skipped; the count of warmed plans is returned. A corrupt or
+// torn journal returns an error and warms nothing.
+func (s *Server) WarmCache(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("jobs: read cache journal: %w", err)
+	}
+	specs, err := decodeJournal(b)
+	if err != nil {
+		return 0, err
+	}
+	warmed := 0
+	for _, sp := range specs {
+		sp, err := sp.normalized(s.cfg.DefaultFabric)
+		if err != nil {
+			continue
+		}
+		cc, err := core.Compile(sp.Source, sp.compileOptions())
+		if err != nil {
+			continue
+		}
+		s.cache.Put(PlanKey(sp), sp, cc, 0)
+		warmed++
+	}
+	return warmed, nil
+}

@@ -1,0 +1,158 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vbuscluster/internal/bench"
+)
+
+// TestJournalRoundTrip: encode → decode must reproduce the specs, in
+// order, with every compile-relevant field intact.
+func TestJournalRoundTrip(t *testing.T) {
+	in := []Spec{
+		{Source: "      PROGRAM A\n      END\n", Procs: 4, Grain: "fine", Fabric: "vbus"},
+		{Source: "      PROGRAM B\n      END\n", Procs: 8, Grain: "coarse", Fabric: "ideal",
+			Coalesce: true, TwoSided: true, PullScatter: true, LockReductions: true},
+		{Source: "", Procs: 0, Grain: "", Fabric: ""}, // degenerate entry survives framing
+	}
+	out, err := decodeJournal(journalBytes(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// TestJournalRejectsDamage: the decoder must refuse, with the right
+// named error, every way a journal can be broken — rather than warming
+// the cache from garbage.
+func TestJournalRejectsDamage(t *testing.T) {
+	good := journalBytes([]Spec{{Source: "X", Procs: 2, Grain: "fine", Fabric: "vbus"}})
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
+	if _, err := decodeJournal(flipped); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("bit-flipped journal: %v, want ErrJournalCorrupt", err)
+	}
+
+	if _, err := decodeJournal(good[:len(good)-3]); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("torn journal (CRC half-gone): %v, want ErrJournalCorrupt", err)
+	}
+	if _, err := decodeJournal(good[:6]); !errors.Is(err, ErrJournalTruncated) {
+		t.Fatalf("header-only journal: %v, want ErrJournalTruncated", err)
+	}
+
+	wrongMagic := append([]byte(nil), good...)
+	copy(wrongMagic, "VBCK")
+	if _, err := decodeJournal(wrongMagic); !errors.Is(err, ErrJournalBadMagic) {
+		t.Fatalf("wrong magic: %v, want ErrJournalBadMagic", err)
+	}
+
+	// A future version must be refused even with a valid CRC.
+	future := []byte(journalMagic)
+	future = appendU32(future, JournalVersion+1)
+	future = appendU32(future, 0)
+	future = appendU32(future, crcChecksum(future))
+	if _, err := decodeJournal(future); !errors.Is(err, ErrJournalBadVersion) {
+		t.Fatalf("future version: %v, want ErrJournalBadVersion", err)
+	}
+
+	// An entry count pointing past the body is truncation, not a crash.
+	lying := []byte(journalMagic)
+	lying = appendU32(lying, JournalVersion)
+	lying = appendU32(lying, 50)
+	lying = appendU32(lying, crcChecksum(lying))
+	if _, err := decodeJournal(lying); !errors.Is(err, ErrJournalTruncated) {
+		t.Fatalf("overcounted journal: %v, want ErrJournalTruncated", err)
+	}
+}
+
+// TestSaveWarmCacheAcrossRestart is the crash-safety story end to end:
+// run jobs, SaveCache, boot a fresh server, WarmCache, and watch the
+// replayed submissions hit the cache without a single cold compile.
+func TestSaveWarmCacheAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "plans.vbpj")
+	mix := []Spec{
+		{Source: bench.MMSource(16), Tenant: "t"},
+		{Source: bench.CFFTSource(7), Tenant: "t"},
+	}
+
+	s1 := New(Config{Clusters: 1})
+	for _, sp := range mix {
+		j, err := s1.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+	}
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.SaveCache(journal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+
+	s2 := New(Config{Clusters: 1})
+	defer s2.Drain(context.Background())
+	warmed, err := s2.WarmCache(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != len(mix) {
+		t.Fatalf("warmed %d plans, want %d", warmed, len(mix))
+	}
+	for _, sp := range mix {
+		j, err := s2.Submit(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+		if !j.Snapshot().CacheHit {
+			t.Fatalf("post-restart submission missed the warmed cache")
+		}
+	}
+	m := s2.Metrics()
+	if m.CompileColdMs.Count != 0 {
+		t.Fatalf("%d cold compiles served after warm boot, want 0", m.CompileColdMs.Count)
+	}
+	if m.Cache.HitRate < 0.9 {
+		t.Fatalf("post-restart hit rate %.2f, want >= 0.9", m.Cache.HitRate)
+	}
+
+	// Missing journal: cold start, not an error.
+	s3 := newServer(Config{})
+	if n, err := s3.WarmCache(filepath.Join(dir, "nope.vbpj")); n != 0 || err != nil {
+		t.Fatalf("missing journal: warmed=%d err=%v, want 0/nil", n, err)
+	}
+	// Corrupt journal on disk: refused, cache untouched.
+	if err := os.WriteFile(journal, []byte("VBPJgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.WarmCache(journal); err == nil {
+		t.Fatal("corrupt journal warmed successfully")
+	}
+	if s3.Metrics().Cache.Entries != 0 {
+		t.Fatal("corrupt journal still populated the cache")
+	}
+}
+
+// crcChecksum mirrors the journal's trailer computation for crafting
+// test vectors.
+func crcChecksum(b []byte) uint32 {
+	return crc32.Checksum(b, crcTable)
+}

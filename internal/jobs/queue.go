@@ -14,6 +14,11 @@ var ErrQueueFull = errors.New("jobs: queue full, try again later")
 // (graceful shutdown in progress, HTTP 503).
 var ErrDraining = errors.New("jobs: server draining, not admitting jobs")
 
+// ErrRateLimited reports that the tenant's token bucket is empty: the
+// submission is refused before it reaches the fair queue (HTTP 429 +
+// Retry-After).
+var ErrRateLimited = errors.New("jobs: tenant rate limit exceeded, try again later")
+
 // Queue is the bounded admission queue with per-tenant weighted fair
 // scheduling — stride scheduling over per-tenant FIFOs. Each tenant
 // owns a FIFO and a virtual "pass"; Pop always dispatches the active
@@ -42,10 +47,13 @@ type tenantQ struct {
 	jobs   []*Job
 	pass   float64
 	// accounting (guarded by Queue.mu)
-	admitted  int64
-	shed      int64
-	completed int64
-	failed    int64
+	admitted    int64
+	shed        int64
+	completed   int64
+	failed      int64
+	cancelled   int64
+	retried     int64
+	rateLimited int64
 }
 
 // NewQueue builds a queue admitting at most capacity jobs across all
@@ -125,6 +133,44 @@ func (q *Queue) Pop() (*Job, bool) {
 	return j, true
 }
 
+// Remove takes a still-queued job out of its tenant's FIFO (a
+// cancellation racing admission). It reports whether the job was
+// found; false means a worker already popped it (or it was never
+// queued) and the caller must cancel through the job's context
+// instead. The freed slot is immediately available to Enqueue.
+func (q *Queue) Remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.tenants[j.Spec.Tenant]
+	if !ok {
+		return false
+	}
+	for i, x := range t.jobs {
+		if x == j {
+			t.jobs = append(t.jobs[:i], t.jobs[i+1:]...)
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// noteRetry charges one retry to the tenant's accounting (the retried
+// job re-enters the tenant's own FIFO, so the fair-share stride
+// charges the re-dispatch to the same tenant automatically).
+func (q *Queue) noteRetry(tenant string) {
+	q.mu.Lock()
+	q.tenant(tenant).retried++
+	q.mu.Unlock()
+}
+
+// noteRateLimited books one refused-by-rate-limit submission.
+func (q *Queue) noteRateLimited(tenant string) {
+	q.mu.Lock()
+	q.tenant(tenant).rateLimited++
+	q.mu.Unlock()
+}
+
 // Close stops admission; queued jobs still drain through Pop.
 func (q *Queue) Close() {
 	q.mu.Lock()
@@ -141,14 +187,17 @@ func (q *Queue) Depth() int {
 }
 
 // finish books a job's terminal state into its tenant's counters.
-func (q *Queue) finish(tenant string, failed bool) {
+func (q *Queue) finish(tenant string, st State) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	t := q.tenant(tenant)
-	if failed {
-		t.failed++
-	} else {
+	switch st {
+	case StateDone:
 		t.completed++
+	case StateCancelled:
+		t.cancelled++
+	default: // failed, quarantined
+		t.failed++
 	}
 }
 
@@ -160,6 +209,11 @@ type TenantStats struct {
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
 	Queued    int   `json:"queued"`
+	Cancelled int64 `json:"cancelled,omitempty"`
+	Retried   int64 `json:"retried,omitempty"`
+	// RateLimited counts submissions refused by the tenant's token
+	// bucket (never admitted, so not part of Admitted or Shed).
+	RateLimited int64 `json:"rate_limited,omitempty"`
 }
 
 // Stats snapshots every tenant's counters.
@@ -169,12 +223,15 @@ func (q *Queue) Stats() map[string]TenantStats {
 	out := make(map[string]TenantStats, len(q.tenants))
 	for name, t := range q.tenants {
 		out[name] = TenantStats{
-			Weight:    t.weight,
-			Admitted:  t.admitted,
-			Shed:      t.shed,
-			Completed: t.completed,
-			Failed:    t.failed,
-			Queued:    len(t.jobs),
+			Weight:      t.weight,
+			Admitted:    t.admitted,
+			Shed:        t.shed,
+			Completed:   t.completed,
+			Failed:      t.failed,
+			Queued:      len(t.jobs),
+			Cancelled:   t.cancelled,
+			Retried:     t.retried,
+			RateLimited: t.rateLimited,
 		}
 	}
 	return out

@@ -1,0 +1,110 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is per-tenant token-bucket admission control, applied
+// before the fair queue: a tenant above its sustained rate is refused
+// with ErrRateLimited and never occupies a queue slot, so a hostile
+// client cannot convert queue capacity into latency for everyone else
+// (the fair queue then only has to arbitrate among tenants that are
+// each within their own budget).
+//
+// Buckets refill lazily on each allow() call — no background
+// goroutine. A rate of 0 with no per-tenant override disables limiting
+// entirely (every call allows).
+type rateLimiter struct {
+	mu sync.Mutex
+	// rate is the default sustained tokens/sec; burst the bucket size.
+	rate      float64
+	burst     float64
+	overrides map[string]float64 // per-tenant rate (0 = unlimited)
+	buckets   map[string]*bucket
+	now       func() time.Time // swapped by tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+// maxRateBuckets bounds the tenant-bucket map; past it, an arbitrary
+// stale bucket is evicted (the evicted tenant restarts with a full
+// bucket — briefly generous, never unbounded).
+const maxRateBuckets = 4096
+
+// newRateLimiter builds the limiter; nil when limiting is entirely
+// disabled (rate 0, no overrides) so the fast path is a nil check.
+func newRateLimiter(rate float64, burst int, overrides map[string]float64) *rateLimiter {
+	if rate <= 0 && len(overrides) == 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		// Default burst: 2 seconds of sustained rate, at least 1.
+		b = 2 * rate
+		if b < 1 {
+			b = 1
+		}
+	}
+	return &rateLimiter{
+		rate:      rate,
+		burst:     b,
+		overrides: overrides,
+		buckets:   map[string]*bucket{},
+		now:       time.Now,
+	}
+}
+
+// allow consumes one token from tenant's bucket, reporting whether the
+// submission may proceed. Nil receiver allows everything.
+func (l *rateLimiter) allow(tenant string) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rate := l.rate
+	if r, ok := l.overrides[tenant]; ok {
+		rate = r
+	}
+	if rate <= 0 {
+		return true // this tenant is unlimited
+	}
+	bk, ok := l.buckets[tenant]
+	if !ok {
+		if len(l.buckets) >= maxRateBuckets {
+			for k := range l.buckets {
+				delete(l.buckets, k)
+				break
+			}
+		}
+		bk = &bucket{tokens: l.burst, last: l.now(), rate: rate, burst: l.burst}
+		l.buckets[tenant] = bk
+	}
+	now := l.now()
+	bk.tokens += now.Sub(bk.last).Seconds() * bk.rate
+	if bk.tokens > bk.burst {
+		bk.tokens = bk.burst
+	}
+	bk.last = now
+	if bk.tokens < 1 {
+		return false
+	}
+	bk.tokens--
+	return true
+}
+
+// splitmix64 is the stateless mixer used for deterministic jitter
+// (retry backoff, Retry-After): the same sequence index always yields
+// the same jitter, so chaos runs replay exactly.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -122,6 +122,11 @@ func (w *World) collectiveE(rank int, op string, contrib []float64,
 				w.mu.Unlock()
 				return nil, 0, &Error{Kind: ErrRevoked, Rank: rank, Op: op, Peer: -1, Time: w.cl.Clock(node)}
 			}
+			if w.cancelled.Load() {
+				w.arrived--
+				w.mu.Unlock()
+				return nil, 0, &Error{Kind: ErrCancelled, Rank: rank, Op: op, Peer: -1, Time: w.cl.Clock(node)}
+			}
 			if w.nDown > 0 {
 				w.arrived--
 				w.mu.Unlock()

@@ -23,6 +23,11 @@ const (
 	// MPI_Comm_revoke) after a failure elsewhere: the operation was
 	// interrupted so the rank can join the recovery protocol.
 	ErrRevoked
+	// ErrCancelled means the run itself was cancelled from outside the
+	// simulation (a job deadline or an explicit abort — World.Cancel):
+	// the operation was abandoned so the rank goroutine can unwind
+	// instead of leaking a running cluster.
+	ErrCancelled
 )
 
 // String names the kind.
@@ -36,6 +41,8 @@ func (k ErrorKind) String() string {
 		return "peer-crashed"
 	case ErrRevoked:
 		return "revoked"
+	case ErrCancelled:
+		return "cancelled"
 	default:
 		return "invalid"
 	}

@@ -74,6 +74,30 @@ func (w *World) startWatchdog() {
 	}()
 }
 
+// Cancel aborts the run from outside the simulation: every subsequent
+// operation — and every operation currently blocked in a rendezvous,
+// receive wait or lock acquisition — fails with ErrCancelled so the
+// rank goroutines unwind promptly instead of leaking a running
+// cluster. Idempotent and safe to call from any goroutine (the
+// interpreter's context monitor calls it when a job deadline expires).
+func (w *World) Cancel() {
+	if w.cancelled.CompareAndSwap(false, true) {
+		close(w.cancelCh)
+		w.mu.Lock()
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// Cancelled reports whether the run has been aborted with Cancel.
+func (w *World) Cancelled() bool { return w.cancelled.Load() }
+
+// cancelErr builds the structured failure for an operation abandoned
+// after Cancel.
+func (p *Proc) cancelErr(op string, peer int) *Error {
+	return &Error{Kind: ErrCancelled, Rank: p.rank, Op: op, Peer: peer, Time: p.w.cl.Clock(p.node())}
+}
+
 // noteDown marks rank as crashed/departed and wakes every blocked
 // waiter so operations depending on it can fail instead of hanging.
 func (w *World) noteDown(rank int) {
@@ -115,6 +139,9 @@ func (w *World) Depart(rank int) {
 // revoked communicator every operation fails with ErrRevoked instead.
 func (p *Proc) enter(op string, peer int) *Error {
 	w := p.w
+	if w.cancelled.Load() {
+		return p.cancelErr(op, peer)
+	}
 	if w.inj == nil {
 		return nil
 	}

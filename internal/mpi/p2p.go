@@ -204,6 +204,10 @@ func (p *Proc) RecvE(src, tag int) ([]float64, error) {
 			w.mu.Unlock()
 			return nil, &Error{Kind: ErrRevoked, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: w.cl.Clock(node)}
 		}
+		if w.cancelled.Load() {
+			w.mu.Unlock()
+			return nil, &Error{Kind: ErrCancelled, Rank: p.rank, Op: trace.OpRecv, Peer: src, Time: w.cl.Clock(node)}
+		}
 		if w.nDown > 0 {
 			if src != AnySource && w.down[src] {
 				w.mu.Unlock()

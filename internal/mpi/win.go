@@ -239,23 +239,37 @@ func (p *Proc) LockE(win *Win, target int) error {
 			if d > 0 {
 				select {
 				case win.lockCh[target] <- struct{}{}:
+				case <-p.w.cancelCh:
+					sched.Unpark(p.node())
+					return p.cancelErr(trace.OpLock, target)
 				case <-time.After(WatchdogWall):
 					sched.Unpark(p.node())
 					return &Error{Kind: ErrTimeout, Rank: p.rank, Op: trace.OpLock, Peer: target, Time: entry + d}
 				}
 			} else {
-				win.lockCh[target] <- struct{}{}
+				select {
+				case win.lockCh[target] <- struct{}{}:
+				case <-p.w.cancelCh:
+					sched.Unpark(p.node())
+					return p.cancelErr(trace.OpLock, target)
+				}
 			}
 			sched.Unpark(p.node())
 		}
 	} else if d > 0 {
 		select {
 		case win.lockCh[target] <- struct{}{}:
+		case <-p.w.cancelCh:
+			return p.cancelErr(trace.OpLock, target)
 		case <-time.After(WatchdogWall):
 			return &Error{Kind: ErrTimeout, Rank: p.rank, Op: trace.OpLock, Peer: target, Time: entry + d}
 		}
 	} else {
-		win.lockCh[target] <- struct{}{}
+		select {
+		case win.lockCh[target] <- struct{}{}:
+		case <-p.w.cancelCh:
+			return p.cancelErr(trace.OpLock, target)
+		}
 	}
 	card := p.w.cl.Fabric()
 	p.w.cl.ChargeComm(p.node(), card.SendSetup()+card.ContigTime(WordBytes, p.hops(target)), 0)

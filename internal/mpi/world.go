@@ -24,6 +24,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"vbuscluster/internal/cluster"
 	"vbuscluster/internal/fault"
@@ -88,6 +89,14 @@ type World struct {
 	// watchStop stops the deadline watchdog goroutine.
 	watchStop chan struct{}
 
+	// cancelled flags an external run abort (World.Cancel): every
+	// subsequent or blocked operation fails with ErrCancelled. The flag
+	// is an atomic so the per-operation entry check stays lock-free;
+	// cancelCh is closed alongside it so channel-based waits (window
+	// lock acquisition) can select on cancellation.
+	cancelled atomic.Bool
+	cancelCh  chan struct{}
+
 	// sched, when non-nil, is notified whenever a rank blocks inside
 	// the runtime (SetScheduler). Nil — the default — keeps every
 	// blocking operation exactly as before.
@@ -145,16 +154,17 @@ func NewWorldOver(c *cluster.Cluster, nodes []int) *World {
 func newWorld(c *cluster.Cluster, nodes []int) *World {
 	n := len(nodes)
 	w := &World{
-		cl:      c,
-		n:       n,
-		nodes:   nodes,
-		slots:   make(map[uint64]*collSlot),
-		wins:    make(map[string]*Win),
-		boxes:   make(map[mbKey][]*pendingSend),
-		inj:     c.Faults(),
-		pktSeq:  make([]int, n*n),
-		down:    make([]bool, n),
-		crashed: make([]bool, n),
+		cl:       c,
+		n:        n,
+		nodes:    nodes,
+		slots:    make(map[uint64]*collSlot),
+		wins:     make(map[string]*Win),
+		boxes:    make(map[mbKey][]*pendingSend),
+		inj:      c.Faults(),
+		pktSeq:   make([]int, n*n),
+		down:     make([]bool, n),
+		crashed:  make([]bool, n),
+		cancelCh: make(chan struct{}),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	if w.inj.Deadline() > 0 {
