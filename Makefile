@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke chaos-smoke bench-gate bench
+.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke chaos-smoke peer-smoke bench-gate bench
 
-ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke chaos-smoke bench-gate
+ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke chaos-smoke peer-smoke bench-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -143,6 +143,44 @@ chaos-smoke:
 	grep -q '"state": "done"' /tmp/vbus-chaos-warm.json && \
 	kill -TERM $$pid && wait $$pid
 	@rm -f /tmp/vbserve-chaos /tmp/vbus-chaos-poison.json /tmp/vbus-chaos-stall.json /tmp/vbus-chaos.vbpj /tmp/vbus-chaos-warm.json
+
+# Federation gate: the peer package under the race detector, the
+# seeded three-peer sweep (forwarding, mid-run kill, failover and
+# rebalance claims asserted), then an end-to-end ring of three
+# race-built daemons: a job submitted through node 1 executes at its
+# ring owner (the X-VBus-Peer header names it), the same job through
+# node 2 is a warm hit at that owner, the owner is then kill -9'd and
+# a submission through a survivor still completes, after which the
+# survivor's /healthz/ready reports the victim "dead". The remaining
+# daemons drain clean on SIGTERM.
+peer-smoke:
+	$(GO) test -race ./internal/peer
+	$(GO) run ./cmd/vbbench -peersweep -peerout '' > /dev/null
+	$(GO) build -race -o /tmp/vbserve-peer ./cmd/vbserve
+	PEERS=127.0.0.1:18811,127.0.0.1:18812,127.0.0.1:18813; \
+	/tmp/vbserve-peer -addr 127.0.0.1:18811 -self 127.0.0.1:18811 -peers $$PEERS -gossip-interval 100ms -clusters 2 & p1=$$!; \
+	/tmp/vbserve-peer -addr 127.0.0.1:18812 -self 127.0.0.1:18812 -peers $$PEERS -gossip-interval 100ms -clusters 2 & p2=$$!; \
+	/tmp/vbserve-peer -addr 127.0.0.1:18813 -self 127.0.0.1:18813 -peers $$PEERS -gossip-interval 100ms -clusters 2 & p3=$$!; \
+	sleep 1; \
+	curl -sf -D /tmp/vbus-peer-h1.txt -X POST --data @examples/serve_mm.json 'http://127.0.0.1:18811/v1/jobs?wait=1' | grep -q '"state": "done"' && \
+	curl -sf -X POST --data @examples/serve_mm.json 'http://127.0.0.1:18812/v1/jobs?wait=1' | grep -q '"cache_hit": true' && \
+	owner=$$(grep -i '^x-vbus-peer:' /tmp/vbus-peer-h1.txt | tr -d '\r' | awk '{print $$2}'); \
+	echo "peer-smoke: ring owner is $$owner"; \
+	case "$$owner" in \
+	  *18811) opid=$$p1; entry=127.0.0.1:18812;; \
+	  *18812) opid=$$p2; entry=127.0.0.1:18813;; \
+	  *18813) opid=$$p3; entry=127.0.0.1:18811;; \
+	  *) echo "peer-smoke: unknown owner '$$owner'"; kill $$p1 $$p2 $$p3 2>/dev/null; exit 1;; \
+	esac; \
+	kill -9 $$opid && \
+	curl -sf -X POST --data @examples/serve_mm.json "http://$$entry/v1/jobs?wait=1" | grep -q '"state": "done"' && \
+	sleep 2 && \
+	curl -sf "http://$$entry/healthz/ready" | grep -q '"dead"' && \
+	ok=0 || ok=1; \
+	for p in $$p1 $$p2 $$p3; do [ "$$p" = "$$opid" ] || kill -TERM $$p 2>/dev/null; done; \
+	for p in $$p1 $$p2 $$p3; do [ "$$p" = "$$opid" ] || wait $$p || ok=1; done; \
+	exit $$ok
+	@rm -f /tmp/vbserve-peer /tmp/vbus-peer-h1.txt
 
 # Performance gate: the core baseline must stay within 10% of the
 # checked-in BENCH_core.json (best of 3 runs absorbs host noise).

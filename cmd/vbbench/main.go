@@ -15,6 +15,7 @@
 //	vbbench -corebench          # end-to-end wall-time baseline at 4 ranks -> BENCH_core.json
 //	vbbench -servesweep         # closed-loop throughput vs client count against an in-process vbserve -> BENCH_serve.json
 //	vbbench -chaossweep         # seeded hostile workload asserting the server's robustness invariants -> BENCH_serve.json
+//	vbbench -peersweep          # three-peer federation: forwarding, mid-run kill, failover + rebalance assertions -> BENCH_serve.json
 //	vbbench -benchgate          # re-run -corebench; fail on >10% events/sec regression vs BENCH_core.json
 //	vbbench -all -quick         # everything at reduced sizes
 //
@@ -71,6 +72,9 @@ func main() {
 	chaosSweep := flag.Bool("chaossweep", false, "seeded chaos sweep: poison specs, worker kills, deadline storms, rate-limit floods, restart-warm replay")
 	chaosSeed := flag.Uint64("chaosseed", 42, "seed for -chaossweep fault schedules (replayable)")
 	chaosOut := flag.String("chaosout", "BENCH_serve.json", "merge the -chaossweep result into this JSON file under \"chaos\" ('' = stdout only)")
+	peerSweep := flag.Bool("peersweep", false, "three-peer federation sweep: consistent-hash forwarding, a mid-run hard kill, failover and rebalance assertions")
+	peerSeed := flag.Uint64("peerseed", 42, "seed for -peersweep forwarder jitter")
+	peerOut := flag.String("peerout", "BENCH_serve.json", "merge the -peersweep result into this JSON file under \"peers\" ('' = stdout only)")
 	benchGate := flag.Bool("benchgate", false, "re-run -corebench and fail if events/sec regresses >10% vs the checked-in baseline")
 	benchBase := flag.String("benchbase", "BENCH_core.json", "baseline file for -benchgate")
 	workers := flag.Int("workers", 0, "rank scheduler worker-pool size: 0 = GOMAXPROCS, negative = unpooled (results identical)")
@@ -102,8 +106,9 @@ func main() {
 	runCore := *coreBench || *all
 	runServe := *serveSweep || *all
 	runChaos := *chaosSweep || *all
-	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal && !runScale && !runCore && !runServe && !runChaos && !*benchGate {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep, -scalesweep, -corebench, -servesweep, -chaossweep, -benchgate or -all")
+	runPeers := *peerSweep || *all
+	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal && !runScale && !runCore && !runServe && !runChaos && !runPeers && !*benchGate {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep, -scalesweep, -corebench, -servesweep, -chaossweep, -peersweep, -benchgate or -all")
 		os.Exit(2)
 	}
 
@@ -236,8 +241,18 @@ func main() {
 		check(err)
 		fmt.Println(serve.FormatChaos(res))
 		if *chaosOut != "" {
-			check(mergeChaos(*chaosOut, res))
+			check(mergeServeSection(*chaosOut, "chaos", res))
 			fmt.Fprintf(os.Stderr, "vbbench: merged chaos result into %s\n", *chaosOut)
+		}
+	}
+
+	if runPeers {
+		res, err := serve.PeerSweep(*peerSeed)
+		check(err)
+		fmt.Println(serve.FormatPeers(res))
+		if *peerOut != "" {
+			check(mergeServeSection(*peerOut, "peers", res))
+			fmt.Fprintf(os.Stderr, "vbbench: merged peer result into %s\n", *peerOut)
 		}
 	}
 
@@ -305,17 +320,18 @@ func main() {
 
 func check(err error) { cliutil.Check("vbbench", err) }
 
-// mergeChaos folds the chaos result into the serve benchmark file
-// under a "chaos" key, preserving any -servesweep rows already there
-// (both sweeps report into BENCH_serve.json).
-func mergeChaos(path string, res *serve.ChaosResult) error {
+// mergeServeSection folds one sweep's result into the serve benchmark
+// file under the given key, preserving every other section already
+// there (-servesweep rows, "chaos", "peers" — all report into
+// BENCH_serve.json).
+func mergeServeSection(path, key string, res any) error {
 	doc := map[string]interface{}{"schema": "vbbench-servesweep/v1"}
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &doc); err != nil {
 			return fmt.Errorf("vbbench: %s exists but is not JSON: %w", path, err)
 		}
 	}
-	doc["chaos"] = res
+	doc[key] = res
 	f, err := os.Create(path)
 	if err != nil {
 		return err

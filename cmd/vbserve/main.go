@@ -9,6 +9,7 @@
 //
 //	vbserve [-addr :8077] [-clusters N] [-queue D] [-cache P] [-workers W] [-fabric vbus|vbus3d|ethernet|ideal]
 //	        [-cache-journal F] [-default-deadline D] [-max-deadline D] [-retries N] [-rate R] [-burst B]
+//	        [-peers a:p,b:p,c:p -self a:p] [-gossip-interval D]
 //
 // Endpoints:
 //
@@ -26,6 +27,16 @@
 // plan cache is journaled to -cache-journal (if set), then the process
 // exits 0. On the next boot the journal is replayed — each cached plan
 // recompiled — so a restarted daemon starts warm.
+//
+// With -peers (a comma-separated member list including -self) the
+// daemon joins a vbserve federation: plan keys live on a consistent-
+// hash ring, submissions are forwarded to their key's owner (so each
+// program compiles once cluster-wide), a heartbeat failure detector
+// routes around dead peers with bounded failover, and a graceful exit
+// hands the plan cache's working set to each key's new owner. Peer
+// endpoints: GET /v1/peer/health, GET /v1/peer/ring, POST
+// /v1/peer/handoff. A lone or partitioned peer degrades to local
+// compilation — never an error.
 package main
 
 import (
@@ -43,6 +54,7 @@ import (
 	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/jobs"
 	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
+	"vbuscluster/internal/peer"
 )
 
 func main() {
@@ -59,6 +71,9 @@ func main() {
 	retries := flag.Int("retries", 2, "retry budget for transiently failed jobs")
 	rate := flag.Float64("rate", 0, "per-tenant admission rate limit in jobs/sec (0 = unlimited)")
 	burst := flag.Int("burst", 0, "token-bucket burst per tenant (0 = 2x rate)")
+	peers := flag.String("peers", "", "comma-separated federation member list (host:port, including -self); empty = standalone")
+	self := flag.String("self", "", "this node's address in -peers (required with -peers)")
+	gossip := flag.Duration("gossip-interval", 500*time.Millisecond, "peer heartbeat period (suspect after 3x, dead after 8x)")
 	flag.Parse()
 
 	check(cliutil.ValidateFabric(*fabric))
@@ -89,7 +104,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "vbserve: warmed %d plans from %s\n", warmed, *journal)
 		}
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	var node *peer.Node
+	if *peers != "" {
+		if *self == "" {
+			check(fmt.Errorf("-self is required with -peers"))
+		}
+		var members []string
+		for _, m := range strings.Split(*peers, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		var err error
+		node, err = peer.NewNode(srv, peer.Options{
+			Self:           *self,
+			Peers:          members,
+			GossipInterval: *gossip,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "vbserve: "+format+"\n", args...)
+			},
+		})
+		check(err)
+		handler = node.Handler()
+		node.Start()
+		fmt.Fprintf(os.Stderr, "vbserve: federation of %d peers, self %s, gossip every %v\n",
+			len(members), *self, *gossip)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -114,6 +156,12 @@ func main() {
 	if err := srv.Drain(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "vbserve: %v\n", err)
 		os.Exit(1)
+	}
+	if node != nil {
+		// Peers saw the drain through /v1/peer/health 503s and have
+		// already rerouted; now hand the warm plan cache to each key's
+		// new owner so the federation keeps its hit rate.
+		node.Shutdown(ctx)
 	}
 	if *journal != "" {
 		if err := srv.SaveCache(*journal); err != nil {

@@ -1,0 +1,139 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vbuscluster/internal/bench"
+)
+
+// decodeEnvelope asserts a response carries the uniform error envelope
+// and returns its code.
+func decodeEnvelope(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response Content-Type %q, want application/json", ct)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	var eb ErrorBody
+	if err := json.Unmarshal(data, &eb); err != nil {
+		t.Fatalf("error body is not the envelope: %v\nbody: %s", err, data)
+	}
+	if eb.Error.Code == "" || eb.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %s", data)
+	}
+	return eb.Error.Code
+}
+
+// TestHTTPErrorEnvelopeUniform sweeps every 4xx/5xx surface the API
+// can produce and asserts one shape: {"error":{"code","message"}}.
+func TestHTTPErrorEnvelopeUniform(t *testing.T) {
+	s := New(Config{Clusters: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(body string, q string) *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/jobs"+q, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Malformed JSON and unknown fields: bad_spec.
+	if code := decodeEnvelope(t, post("{not json", "")); code != "bad_spec" {
+		t.Fatalf("malformed JSON code %q, want bad_spec", code)
+	}
+	if code := decodeEnvelope(t, post(`{"sourcecode": "X"}`, "")); code != "bad_spec" {
+		t.Fatalf("unknown field code %q, want bad_spec", code)
+	}
+
+	// Out-of-range priority: 400 bad_spec naming the bound.
+	body, _ := json.Marshal(Spec{Source: bench.MMSource(8), Tenant: "t", Priority: 99})
+	resp := post(string(body), "")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("priority 99: status %d, want 400", resp.StatusCode)
+	}
+	if code := decodeEnvelope(t, resp); code != "bad_spec" {
+		t.Fatalf("priority 99 code %q, want bad_spec", code)
+	}
+
+	// Unknown job / trace: not_found family.
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/trace"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+		if code := decodeEnvelope(t, resp); code != "not_found" {
+			t.Fatalf("%s code %q, want not_found", path, code)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/nope", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := decodeEnvelope(t, dresp); code != "not_found" {
+		t.Fatalf("cancel of unknown job code %q, want not_found", code)
+	}
+
+	// Drained server: readiness and submission both answer "draining".
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz/ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ready while draining: status %d, want 503", resp.StatusCode)
+	}
+	if code := decodeEnvelope(t, resp); code != "draining" {
+		t.Fatalf("ready-while-draining code %q, want draining", code)
+	}
+	good, _ := json.Marshal(Spec{Source: bench.MMSource(8), Tenant: "t"})
+	if code := decodeEnvelope(t, post(string(good), "")); code != "draining" {
+		t.Fatalf("submit-while-draining code %q, want draining", code)
+	}
+}
+
+// TestHTTPRateLimitEnvelope: a rate-limited submission answers 429
+// with the envelope AND a Retry-After hint.
+func TestHTTPRateLimitEnvelope(t *testing.T) {
+	s := New(Config{Clusters: 1, RatePerSec: 0.0001, RateBurst: 1})
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(Spec{Source: bench.MMSource(8), Tenant: "t"})
+	first, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Body.Close()
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d, want 202", first.StatusCode)
+	}
+	second, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("limited submit: status %d, want 429", second.StatusCode)
+	}
+	if second.Header.Get("Retry-After") == "" {
+		t.Fatal("limited submit missing Retry-After")
+	}
+	if code := decodeEnvelope(t, second); code != "rate_limited" {
+		t.Fatalf("limited submit code %q, want rate_limited", code)
+	}
+}

@@ -56,8 +56,10 @@ func TestServerDeadlineCancelsRunningJob(t *testing.T) {
 	defer s.Drain(context.Background())
 	// A large MM whose compile + run far exceeds the 1ms deadline: the
 	// context fires while the simulation executes (or before it starts)
-	// and the run must unwind instead of finishing.
-	j, err := s.Submit(Spec{Source: bench.MMSource(256), Tenant: "dl", DeadlineMs: 1})
+	// and the run must unwind instead of finishing. N=1024 keeps the
+	// run (~20ms) an order of magnitude past worst-case timer latency,
+	// so the cancel can't lose the race to completion under suite load.
+	j, err := s.Submit(Spec{Source: bench.MMSource(1024), Tenant: "dl", DeadlineMs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,10 @@ const maxBodyBytes = 1 << 20
 // alive (in-flight jobs still complete, GETs still answer) but must
 // stop receiving new traffic — a load balancer watches ready, a
 // process supervisor watches live.
+//
+// Every non-2xx response carries the uniform JSON error envelope
+// {"error": {"code": "...", "message": "..."}} (ErrorBody), so clients
+// parse one shape whatever went wrong.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -40,8 +44,23 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-type httpError struct {
-	Error string `json:"error"`
+// ErrorBody is the uniform error envelope of every 4xx/5xx response.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a stable machine-readable code alongside the
+// human-readable message. Codes in use: bad_spec, queue_full,
+// rate_limited, draining, not_found, no_trace, forward_failed.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// WriteError writes the uniform JSON error envelope. Exported so the
+// peer layer's handlers answer in the same shape.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorBody{ErrorDetail{Code: code, Message: msg}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -57,22 +76,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{"bad job spec: " + err.Error()})
+		WriteError(w, http.StatusBadRequest, "bad_spec", "bad job spec: "+err.Error())
 		return
 	}
+	s.SubmitHTTP(w, r, spec)
+}
+
+// SubmitHTTP runs the submission path for an already-decoded spec:
+// admission errors map onto the envelope (429 + Retry-After for
+// shedding and rate limits, 503 draining, 400 rejected specs) and
+// ?wait=1 blocks until the job reaches a terminal state. The peer
+// layer calls it directly for jobs it routes to the local server.
+func (s *Server) SubmitHTTP(w http.ResponseWriter, r *http.Request, spec Spec) {
 	j, err := s.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):
 		// Load shedding / rate limiting: tell the client when the
 		// backlog should have cleared instead of letting it queue-build.
 		w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
-		writeJSON(w, http.StatusTooManyRequests, httpError{err.Error()})
+		code := "queue_full"
+		if errors.Is(err, ErrRateLimited) {
+			code = "rate_limited"
+		}
+		WriteError(w, http.StatusTooManyRequests, code, err.Error())
 		return
 	case errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, httpError{err.Error()})
+		WriteError(w, http.StatusServiceUnavailable, "draining", err.Error())
 		return
 	case err != nil:
-		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		WriteError(w, http.StatusBadRequest, "bad_spec", err.Error())
 		return
 	}
 	if r.URL.Query().Get("wait") != "" {
@@ -91,7 +123,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, httpError{"no such job"})
+		WriteError(w, http.StatusNotFound, "not_found", "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Snapshot())
@@ -100,7 +132,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Cancel(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, httpError{"no such job"})
+		WriteError(w, http.StatusNotFound, "not_found", "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Snapshot())
@@ -109,13 +141,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, httpError{"no such job"})
+		WriteError(w, http.StatusNotFound, "not_found", "no such job")
 		return
 	}
 	rec := j.TraceRecorder()
 	if rec == nil {
-		writeJSON(w, http.StatusNotFound,
-			httpError{"no trace: submit with \"trace\": true and wait for completion"})
+		WriteError(w, http.StatusNotFound, "no_trace",
+			"no trace: submit with \"trace\": true and wait for completion")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -128,7 +160,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		WriteError(w, http.StatusServiceUnavailable, "draining", "server draining, not admitting jobs")
 		return
 	}
 	_, _ = w.Write([]byte("ok\n"))

@@ -62,6 +62,13 @@ type Spec struct {
 	// Tenant attributes the job for fair scheduling and accounting
 	// ("" = "default").
 	Tenant string `json:"tenant,omitempty"`
+	// Priority is the job's strict admission priority, 0 (bulk, the
+	// default) through 9 (interactive). A higher band always dispatches
+	// before a lower one; per-tenant stride fairness applies within a
+	// band. Failover-forwarded jobs in peer mode are boosted so
+	// recovery work preempts bulk traffic. Run-time only — excluded
+	// from the plan cache key.
+	Priority int `json:"priority,omitempty"`
 	// DeadlineMs bounds the job's wall-clock lifetime from admission
 	// (queueing included): past it the run is cancelled and the job
 	// ends "cancelled". 0 uses the server default; the server-side cap
@@ -77,6 +84,10 @@ type Spec struct {
 
 // maxProcs bounds a request's rank count (the scale sweep's ceiling).
 const maxProcs = 1024
+
+// MaxPriority is the highest admission priority a spec may request;
+// valid priorities are [0, MaxPriority], 0 being the bulk default.
+const MaxPriority = 9
 
 // normalized fills defaults and validates the spec. It is called once
 // at submission; everything downstream trusts the result.
@@ -119,6 +130,9 @@ func (s Spec) normalized(defaultFabric string) (Spec, error) {
 	}
 	if len(s.Tenant) > 64 {
 		return s, fmt.Errorf("jobs: tenant name longer than 64 bytes")
+	}
+	if s.Priority < 0 || s.Priority > MaxPriority {
+		return s, fmt.Errorf("jobs: priority %d out of range [0, %d]", s.Priority, MaxPriority)
 	}
 	if s.DeadlineMs < 0 {
 		return s, fmt.Errorf("jobs: negative deadline_ms %d", s.DeadlineMs)
@@ -288,10 +302,13 @@ func (j *Job) TraceRecorder() *trace.Recorder {
 // View is the externally visible snapshot of a job, the GET
 // /v1/jobs/{id} body.
 type View struct {
-	ID       string `json:"id"`
-	Tenant   string `json:"tenant"`
-	State    State  `json:"state"`
-	CacheHit bool   `json:"cache_hit"`
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	// Priority is the effective admission priority (failover boosts
+	// show here, not in the submitted spec).
+	Priority int   `json:"priority,omitempty"`
+	State    State `json:"state"`
+	CacheHit bool  `json:"cache_hit"`
 	// Grain is the effective granularity ("auto" resolves once the
 	// plan is compiled).
 	Grain  string `json:"grain,omitempty"`
@@ -324,6 +341,7 @@ func (j *Job) Snapshot() View {
 	v := View{
 		ID:       j.ID,
 		Tenant:   j.Spec.Tenant,
+		Priority: j.Spec.Priority,
 		State:    j.state,
 		CacheHit: j.cacheHit,
 		Grain:    j.grain,

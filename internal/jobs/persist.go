@@ -164,6 +164,42 @@ func decodeJournal(b []byte) ([]Spec, error) {
 	return out, nil
 }
 
+// EncodeJournal frames specs in the VBPJ v1 journal format (magic,
+// version, length-prefixed entries, CRC-32C trailer). Exported for the
+// peer layer, which ships cache working sets between federation
+// members as journal bytes during warm-cache handoff.
+func EncodeJournal(specs []Spec) []byte { return journalBytes(specs) }
+
+// DecodeJournal parses VBPJ journal bytes, refusing torn, corrupted,
+// version-skewed or misframed input whole (see the ErrJournal errors).
+func DecodeJournal(b []byte) ([]Spec, error) { return decodeJournal(b) }
+
+// CachedSpecs lists the plan cache's current working set from least to
+// most recently used — the order that, replayed through WarmSpecs,
+// reconstructs the same LRU stacking.
+func (s *Server) CachedSpecs() []Spec { return s.cache.Entries() }
+
+// WarmSpecs recompiles each spec and inserts it into the plan cache in
+// order, returning how many warmed. Specs that fail normalization or
+// no longer compile are skipped — a handoff or journal from an older
+// build must not poison the cache.
+func (s *Server) WarmSpecs(specs []Spec) int {
+	warmed := 0
+	for _, sp := range specs {
+		sp, err := sp.normalized(s.cfg.DefaultFabric)
+		if err != nil {
+			continue
+		}
+		cc, err := core.Compile(sp.Source, sp.compileOptions())
+		if err != nil {
+			continue
+		}
+		s.cache.Put(PlanKey(sp), sp, cc, 0)
+		warmed++
+	}
+	return warmed
+}
+
 // SaveCache journals the plan cache's working set to path, atomically:
 // the bytes land in a temp file first and replace any previous journal
 // by rename, so a crash mid-save leaves the old journal intact. Called
@@ -200,18 +236,5 @@ func (s *Server) WarmCache(path string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	warmed := 0
-	for _, sp := range specs {
-		sp, err := sp.normalized(s.cfg.DefaultFabric)
-		if err != nil {
-			continue
-		}
-		cc, err := core.Compile(sp.Source, sp.compileOptions())
-		if err != nil {
-			continue
-		}
-		s.cache.Put(PlanKey(sp), sp, cc, 0)
-		warmed++
-	}
-	return warmed, nil
+	return s.WarmSpecs(specs), nil
 }

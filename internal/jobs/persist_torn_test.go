@@ -1,0 +1,101 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vbuscluster/internal/bench"
+)
+
+// TestJournalTornAtEveryByte is the exhaustive torn-write sweep: a
+// journal cut at ANY byte offset must be refused whole. The all-or-
+// nothing contract is what makes the journal safe as both a crash
+// recovery file and the peer handoff wire format — a half-received
+// handoff must never warm half a cache silently.
+func TestJournalTornAtEveryByte(t *testing.T) {
+	full := journalBytes([]Spec{
+		{Source: "A", Procs: 2, Grain: "fine", Fabric: "vbus"},
+		{Source: "B", Procs: 4, Grain: "coarse", Fabric: "vbus"},
+		{Source: "C", Procs: 8, Grain: "fine", Fabric: "ideal"},
+	})
+	if specs, err := decodeJournal(full); err != nil || len(specs) != 3 {
+		t.Fatalf("intact journal: %d specs, err %v", len(specs), err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		specs, err := decodeJournal(full[:cut])
+		if err == nil {
+			t.Fatalf("journal truncated at byte %d/%d accepted (%d specs)", cut, len(full), len(specs))
+		}
+		if len(specs) != 0 {
+			t.Fatalf("journal truncated at byte %d returned %d partial specs alongside error", cut, len(specs))
+		}
+		if !errors.Is(err, ErrJournalTruncated) && !errors.Is(err, ErrJournalCorrupt) {
+			t.Fatalf("journal truncated at byte %d: unexpected error class %v", cut, err)
+		}
+	}
+}
+
+// TestWarmCacheRefusesTornFile: a torn on-disk journal warms nothing —
+// zero entries, named error — rather than replaying the readable
+// prefix.
+func TestWarmCacheRefusesTornFile(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "plans.vbpj")
+
+	s1 := New(Config{Clusters: 1})
+	j, err := s1.Submit(Spec{Source: bench.MMSource(16), Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.SaveCache(journal); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, full[:len(full)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(Config{Clusters: 1})
+	defer s2.Drain(context.Background())
+	n, err := s2.WarmCache(journal)
+	if err == nil || n != 0 {
+		t.Fatalf("torn journal warmed %d plans, err %v — want 0 and an error", n, err)
+	}
+	if !errors.Is(err, ErrJournalCorrupt) && !errors.Is(err, ErrJournalTruncated) {
+		t.Fatalf("torn journal error class: %v", err)
+	}
+	if got := len(s2.CachedSpecs()); got != 0 {
+		t.Fatalf("cache holds %d entries after refused warm, want 0", got)
+	}
+}
+
+// TestWarmCacheRefusesFutureVersion: a syntactically valid v2 journal
+// (correct magic and CRC) is refused with the named version error —
+// format evolution must be explicit, not a silent misparse.
+func TestWarmCacheRefusesFutureVersion(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "plans.vbpj")
+	v2 := []byte(journalMagic)
+	v2 = appendU32(v2, JournalVersion+1)
+	v2 = appendU32(v2, 0)
+	v2 = appendU32(v2, crcChecksum(v2))
+	if err := os.WriteFile(journal, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Clusters: 1})
+	defer s.Drain(context.Background())
+	n, err := s.WarmCache(journal)
+	if !errors.Is(err, ErrJournalBadVersion) || n != 0 {
+		t.Fatalf("v2 journal: warmed %d, err %v — want 0 and ErrJournalBadVersion", n, err)
+	}
+}

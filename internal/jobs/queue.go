@@ -19,34 +19,54 @@ var ErrDraining = errors.New("jobs: server draining, not admitting jobs")
 // Retry-After).
 var ErrRateLimited = errors.New("jobs: tenant rate limit exceeded, try again later")
 
-// Queue is the bounded admission queue with per-tenant weighted fair
-// scheduling — stride scheduling over per-tenant FIFOs. Each tenant
-// owns a FIFO and a virtual "pass"; Pop always dispatches the active
-// tenant with the smallest pass, then advances that pass by 1/weight.
-// A tenant hammering the queue therefore cannot starve the others: a
-// 10:1 hostile mix still dequeues ~alternately (see the fairness
-// test), and the hostile tenant is the one that hits the bound and
-// gets shed. Jobs within one tenant stay strictly FIFO.
+// Queue is the bounded admission queue with strict priority bands
+// layered over per-tenant weighted fair scheduling. Each priority
+// level (Spec.Priority, 0..MaxPriority) is its own stride scheduler:
+// Pop always serves the highest non-empty band, so interactive and
+// failover work preempts bulk traffic outright; within a band, each
+// tenant owns a FIFO and a virtual "pass", and the dispatcher picks
+// the active tenant with the smallest pass, advancing it by 1/weight.
+// A tenant hammering one band therefore cannot starve the others in
+// that band (a 10:1 hostile mix still dequeues ~alternately, see the
+// fairness test), and a bulk flood cannot delay an interactive job at
+// all. Jobs within one (tenant, priority) pair stay strictly FIFO.
 type Queue struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	cap     int
-	size    int
-	tenants map[string]*tenantQ
-	// globalPass is the virtual clock: the pass of the last dispatch.
-	// A tenant going from idle to active starts at the current clock
-	// rather than its stale pass, so sleeping never accrues credit.
-	globalPass float64
-	weights    map[string]int
-	closed     bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	size int
+	// levels holds one stride scheduler per priority band in use.
+	levels map[int]*prioLevel
+	// acct is per-tenant accounting across every band.
+	acct    map[string]*tenantAcct
+	weights map[string]int
+	closed  bool
 }
 
-type tenantQ struct {
+// prioLevel is one strict priority band: an independent stride
+// scheduler with its own virtual clock.
+type prioLevel struct {
+	tenants map[string]*tenantFIFO
+	// globalPass is the band's virtual clock: the pass of the last
+	// dispatch. A tenant going from idle to active starts at the
+	// current clock rather than its stale pass, so sleeping never
+	// accrues credit.
+	globalPass float64
+	size       int
+}
+
+type tenantFIFO struct {
 	name   string
 	weight int
 	jobs   []*Job
 	pass   float64
-	// accounting (guarded by Queue.mu)
+}
+
+// tenantAcct is one tenant's admission accounting, aggregated across
+// priority bands (guarded by Queue.mu).
+type tenantAcct struct {
+	weight      int
+	queued      int
 	admitted    int64
 	shed        int64
 	completed   int64
@@ -57,27 +77,54 @@ type tenantQ struct {
 }
 
 // NewQueue builds a queue admitting at most capacity jobs across all
-// tenants (minimum 1). weights gives per-tenant scheduling weight
-// (default 1); a weight-2 tenant receives twice the dispatch rate of a
-// weight-1 tenant under contention.
+// tenants and priority bands (minimum 1). weights gives per-tenant
+// scheduling weight (default 1); a weight-2 tenant receives twice the
+// dispatch rate of a weight-1 tenant under contention within a band.
 func NewQueue(capacity int, weights map[string]int) *Queue {
 	if capacity < 1 {
 		capacity = 1
 	}
-	q := &Queue{cap: capacity, tenants: map[string]*tenantQ{}, weights: weights}
+	q := &Queue{
+		cap:     capacity,
+		levels:  map[int]*prioLevel{},
+		acct:    map[string]*tenantAcct{},
+		weights: weights,
+	}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-func (q *Queue) tenant(name string) *tenantQ {
-	t, ok := q.tenants[name]
+func (q *Queue) tenantWeight(name string) int {
+	w := q.weights[name]
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (q *Queue) account(name string) *tenantAcct {
+	a, ok := q.acct[name]
 	if !ok {
-		w := q.weights[name]
-		if w < 1 {
-			w = 1
-		}
-		t = &tenantQ{name: name, weight: w}
-		q.tenants[name] = t
+		a = &tenantAcct{weight: q.tenantWeight(name)}
+		q.acct[name] = a
+	}
+	return a
+}
+
+func (q *Queue) level(priority int) *prioLevel {
+	l, ok := q.levels[priority]
+	if !ok {
+		l = &prioLevel{tenants: map[string]*tenantFIFO{}}
+		q.levels[priority] = l
+	}
+	return l
+}
+
+func (l *prioLevel) tenant(name string, weight int) *tenantFIFO {
+	t, ok := l.tenants[name]
+	if !ok {
+		t = &tenantFIFO{name: name, weight: weight}
+		l.tenants[name] = t
 	}
 	return t
 }
@@ -86,27 +133,32 @@ func (q *Queue) tenant(name string) *tenantQ {
 func (q *Queue) Enqueue(j *Job) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	t := q.tenant(j.Spec.Tenant)
+	a := q.account(j.Spec.Tenant)
 	if q.closed {
 		return ErrDraining
 	}
 	if q.size >= q.cap {
-		t.shed++
+		a.shed++
 		return ErrQueueFull
 	}
-	if len(t.jobs) == 0 && t.pass < q.globalPass {
-		t.pass = q.globalPass
+	l := q.level(j.Spec.Priority)
+	t := l.tenant(j.Spec.Tenant, a.weight)
+	if len(t.jobs) == 0 && t.pass < l.globalPass {
+		t.pass = l.globalPass
 	}
 	t.jobs = append(t.jobs, j)
-	t.admitted++
+	l.size++
+	a.admitted++
+	a.queued++
 	q.size++
 	q.cond.Signal()
 	return nil
 }
 
-// Pop blocks until a job is available and returns the fair-share pick.
-// It returns ok=false once the queue is closed and fully drained —
-// the workers' exit signal.
+// Pop blocks until a job is available and returns the pick: the
+// highest non-empty priority band's fair-share choice. It returns
+// ok=false once the queue is closed and fully drained — the workers'
+// exit signal.
 func (q *Queue) Pop() (*Job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -116,8 +168,15 @@ func (q *Queue) Pop() (*Job, bool) {
 		}
 		q.cond.Wait()
 	}
-	var pick *tenantQ
-	for _, t := range q.tenants {
+	var band *prioLevel
+	for p := MaxPriority; p >= 0; p-- {
+		if l, ok := q.levels[p]; ok && l.size > 0 {
+			band = l
+			break
+		}
+	}
+	var pick *tenantFIFO
+	for _, t := range band.tenants {
 		if len(t.jobs) == 0 {
 			continue
 		}
@@ -127,13 +186,15 @@ func (q *Queue) Pop() (*Job, bool) {
 	}
 	j := pick.jobs[0]
 	pick.jobs = pick.jobs[1:]
+	band.size--
 	q.size--
-	q.globalPass = pick.pass
+	q.account(j.Spec.Tenant).queued--
+	band.globalPass = pick.pass
 	pick.pass += 1 / float64(pick.weight)
 	return j, true
 }
 
-// Remove takes a still-queued job out of its tenant's FIFO (a
+// Remove takes a still-queued job out of its band's tenant FIFO (a
 // cancellation racing admission). It reports whether the job was
 // found; false means a worker already popped it (or it was never
 // queued) and the caller must cancel through the job's context
@@ -141,14 +202,20 @@ func (q *Queue) Pop() (*Job, bool) {
 func (q *Queue) Remove(j *Job) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	t, ok := q.tenants[j.Spec.Tenant]
+	l, ok := q.levels[j.Spec.Priority]
+	if !ok {
+		return false
+	}
+	t, ok := l.tenants[j.Spec.Tenant]
 	if !ok {
 		return false
 	}
 	for i, x := range t.jobs {
 		if x == j {
 			t.jobs = append(t.jobs[:i], t.jobs[i+1:]...)
+			l.size--
 			q.size--
+			q.account(j.Spec.Tenant).queued--
 			return true
 		}
 	}
@@ -156,18 +223,18 @@ func (q *Queue) Remove(j *Job) bool {
 }
 
 // noteRetry charges one retry to the tenant's accounting (the retried
-// job re-enters the tenant's own FIFO, so the fair-share stride
-// charges the re-dispatch to the same tenant automatically).
+// job re-enters its tenant's FIFO, so the fair-share stride charges
+// the re-dispatch to the same tenant automatically).
 func (q *Queue) noteRetry(tenant string) {
 	q.mu.Lock()
-	q.tenant(tenant).retried++
+	q.account(tenant).retried++
 	q.mu.Unlock()
 }
 
 // noteRateLimited books one refused-by-rate-limit submission.
 func (q *Queue) noteRateLimited(tenant string) {
 	q.mu.Lock()
-	q.tenant(tenant).rateLimited++
+	q.account(tenant).rateLimited++
 	q.mu.Unlock()
 }
 
@@ -190,14 +257,14 @@ func (q *Queue) Depth() int {
 func (q *Queue) finish(tenant string, st State) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	t := q.tenant(tenant)
+	a := q.account(tenant)
 	switch st {
 	case StateDone:
-		t.completed++
+		a.completed++
 	case StateCancelled:
-		t.cancelled++
+		a.cancelled++
 	default: // failed, quarantined
-		t.failed++
+		a.failed++
 	}
 }
 
@@ -220,18 +287,18 @@ type TenantStats struct {
 func (q *Queue) Stats() map[string]TenantStats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make(map[string]TenantStats, len(q.tenants))
-	for name, t := range q.tenants {
+	out := make(map[string]TenantStats, len(q.acct))
+	for name, a := range q.acct {
 		out[name] = TenantStats{
-			Weight:      t.weight,
-			Admitted:    t.admitted,
-			Shed:        t.shed,
-			Completed:   t.completed,
-			Failed:      t.failed,
-			Queued:      len(t.jobs),
-			Cancelled:   t.cancelled,
-			Retried:     t.retried,
-			RateLimited: t.rateLimited,
+			Weight:      a.weight,
+			Admitted:    a.admitted,
+			Shed:        a.shed,
+			Completed:   a.completed,
+			Failed:      a.failed,
+			Queued:      a.queued,
+			Cancelled:   a.cancelled,
+			Retried:     a.retried,
+			RateLimited: a.rateLimited,
 		}
 	}
 	return out

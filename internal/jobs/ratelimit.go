@@ -99,6 +99,25 @@ func (l *rateLimiter) allow(tenant string) bool {
 	return true
 }
 
+// refund returns one token to the tenant's bucket, capped at burst: a
+// queued job cancelled before it ever ran consumed admission but no
+// service, so a cancel storm must not burn the tenant's budget. A
+// tenant with no bucket yet (or no limiter at all) has nothing to
+// refund.
+func (l *rateLimiter) refund(tenant string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if bk, ok := l.buckets[tenant]; ok {
+		bk.tokens++
+		if bk.tokens > bk.burst {
+			bk.tokens = bk.burst
+		}
+	}
+}
+
 // splitmix64 is the stateless mixer used for deterministic jitter
 // (retry backoff, Retry-After): the same sequence index always yields
 // the same jitter, so chaos runs replay exactly.

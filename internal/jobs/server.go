@@ -257,6 +257,14 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	return j, nil
 }
 
+// NormalizeSpec applies the server's defaults and validation to a
+// spec without admitting it. The peer layer uses it to compute the
+// canonical plan key (PlanKey requires the defaulted fields) before
+// deciding which federation member owns the job.
+func (s *Server) NormalizeSpec(spec Spec) (Spec, error) {
+	return spec.normalized(s.cfg.DefaultFabric)
+}
+
 // Job looks up an admitted job by ID.
 func (s *Server) Job(id string) (*Job, bool) {
 	s.mu.Lock()
@@ -277,6 +285,7 @@ func (s *Server) Cancel(id string) (*Job, bool) {
 		return nil, false
 	}
 	if s.queue.Remove(j) {
+		s.refundIfNeverRan(j)
 		s.finalize(j, StateCancelled, errors.New("jobs: cancelled by request"))
 		return j, true
 	}
@@ -311,6 +320,7 @@ func (s *Server) worker() {
 func (s *Server) process(j *Job) (killWorker bool) {
 	// A deadline or cancellation that expired while the job sat queued.
 	if j.ctx.Err() != nil {
+		s.refundIfNeverRan(j)
 		s.finalize(j, StateCancelled, fmt.Errorf("jobs: cancelled before start: %w", j.ctx.Err()))
 		return false
 	}
@@ -512,6 +522,21 @@ func (s *Server) scheduleRetry(j *Job, attempt int, cause error) {
 			s.finalize(j, StateFailed, fmt.Errorf("jobs: retry abandoned: %w", err))
 		}
 	})
+}
+
+// refundIfNeverRan returns the job's admission token to its tenant's
+// rate bucket if the job never made an execution attempt: a queued job
+// cancelled before running (DELETE storm, or a deadline that expired
+// in the queue) must not burn tenant budget. Jobs that ran at least
+// once (retries, killworker requeues) consumed service and keep their
+// token spent.
+func (s *Server) refundIfNeverRan(j *Job) {
+	j.mu.Lock()
+	never := j.attempts == 0 && j.kills == 0
+	j.mu.Unlock()
+	if never {
+		s.limiter.refund(j.Spec.Tenant)
+	}
 }
 
 // wallDuration converts a virtual-time token value to wall time (the

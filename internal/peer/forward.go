@@ -1,0 +1,238 @@
+package peer
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Forward query parameters. A forwarded request is always executed by
+// its receiver — never re-forwarded — so divergent ring views during a
+// membership change can cost an extra hop's worth of cache locality
+// but can never loop. failover marks attempts past the owner, which
+// the receiver admits at boosted priority (recovery work preempts
+// bulk).
+const (
+	forwardedParam = "forwarded"
+	failoverParam  = "failover"
+)
+
+// ForwardResult is the upstream peer's verbatim answer: the caller
+// relays status and body to its own client, so a forwarded submission
+// looks exactly like a local one (plus the X-VBus-Peer header naming
+// the executor).
+type ForwardResult struct {
+	Peer      string
+	Status    int
+	Body      []byte
+	Type      string // upstream Content-Type
+	RetryIn   string // upstream Retry-After, if any
+	Attempts  int
+	Failovers int // attempts that went past the ring owner
+}
+
+// Forwarder posts job submissions to remote peers with bounded
+// failover: targets are tried in ring-successor order, each failed
+// attempt (transport error, 502, or 503 from a draining peer) feeds
+// the failure detector and advances to the next target after a
+// backoff with deterministic splitmix64 jitter. With hedging enabled
+// (the node hedges when the owner is already suspect) the next target
+// is raced after a hedge delay instead of waiting for the current
+// attempt to fail, bounding failover latency by the hedge delay
+// rather than the attempt timeout.
+type Forwarder struct {
+	client         *http.Client
+	attemptTimeout time.Duration
+	backoff        time.Duration
+	hedgeDelay     time.Duration
+	onResult       func(peer string, ok bool)
+	salt           atomic.Uint64
+}
+
+// NewForwarder builds the forwarding client. onResult (may be nil)
+// receives every attempt's outcome — the node wires it to the failure
+// detector so forwarding failures accelerate suspicion without
+// waiting for the next gossip tick.
+func NewForwarder(attemptTimeout, backoff, hedgeDelay time.Duration, seed uint64, onResult func(string, bool)) *Forwarder {
+	if attemptTimeout <= 0 {
+		attemptTimeout = 30 * time.Second
+	}
+	if backoff <= 0 {
+		backoff = 15 * time.Millisecond
+	}
+	if hedgeDelay <= 0 {
+		hedgeDelay = 250 * time.Millisecond
+	}
+	f := &Forwarder{
+		client:         &http.Client{},
+		attemptTimeout: attemptTimeout,
+		backoff:        backoff,
+		hedgeDelay:     hedgeDelay,
+		onResult:       onResult,
+	}
+	f.salt.Store(seed)
+	return f
+}
+
+type attemptResult struct {
+	idx    int
+	peer   string
+	status int
+	body   []byte
+	ctype  string
+	retry  string
+	err    error
+}
+
+// retryable reports whether an attempt's outcome should advance to
+// the next ring successor: transport failure, a dead gateway, or a
+// draining peer. Everything else — including 400s and 429s — is a
+// valid answer from a live owner and is relayed, not retried (a
+// rate-limit verdict must not be laundered through failover).
+func (a attemptResult) retryable() bool {
+	return a.err != nil || a.status == http.StatusBadGateway || a.status == http.StatusServiceUnavailable
+}
+
+// jitter returns d ± up to half of d, deterministically from the
+// forwarder's splitmix64 sequence (the PR 8 discipline: replayable
+// schedules, no lockstep retry bursts).
+func (f *Forwarder) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	h := splitmix64(f.salt.Add(1))
+	half := uint64(d) / 2
+	if half == 0 {
+		return d
+	}
+	return d/2 + time.Duration(h%(2*half+1))
+}
+
+// Submit forwards body (a JSON job spec) to the first target that
+// answers, walking targets in order with bounded retries. wait relays
+// the client's ?wait=1; hedge races the next target after hedgeDelay
+// instead of waiting for a failure. Returns an error only when every
+// target failed — the caller then degrades to local compilation.
+func (f *Forwarder) Submit(ctx context.Context, targets []string, body []byte, wait, hedge bool) (*ForwardResult, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("peer: no live forward targets")
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan attemptResult, len(targets))
+	timer := time.NewTimer(0) // launch the first attempt immediately
+	defer timer.Stop()
+	launched, pending, failovers := 0, 0, 0
+	var lastErr error
+	for {
+		select {
+		case <-timer.C:
+			if launched >= len(targets) {
+				break
+			}
+			idx := launched
+			launched++
+			pending++
+			go f.attempt(ctx, idx, targets[idx], body, wait, results)
+			if hedge && launched < len(targets) {
+				// Race the next successor after the hedge delay even if
+				// this attempt is still in flight.
+				timer.Reset(f.jitter(f.hedgeDelay << (launched - 1)))
+			}
+		case res := <-results:
+			pending--
+			if !res.retryable() {
+				if f.onResult != nil {
+					f.onResult(res.peer, true)
+				}
+				if res.idx > 0 {
+					failovers++
+				}
+				return &ForwardResult{
+					Peer:      res.peer,
+					Status:    res.status,
+					Body:      res.body,
+					Type:      res.ctype,
+					RetryIn:   res.retry,
+					Attempts:  launched,
+					Failovers: failovers,
+				}, nil
+			}
+			if f.onResult != nil {
+				f.onResult(res.peer, false)
+			}
+			if res.err != nil {
+				lastErr = fmt.Errorf("%s: %w", res.peer, res.err)
+			} else {
+				lastErr = fmt.Errorf("%s: upstream status %d", res.peer, res.status)
+			}
+			if res.idx > 0 {
+				failovers++
+			}
+			if launched == len(targets) && pending == 0 {
+				return nil, fmt.Errorf("peer: all %d forward attempts failed: %w", launched, lastErr)
+			}
+			if launched < len(targets) {
+				// A failure advances to the next successor after a
+				// jittered backoff that doubles per attempt.
+				timer.Reset(f.jitter(f.backoff << (launched - 1)))
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt is one POST to one peer, bounded by the attempt timeout.
+func (f *Forwarder) attempt(ctx context.Context, idx int, target string, body []byte, wait bool, out chan<- attemptResult) {
+	actx, cancel := context.WithTimeout(ctx, f.attemptTimeout)
+	defer cancel()
+	url := fmt.Sprintf("http://%s/v1/jobs?%s=1", target, forwardedParam)
+	if idx > 0 {
+		url += "&" + failoverParam + "=1"
+	}
+	if wait {
+		url += "&wait=1"
+	}
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		out <- attemptResult{idx: idx, peer: target, err: err}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		out <- attemptResult{idx: idx, peer: target, err: err}
+		return
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		out <- attemptResult{idx: idx, peer: target, err: err}
+		return
+	}
+	out <- attemptResult{
+		idx:    idx,
+		peer:   target,
+		status: resp.StatusCode,
+		body:   b,
+		ctype:  resp.Header.Get("Content-Type"),
+		retry:  resp.Header.Get("Retry-After"),
+	}
+}
+
+// splitmix64 is the stateless mixer shared with the jobs layer's
+// jitter discipline: the same sequence index always yields the same
+// jitter, so sweeps replay exactly.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

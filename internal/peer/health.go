@@ -1,0 +1,197 @@
+package peer
+
+import (
+	"sync"
+	"time"
+)
+
+// Status is a peer's position in the failure detector's lifecycle.
+type Status string
+
+const (
+	// StatusAlive: heartbeats are arriving inside the suspect window.
+	StatusAlive Status = "alive"
+	// StatusSuspect: probes have been failing (or silent) past
+	// SuspectAfter — the peer stays in the ring as an owner, but
+	// forwarding hedges against its successor instead of waiting.
+	StatusSuspect Status = "suspect"
+	// StatusDead: silent past DeadAfter (or enough consecutive probe
+	// failures). The peer leaves the routing view: its keys belong to
+	// their ring successors until it answers again.
+	StatusDead Status = "dead"
+)
+
+// failsToDead is the consecutive-failure shortcut to StatusDead: a
+// peer refusing connections outright (process killed) is declared dead
+// after this many failed probes even before DeadAfter elapses, keeping
+// the failover window bounded by probes rather than wall time alone.
+const failsToDead = 3
+
+// Transition records one peer's status change from a sweep or an
+// observation — the node layer reacts to these (logging, warm-cache
+// handoff on revival).
+type Transition struct {
+	Peer string
+	From Status
+	To   Status
+}
+
+// Detector is the heartbeat failure detector. Every verdict is a pure
+// function of observation timestamps and the injected clock, so tests
+// drive it deterministically by stepping a fake clock; the live node
+// feeds it from its gossip loop and from forwarding outcomes.
+type Detector struct {
+	mu           sync.Mutex
+	suspectAfter time.Duration
+	deadAfter    time.Duration
+	now          func() time.Time
+	peers        map[string]*peerHealth
+}
+
+type peerHealth struct {
+	status Status
+	lastOK time.Time
+	fails  int
+}
+
+// PeerState is one peer's externally visible health snapshot.
+type PeerState struct {
+	Status Status `json:"status"`
+	// SilentMs is how long since the last successful observation.
+	SilentMs float64 `json:"silent_ms"`
+	// Fails is the current consecutive probe-failure count.
+	Fails int `json:"fails,omitempty"`
+}
+
+// NewDetector tracks the given peers. Peers start alive with a full
+// grace window — a cold-started federation must not declare everyone
+// dead before the first probe round completes.
+func NewDetector(peers []string, suspectAfter, deadAfter time.Duration) *Detector {
+	if suspectAfter <= 0 {
+		suspectAfter = 1500 * time.Millisecond
+	}
+	if deadAfter <= suspectAfter {
+		deadAfter = 4 * suspectAfter
+	}
+	d := &Detector{
+		suspectAfter: suspectAfter,
+		deadAfter:    deadAfter,
+		now:          time.Now,
+		peers:        map[string]*peerHealth{},
+	}
+	start := d.now()
+	for _, p := range peers {
+		d.peers[p] = &peerHealth{status: StatusAlive, lastOK: start}
+	}
+	return d
+}
+
+// setClock injects a deterministic clock (tests only).
+func (d *Detector) setClock(now func() time.Time) {
+	d.mu.Lock()
+	d.now = now
+	d.mu.Unlock()
+}
+
+// ObserveOK records a successful probe or forward: the peer is alive
+// again whatever it was before. The returned transition is non-nil
+// when this revived a suspect or dead peer.
+func (d *Detector) ObserveOK(peer string) *Transition {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ph, ok := d.peers[peer]
+	if !ok {
+		return nil
+	}
+	ph.lastOK = d.now()
+	ph.fails = 0
+	if ph.status == StatusAlive {
+		return nil
+	}
+	tr := &Transition{Peer: peer, From: ph.status, To: StatusAlive}
+	ph.status = StatusAlive
+	return tr
+}
+
+// ObserveFail records a failed probe or forward. Failures escalate
+// immediately to suspect (no reason to keep trusting a peer that just
+// refused a connection) and to dead after failsToDead consecutive
+// misses, without waiting for the wall-clock windows.
+func (d *Detector) ObserveFail(peer string) *Transition {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ph, ok := d.peers[peer]
+	if !ok {
+		return nil
+	}
+	ph.fails++
+	next := StatusSuspect
+	if ph.fails >= failsToDead || d.now().Sub(ph.lastOK) >= d.deadAfter {
+		next = StatusDead
+	}
+	if next == ph.status || (ph.status == StatusDead && next == StatusSuspect) {
+		return nil
+	}
+	tr := &Transition{Peer: peer, From: ph.status, To: next}
+	ph.status = next
+	return tr
+}
+
+// Sweep re-evaluates every peer against the clock: silent past
+// SuspectAfter becomes suspect, past DeadAfter becomes dead. Called
+// each gossip tick; returns the transitions it caused.
+func (d *Detector) Sweep() []Transition {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	var out []Transition
+	for name, ph := range d.peers {
+		silent := now.Sub(ph.lastOK)
+		next := ph.status
+		switch {
+		case silent >= d.deadAfter:
+			next = StatusDead
+		case silent >= d.suspectAfter && ph.status == StatusAlive:
+			next = StatusSuspect
+		}
+		if next != ph.status {
+			out = append(out, Transition{Peer: name, From: ph.status, To: next})
+			ph.status = next
+		}
+	}
+	return out
+}
+
+// Status returns the peer's current status (unknown peers are dead:
+// never route to an address outside the ring).
+func (d *Detector) Status(peer string) Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ph, ok := d.peers[peer]; ok {
+		return ph.status
+	}
+	return StatusDead
+}
+
+// Alive reports whether the peer may own keys (alive or suspect — a
+// suspect peer keeps its keys until it is declared dead, so a brief
+// network blip does not reshuffle the ring).
+func (d *Detector) Alive(peer string) bool {
+	return d.Status(peer) != StatusDead
+}
+
+// Snapshot returns every tracked peer's state.
+func (d *Detector) Snapshot() map[string]PeerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	out := make(map[string]PeerState, len(d.peers))
+	for name, ph := range d.peers {
+		out[name] = PeerState{
+			Status:   ph.status,
+			SilentMs: float64(now.Sub(ph.lastOK)) / float64(time.Millisecond),
+			Fails:    ph.fails,
+		}
+	}
+	return out
+}

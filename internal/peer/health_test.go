@@ -1,0 +1,120 @@
+package peer
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps time deterministically — every detector verdict in
+// these tests is a pure function of the observation log and this clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func clockedDetector(peers []string, suspect, dead time.Duration) (*Detector, *fakeClock) {
+	clk := newFakeClock()
+	d := NewDetector(peers, suspect, dead)
+	d.setClock(clk.now)
+	// Re-anchor the initial grace window on the fake clock.
+	for _, p := range peers {
+		d.ObserveOK(p)
+	}
+	return d, clk
+}
+
+// TestDetectorLifecycle walks alive → suspect → dead on pure silence,
+// then revival, with an injected clock.
+func TestDetectorLifecycle(t *testing.T) {
+	d, clk := clockedDetector([]string{"p1"}, 100*time.Millisecond, 400*time.Millisecond)
+
+	if st := d.Status("p1"); st != StatusAlive {
+		t.Fatalf("initial status %s, want alive", st)
+	}
+	clk.advance(50 * time.Millisecond)
+	if trs := d.Sweep(); len(trs) != 0 {
+		t.Fatalf("transitions inside suspect window: %v", trs)
+	}
+	clk.advance(60 * time.Millisecond) // 110ms silent > 100ms
+	trs := d.Sweep()
+	if len(trs) != 1 || trs[0].To != StatusSuspect {
+		t.Fatalf("suspect transition: got %v", trs)
+	}
+	if d.Alive("p1") != true {
+		t.Fatal("suspect peer must keep ring ownership (Alive=true)")
+	}
+	clk.advance(300 * time.Millisecond) // 410ms silent > 400ms
+	trs = d.Sweep()
+	if len(trs) != 1 || trs[0].From != StatusSuspect || trs[0].To != StatusDead {
+		t.Fatalf("dead transition: got %v", trs)
+	}
+	if d.Alive("p1") {
+		t.Fatal("dead peer still alive in routing view")
+	}
+	// Revival: one good probe brings it straight back.
+	tr := d.ObserveOK("p1")
+	if tr == nil || tr.From != StatusDead || tr.To != StatusAlive {
+		t.Fatalf("revival transition: got %v", tr)
+	}
+	if !d.Alive("p1") {
+		t.Fatal("revived peer not alive")
+	}
+}
+
+// TestDetectorConsecutiveFailShortcut: a peer refusing connections is
+// dead after failsToDead misses, without waiting out DeadAfter.
+func TestDetectorConsecutiveFailShortcut(t *testing.T) {
+	d, _ := clockedDetector([]string{"p1"}, time.Hour, 2*time.Hour)
+
+	tr := d.ObserveFail("p1")
+	if tr == nil || tr.To != StatusSuspect {
+		t.Fatalf("first failure: got %v, want suspect", tr)
+	}
+	if tr := d.ObserveFail("p1"); tr != nil {
+		t.Fatalf("second failure: unexpected transition %v", tr)
+	}
+	tr = d.ObserveFail("p1")
+	if tr == nil || tr.To != StatusDead {
+		t.Fatalf("failure #%d: got %v, want dead", failsToDead, tr)
+	}
+	// Further failures on a dead peer are not transitions.
+	if tr := d.ObserveFail("p1"); tr != nil {
+		t.Fatalf("failure after death: unexpected transition %v", tr)
+	}
+	// Success resets the failure count entirely.
+	d.ObserveOK("p1")
+	if tr := d.ObserveFail("p1"); tr == nil || tr.To != StatusSuspect {
+		t.Fatalf("failure after revival: got %v, want fresh suspect", tr)
+	}
+}
+
+// TestDetectorUnknownPeer: addresses outside the configured set are
+// never routable and produce no transitions.
+func TestDetectorUnknownPeer(t *testing.T) {
+	d, _ := clockedDetector([]string{"p1"}, time.Second, 4*time.Second)
+	if d.Alive("stranger") {
+		t.Fatal("unknown peer reported alive")
+	}
+	if tr := d.ObserveOK("stranger"); tr != nil {
+		t.Fatalf("unknown peer ObserveOK transition: %v", tr)
+	}
+	if tr := d.ObserveFail("stranger"); tr != nil {
+		t.Fatalf("unknown peer ObserveFail transition: %v", tr)
+	}
+}
+
+// TestDetectorSnapshot exposes silence and failure counters for the
+// ring view endpoint.
+func TestDetectorSnapshot(t *testing.T) {
+	d, clk := clockedDetector([]string{"p1", "p2"}, 100*time.Millisecond, 400*time.Millisecond)
+	clk.advance(150 * time.Millisecond)
+	d.ObserveOK("p2")
+	d.Sweep()
+	snap := d.Snapshot()
+	if snap["p1"].Status != StatusSuspect || snap["p1"].SilentMs < 150 {
+		t.Fatalf("p1 snapshot: %+v", snap["p1"])
+	}
+	if snap["p2"].Status != StatusAlive || snap["p2"].SilentMs != 0 {
+		t.Fatalf("p2 snapshot: %+v", snap["p2"])
+	}
+}

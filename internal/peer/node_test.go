@@ -1,0 +1,343 @@
+package peer
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"vbuscluster/internal/bench"
+	"vbuscluster/internal/jobs"
+)
+
+// testNode is one in-process federation member: a real jobs server
+// behind a real TCP listener, so forwarding, heartbeats and handoff
+// all cross loopback exactly as they would in production.
+type testNode struct {
+	addr string
+	srv  *jobs.Server
+	node *Node
+	hs   *http.Server
+	ln   net.Listener
+}
+
+// kill is the in-process kill -9: the listener and HTTP server drop
+// instantly, the gossip loop stops, and no handoff happens.
+func (tn *testNode) kill() {
+	tn.hs.Close()
+	tn.node.Stop()
+	tn.srv.Drain(context.Background())
+}
+
+// shutdown is the graceful exit: cache handoff, then drain.
+func (tn *testNode) shutdown() {
+	tn.node.Shutdown(context.Background())
+	tn.hs.Close()
+	tn.srv.Drain(context.Background())
+}
+
+func startCluster(t *testing.T, n int) []*testNode {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*testNode, n)
+	for i := range lns {
+		srv := jobs.New(jobs.Config{Clusters: 1})
+		nd, err := NewNode(srv, Options{
+			Self:           addrs[i],
+			Peers:          addrs,
+			GossipInterval: 50 * time.Millisecond,
+			SuspectAfter:   150 * time.Millisecond,
+			DeadAfter:      400 * time.Millisecond,
+			AttemptTimeout: 5 * time.Second,
+			Backoff:        5 * time.Millisecond,
+			HedgeDelay:     50 * time.Millisecond,
+			Seed:           uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: nd.Handler()}
+		go hs.Serve(lns[i])
+		nd.Start()
+		nodes[i] = &testNode{addr: addrs[i], srv: srv, node: nd, hs: hs, ln: lns[i]}
+	}
+	return nodes
+}
+
+// submitVia posts a spec through one entry node and returns the
+// response, the decoded job view, and the executing peer's address
+// (the X-VBus-Peer header).
+func submitVia(t *testing.T, addr string, spec jobs.Spec, wait bool) (*http.Response, jobs.View, string) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := fmt.Sprintf("http://%s/v1/jobs", addr)
+	if wait {
+		u += "?wait=1"
+	}
+	resp, err := http.Post(u, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var v jobs.View
+	_ = json.Unmarshal(data, &v)
+	return resp, v, resp.Header.Get("X-VBus-Peer")
+}
+
+func waitForDead(t *testing.T, survivor *testNode, victim string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if survivor.node.det.Status(victim) == StatusDead {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("survivor %s never declared %s dead", survivor.addr, victim)
+}
+
+// TestNodeForwardAndCacheAffinity: every entry node routes one plan
+// key to the same owner, so the second submission — through a
+// different door — hits the owner's warm cache.
+func TestNodeForwardAndCacheAffinity(t *testing.T) {
+	nodes := startCluster(t, 3)
+	defer func() {
+		for _, tn := range nodes {
+			tn.kill()
+		}
+	}()
+
+	spec := jobs.Spec{Source: bench.MMSource(8), Tenant: "t"}
+	resp, v, owner := submitVia(t, nodes[0].addr, spec, true)
+	if resp.StatusCode != http.StatusOK || v.State != jobs.StateDone {
+		t.Fatalf("first submit: status %d state %s", resp.StatusCode, v.State)
+	}
+	if owner == "" {
+		t.Fatal("no X-VBus-Peer header on routed submission")
+	}
+	// Enter through a node that is not the owner.
+	entry := nodes[0]
+	for _, tn := range nodes {
+		if tn.addr != owner {
+			entry = tn
+			break
+		}
+	}
+	resp, v2, owner2 := submitVia(t, entry.addr, spec, true)
+	if resp.StatusCode != http.StatusOK || v2.State != jobs.StateDone {
+		t.Fatalf("second submit: status %d state %s", resp.StatusCode, v2.State)
+	}
+	if owner2 != owner {
+		t.Fatalf("same key routed to %s then %s", owner, owner2)
+	}
+	if !v2.CacheHit {
+		t.Fatal("second submission through a different entry node missed the owner's plan cache")
+	}
+}
+
+// TestNodeFailoverOnKill: hard-kill a plan key's owner; a submission
+// for that key through a survivor must still complete — forwarded to
+// the ring successor or compiled locally — and must run at boosted
+// priority. Afterward every survivor's readiness view shows the
+// victim dead.
+func TestNodeFailoverOnKill(t *testing.T) {
+	nodes := startCluster(t, 3)
+	killed := map[string]bool{}
+	defer func() {
+		for _, tn := range nodes {
+			if !killed[tn.addr] {
+				tn.kill()
+			}
+		}
+	}()
+
+	spec := jobs.Spec{Source: bench.MMSource(8), Tenant: "t"}
+	_, _, owner := submitVia(t, nodes[0].addr, spec, true)
+
+	var victim *testNode
+	var survivors []*testNode
+	for _, tn := range nodes {
+		if tn.addr == owner {
+			victim = tn
+		} else {
+			survivors = append(survivors, tn)
+		}
+	}
+	if victim == nil {
+		t.Fatalf("owner %s is not a cluster member", owner)
+	}
+	victim.kill()
+	killed[victim.addr] = true
+
+	resp, v, exec := submitVia(t, survivors[0].addr, spec, true)
+	if resp.StatusCode != http.StatusOK || v.State != jobs.StateDone {
+		t.Fatalf("post-kill submit: status %d state %s", resp.StatusCode, v.State)
+	}
+	if exec == victim.addr {
+		t.Fatalf("post-kill submission executed by the dead owner %s", exec)
+	}
+	if v.Priority != FailoverPriority {
+		t.Fatalf("failover job priority %d, want %d", v.Priority, FailoverPriority)
+	}
+
+	for _, s := range survivors {
+		waitForDead(t, s, victim.addr)
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz/ready", s.addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"dead"`) {
+			t.Fatalf("survivor %s readiness after kill: status %d body %s", s.addr, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestNodeGracefulHandoffKeepsCacheWarm: when an owner leaves
+// gracefully it ships its cached plans to their new owners, so the
+// first post-departure submission is already a cache hit.
+func TestNodeGracefulHandoffKeepsCacheWarm(t *testing.T) {
+	nodes := startCluster(t, 3)
+	gone := map[string]bool{}
+	defer func() {
+		for _, tn := range nodes {
+			if !gone[tn.addr] {
+				tn.kill()
+			}
+		}
+	}()
+
+	spec := jobs.Spec{Source: bench.MMSource(8), Tenant: "t"}
+	_, _, owner := submitVia(t, nodes[0].addr, spec, true)
+
+	var victim *testNode
+	var survivors []*testNode
+	for _, tn := range nodes {
+		if tn.addr == owner {
+			victim = tn
+		} else {
+			survivors = append(survivors, tn)
+		}
+	}
+	victim.shutdown()
+	gone[victim.addr] = true
+
+	waitForDead(t, survivors[0], victim.addr)
+	resp, v, exec := submitVia(t, survivors[0].addr, spec, true)
+	if resp.StatusCode != http.StatusOK || v.State != jobs.StateDone {
+		t.Fatalf("post-shutdown submit: status %d state %s", resp.StatusCode, v.State)
+	}
+	if exec == victim.addr {
+		t.Fatalf("executed by departed peer %s", exec)
+	}
+	if !v.CacheHit {
+		t.Fatal("post-shutdown submission cold-compiled: warm handoff did not reach the new owner")
+	}
+}
+
+// TestNodeLonePeerDegradesLocal is the partition contract: a peer
+// whose entire member list is unreachable serves every submission by
+// local compilation instead of erroring.
+func TestNodeLonePeerDegradesLocal(t *testing.T) {
+	// Two dead addresses: bind, learn the port, close immediately.
+	deadAddrs := make([]string, 2)
+	for i := range deadAddrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadAddrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := ln.Addr().String()
+	srv := jobs.New(jobs.Config{Clusters: 1})
+	nd, err := NewNode(srv, Options{
+		Self:           self,
+		Peers:          append(deadAddrs, self),
+		GossipInterval: 50 * time.Millisecond,
+		AttemptTimeout: time.Second,
+		Backoff:        5 * time.Millisecond,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: nd.Handler()}
+	go hs.Serve(ln)
+	nd.Start()
+	defer func() {
+		hs.Close()
+		nd.Stop()
+		srv.Drain(context.Background())
+	}()
+
+	// Submit several distinct programs: whatever their nominal owners,
+	// all must complete here.
+	for _, n := range []int{8, 10, 12} {
+		spec := jobs.Spec{Source: bench.MMSource(n), Tenant: "t"}
+		resp, v, exec := submitVia(t, self, spec, true)
+		if resp.StatusCode != http.StatusOK || v.State != jobs.StateDone {
+			t.Fatalf("MM(%d): status %d state %s", n, resp.StatusCode, v.State)
+		}
+		if exec != self {
+			t.Fatalf("MM(%d): executor %s, want lone peer %s", n, exec, self)
+		}
+	}
+	if nd.View().LocalFallbacks == 0 && nd.forwarded.Load() > 0 {
+		t.Fatal("lone peer forwarded to dead members without falling back")
+	}
+}
+
+// TestNodeShutdownLeaksNoGoroutines is the peer-mode leak census:
+// heartbeat loops, probe goroutines and forwarder attempts must all be
+// gone after the cluster stops.
+func TestNodeShutdownLeaksNoGoroutines(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	nodes := startCluster(t, 3)
+	spec := jobs.Spec{Source: bench.MMSource(8), Tenant: "t"}
+	for _, tn := range nodes {
+		if resp, v, _ := submitVia(t, tn.addr, spec, true); resp.StatusCode != http.StatusOK || v.State != jobs.StateDone {
+			t.Fatalf("submit via %s: status %d state %s", tn.addr, resp.StatusCode, v.State)
+		}
+	}
+	// One graceful, one hard, one graceful — both exits must clean up.
+	nodes[0].shutdown()
+	nodes[1].kill()
+	nodes[2].shutdown()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+8 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after shutdown (allowed +8)", before, runtime.NumGoroutine())
+}
