@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke chaos-smoke peer-smoke bench-gate bench
+.PHONY: ci fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke chaos-smoke peer-smoke rdma-smoke bench-gate bench
 
-ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke chaos-smoke peer-smoke bench-gate
+ci: fmt vet build test race smoke trace-smoke fault-smoke recovery-smoke coalesce-smoke scale-smoke workers-smoke serve-smoke chaos-smoke peer-smoke rdma-smoke bench-gate
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -181,6 +181,22 @@ peer-smoke:
 	for p in $$p1 $$p2 $$p3; do [ "$$p" = "$$opid" ] || wait $$p || ok=1; done; \
 	exit $$ok
 	@rm -f /tmp/vbserve-peer /tmp/vbus-peer-h1.txt
+
+# Protocol gate: the eager/rendezvous stack under the race detector,
+# the quick protocol sweep (every in-sweep assertion checks a measured
+# time against the model to the picosecond), then an end-to-end rdma
+# run: program text byte-identical to the default-fabric run, and the
+# exported timeline — with eager-transport transfers — validating under
+# vbtrace's protocol-class pinning.
+rdma-smoke:
+	$(GO) test -race -run 'Rdma|RDMA|Protocol|RegCache' ./internal/nic ./internal/interconnect ./internal/mpi ./internal/core
+	$(GO) run ./cmd/vbbench -rdmasweep -quick -rdmaout '' > /dev/null
+	$(GO) run ./cmd/vbrun testdata/jacobi.f | sed '/^---/d' > /tmp/vbus-rdma-plain.txt
+	$(GO) run ./cmd/vbrun -fabric rdma -trace /tmp/vbus-rdma.json testdata/jacobi.f | sed '/^---/d' > /tmp/vbus-rdma-on.txt
+	cmp /tmp/vbus-rdma-plain.txt /tmp/vbus-rdma-on.txt
+	grep -q '"cat":"eager"' /tmp/vbus-rdma.json
+	$(GO) run ./cmd/vbtrace /tmp/vbus-rdma.json > /dev/null
+	@rm -f /tmp/vbus-rdma-plain.txt /tmp/vbus-rdma-on.txt /tmp/vbus-rdma.json
 
 # Performance gate: the core baseline must stay within 10% of the
 # checked-in BENCH_core.json (best of 3 runs absorbs host noise).

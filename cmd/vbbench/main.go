@@ -33,14 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"vbuscluster/internal/bench"
 	"vbuscluster/internal/bench/serve"
 	"vbuscluster/internal/cliutil"
 	"vbuscluster/internal/core"
 	"vbuscluster/internal/fault"
-	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/lmad"
 	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
 )
@@ -53,7 +51,7 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	quick := flag.Bool("quick", false, "reduced problem sizes (fast)")
 	procs := flag.Int("procs", 4, "processor count for table 2")
-	fabric := flag.String("fabric", "", "interconnect backend: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
+	fabric := flag.String("fabric", "", cliutil.FabricFlagUsage("interconnect backend: "))
 	profile := flag.Bool("profile", false, "print the traced communication matrix of each Table 2 program")
 	faultSpec := flag.String("faults", "", "deterministic fault-injection spec for the table runs, e.g. 'seed=1,flitdrop=1e-3'")
 	faultSweep := flag.Bool("faultsweep", false, "sweep flit-drop rates on MM, verifying payloads and reporting bandwidth/retry overhead")
@@ -75,6 +73,8 @@ func main() {
 	peerSweep := flag.Bool("peersweep", false, "three-peer federation sweep: consistent-hash forwarding, a mid-run hard kill, failover and rebalance assertions")
 	peerSeed := flag.Uint64("peerseed", 42, "seed for -peersweep forwarder jitter")
 	peerOut := flag.String("peerout", "BENCH_serve.json", "merge the -peersweep result into this JSON file under \"peers\" ('' = stdout only)")
+	rdmaSweep := flag.Bool("rdmasweep", false, "five-fabric comparison plus the rdma eager/rendezvous crossover table, payload-verified")
+	rdmaOut := flag.String("rdmaout", "BENCH_core.json", "merge the -rdmasweep crossover row into this JSON file under \"rdma\" ('' = stdout only)")
 	benchGate := flag.Bool("benchgate", false, "re-run -corebench and fail if events/sec regresses >10% vs the checked-in baseline")
 	benchBase := flag.String("benchbase", "BENCH_core.json", "baseline file for -benchgate")
 	workers := flag.Int("workers", 0, "rank scheduler worker-pool size: 0 = GOMAXPROCS, negative = unpooled (results identical)")
@@ -107,8 +107,9 @@ func main() {
 	runServe := *serveSweep || *all
 	runChaos := *chaosSweep || *all
 	runPeers := *peerSweep || *all
-	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal && !runScale && !runCore && !runServe && !runChaos && !runPeers && !*benchGate {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep, -scalesweep, -corebench, -servesweep, -chaossweep, -peersweep, -benchgate or -all")
+	runRdma := *rdmaSweep || *all
+	if !runT1 && !runT2 && !runMicro && !runCross && !runExtra && !runProfile && !runSweep && !runKill && !runCoal && !runScale && !runCore && !runServe && !runChaos && !runPeers && !runRdma && !*benchGate {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table 1, -table 2, -micro, -crossover, -extra, -profile, -faultsweep, -killsweep, -coalsweep, -rdmasweep, -scalesweep, -corebench, -servesweep, -chaossweep, -peersweep, -benchgate or -all")
 		os.Exit(2)
 	}
 
@@ -256,6 +257,16 @@ func main() {
 		}
 	}
 
+	if runRdma {
+		res, err := bench.RdmaSweep(*quick)
+		check(err)
+		fmt.Println(bench.FormatRdmaSweep(res))
+		if *rdmaOut != "" {
+			check(mergeSection(*rdmaOut, "vbbench-corebench/v1", "rdma", res.Gate))
+			fmt.Fprintf(os.Stderr, "vbbench: merged rdma crossover row into %s\n", *rdmaOut)
+		}
+	}
+
 	if *benchGate {
 		check(serve.BenchGate(*benchBase, *fabric, 3, 0.10))
 		fmt.Println("bench-gate: core baseline within tolerance")
@@ -325,7 +336,15 @@ func check(err error) { cliutil.Check("vbbench", err) }
 // there (-servesweep rows, "chaos", "peers" — all report into
 // BENCH_serve.json).
 func mergeServeSection(path, key string, res any) error {
-	doc := map[string]interface{}{"schema": "vbbench-servesweep/v1"}
+	return mergeSection(path, "vbbench-servesweep/v1", key, res)
+}
+
+// mergeSection folds one sweep's result into a schema-tagged JSON
+// benchmark file under the given key, preserving every other section
+// already there. A missing file starts a fresh envelope with
+// defaultSchema.
+func mergeSection(path, defaultSchema, key string, res any) error {
+	doc := map[string]interface{}{"schema": defaultSchema}
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &doc); err != nil {
 			return fmt.Errorf("vbbench: %s exists but is not JSON: %w", path, err)

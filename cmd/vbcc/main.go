@@ -23,7 +23,6 @@ import (
 	"vbuscluster/internal/cliutil"
 	"vbuscluster/internal/core"
 	"vbuscluster/internal/f77"
-	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/lmad"
 	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
 	"vbuscluster/internal/postpass"
@@ -40,7 +39,7 @@ func main() {
 	diagram := flag.Bool("diagram", false, "print access-movement diagrams for each communicated region (the paper's Fig. 2-4 pictures)")
 	passes := flag.Bool("passes", false, "print the pass pipeline with per-pass wall time")
 	dumpAfter := flag.String("dump-after", "", "dump the IR after the named pass (a name from -passes, or 'all')")
-	fabric := flag.String("fabric", "", "interconnect backend priced by auto-grain: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
+	fabric := flag.String("fabric", "", cliutil.FabricFlagUsage("interconnect backend priced by auto-grain: "))
 	traceOut := flag.String("trace", "", "write the pass pipeline's timings as Chrome trace-event JSON to this file")
 	coalesce := flag.Bool("coalesce", false, "enable the pack-and-coalesce stage: strided transfers past the NIC's crossover go as packed DMA bursts")
 	flag.Parse()

@@ -32,12 +32,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"vbuscluster/internal/cliutil"
 	"vbuscluster/internal/core"
 	"vbuscluster/internal/fault"
-	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/interp"
 	"vbuscluster/internal/lmad"
 	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
@@ -50,7 +48,7 @@ func main() {
 	seq := flag.Bool("seq", false, "run the sequential baseline instead of the SPMD program")
 	profile := flag.Bool("profile", false, "print the per-region, per-rank and communication-matrix profiles")
 	modeName := flag.String("mode", "full", "execution mode: full or timing")
-	fabric := flag.String("fabric", "", "interconnect backend: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
+	fabric := flag.String("fabric", "", cliutil.FabricFlagUsage("interconnect backend: "))
 	traceOut := flag.String("trace", "", "write the run's timeline as Chrome trace-event JSON to this file (open in Perfetto)")
 	faultSpec := flag.String("faults", "", "deterministic fault-injection spec, e.g. 'seed=1,flitdrop=1e-3' (see internal/fault)")
 	resilient := flag.Bool("resilient", false, "run under coordinated checkpoint/restart, surviving rank crashes")

@@ -51,7 +51,6 @@ import (
 	"time"
 
 	"vbuscluster/internal/cliutil"
-	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/jobs"
 	_ "vbuscluster/internal/nic" // register the vbus and ethernet backends
 	"vbuscluster/internal/peer"
@@ -63,7 +62,7 @@ func main() {
 	queueDepth := flag.Int("queue", 64, "admission queue depth; beyond it submissions shed with 429")
 	cacheEntries := flag.Int("cache", 32, "compiled-plan LRU capacity")
 	workers := flag.Int("workers", 0, "per-run rank scheduler pool size (0 = GOMAXPROCS)")
-	fabric := flag.String("fabric", "", "default interconnect backend for jobs that omit one: "+strings.Join(interconnect.Names(), ", ")+" (default vbus)")
+	fabric := flag.String("fabric", "", cliutil.FabricFlagUsage("default interconnect backend for jobs that omit one: "))
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "maximum time to wait for in-flight jobs on shutdown")
 	journal := flag.String("cache-journal", "", "plan-cache journal file: replayed on boot, written on drain (empty = no persistence)")
 	defaultDeadline := flag.Duration("default-deadline", 0, "deadline for jobs that omit deadline_ms (0 = none)")

@@ -168,6 +168,10 @@ func validate(name string, data []byte, ranks int, dims []int) (string, error) {
 				if err := checkPackClass(ev.Name, tp); err != nil {
 					return "", fmt.Errorf("%s: event %d (tid %d): %w", name, i, ev.Tid, err)
 				}
+				// And for the eager/rendezvous protocol classes.
+				if err := checkProtocolClass(ev.Name, tp); err != nil {
+					return "", fmt.Errorf("%s: event %d (tid %d): %w", name, i, ev.Tid, err)
+				}
 			}
 			tr.events++
 			if b, ok := ev.Args["bytes"].(float64); ok {
@@ -253,6 +257,24 @@ func checkPackClass(op string, tp interconnect.Transport) error {
 			tp, op, trace.OpPutPacked, trace.OpGetPacked)
 	}
 	return nil
+}
+
+// checkProtocolClass pins the eager/rendezvous transport classes of a
+// protocol-switched fabric to the contiguous data movers: only put,
+// get and send operations ride the protocol-switched path, so any
+// other operation charged to "eager" or "rndv" means the runtime
+// routed a non-contiguous (or non-data) operation through the
+// protocol model.
+func checkProtocolClass(op string, tp interconnect.Transport) error {
+	if tp != interconnect.TransportEager && tp != interconnect.TransportRndv {
+		return nil
+	}
+	switch op {
+	case trace.OpPut, trace.OpGet, trace.OpSend:
+		return nil
+	}
+	return fmt.Errorf("transport %q carries op %q, want %q, %q or %q",
+		tp, op, trace.OpPut, trace.OpGet, trace.OpSend)
 }
 
 // geomString renders a geometry as "16x8x8".

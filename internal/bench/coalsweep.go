@@ -54,7 +54,7 @@ func CoalSweep(elemCounts, strides []int, fabric string) ([]CoalPoint, error) {
 			return nil, err
 		}
 	}
-	pm := nic.PackModel{Card: params.Fabric, MemCopyPerByte: params.CPU.MemCopyPerByte}
+	pm := nic.PackModelFor(params)
 	var out []CoalPoint
 	for _, elems := range elemCounts {
 		for _, stride := range strides {

@@ -153,21 +153,38 @@ func FormatServeSweep(rows []ServeRow) string {
 // checked-in BENCH_core.json: any benchmark whose events/sec falls
 // below baseline × (1 - tolerance) fails the gate. The current run
 // takes the best of `runs` attempts so a noisy host does not fail a
-// healthy build.
+// healthy build. When the baseline carries an "rdma" section
+// (-rdmasweep), the rdma card's eager/rendezvous crossover is also
+// recomputed and must match the checked-in row exactly — the
+// crossover is a pure function of the card calibration, so any drift
+// is a recalibration, not noise.
 func BenchGate(baselinePath, fabric string, runs int, tolerance float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("bench: gate baseline: %w", err)
 	}
 	var envelope struct {
-		Schema string          `json:"schema"`
-		Rows   []bench.CoreRow `json:"rows"`
+		Schema string             `json:"schema"`
+		Rows   []bench.CoreRow    `json:"rows"`
+		Rdma   *bench.RdmaGateRow `json:"rdma"`
 	}
 	if err := json.Unmarshal(data, &envelope); err != nil {
 		return fmt.Errorf("bench: gate baseline %s: %w", baselinePath, err)
 	}
 	if len(envelope.Rows) == 0 {
 		return fmt.Errorf("bench: gate baseline %s has no rows", baselinePath)
+	}
+	if envelope.Rdma != nil {
+		cur, err := bench.RdmaGate()
+		if err != nil {
+			return err
+		}
+		if cur != *envelope.Rdma {
+			return fmt.Errorf("bench: gate: rdma crossover drifted from baseline %+v to %+v (recalibrated card? rerun vbbench -rdmasweep)",
+				*envelope.Rdma, cur)
+		}
+		fmt.Printf("bench-gate rdma        crossover cold=%dB warm=%dB switch=%delems cache=%d ok\n",
+			cur.CrossoverBytes, cur.WarmCrossoverBytes, cur.CrossoverElems, cur.RegCacheEntries)
 	}
 
 	best := map[string]bench.CoreRow{}

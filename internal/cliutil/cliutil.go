@@ -14,7 +14,9 @@ import (
 
 // ValidateFabric fails fast on a mistyped fabric flag value, before
 // any source is read or compiled. The empty string selects the default
-// backend and is always valid.
+// backend and is always valid. The error lists every registered
+// backend with its capability flags ("rdma [dma+hops+rndv]") so the
+// message doubles as the fabric catalog.
 func ValidateFabric(name string) error {
 	if name == "" {
 		return nil
@@ -25,7 +27,15 @@ func ValidateFabric(name string) error {
 		}
 	}
 	return fmt.Errorf("unknown backend %q for -fabric (registered: %s)",
-		name, strings.Join(interconnect.Names(), ", "))
+		name, strings.Join(interconnect.Describe(), ", "))
+}
+
+// FabricFlagUsage renders a -fabric flag's help text: the tool's
+// prefix ("interconnect backend: ") followed by the caps-annotated
+// backend catalog, so every binary documents the same listing the
+// validation error prints.
+func FabricFlagUsage(prefix string) string {
+	return prefix + strings.Join(interconnect.Describe(), ", ") + " (default vbus)"
 }
 
 // Check exits the tool with status 1 and a "tool: error" line on

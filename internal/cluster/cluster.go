@@ -124,6 +124,14 @@ func ParamsForFabric(name string) (Params, error) {
 	return p, nil
 }
 
+// FabricCard implements nic.Machine: the machine's interconnect cost
+// model.
+func (p Params) FabricCard() interconnect.Interconnect { return p.Fabric }
+
+// MemCopyCost implements nic.Machine: the CPU's per-byte memory-copy
+// charge.
+func (p Params) MemCopyCost() sim.Time { return p.CPU.MemCopyPerByte }
+
 // Dims is the normalized mesh geometry: MeshDims when set, otherwise
 // [MeshWidth, MeshHeight].
 func (p Params) Dims() []int {
@@ -245,6 +253,16 @@ type Cluster struct {
 	// crashafter fault and is only bumped when such a fault is
 	// scheduled, so the zero-fault hot path never touches it.
 	opsSeen []int64
+
+	// regCaches holds one memory-registration cache per physical node
+	// when the fabric prices an eager/rendezvous protocol choice
+	// (interconnect.ProtocolModel), nil otherwise. Like opsSeen, the
+	// caches are per-node sender-side state that survives communicator
+	// rebuilds and is cleared by Reset. They live here rather than in
+	// the card because core.Compiled shares one card instance across
+	// concurrent runs (the vbserve plan cache) — mutable per-run state
+	// in the card would race.
+	regCaches []*interconnect.RegCache
 }
 
 // New builds a cluster of n processes. Ranks are placed row-major on
@@ -270,7 +288,7 @@ func New(n int, params Params) (*Cluster, error) {
 	if params.Fabric == nil {
 		return nil, fmt.Errorf("cluster: nil interconnect backend")
 	}
-	return &Cluster{
+	c := &Cluster{
 		params:    params,
 		n:         n,
 		clocks:    make([]sim.Time, n),
@@ -280,7 +298,14 @@ func New(n int, params Params) (*Cluster, error) {
 		commBytes: make([]int64, n),
 		commOps:   make([]int64, n),
 		opsSeen:   make([]int64, n),
-	}, nil
+	}
+	if pm, ok := params.Fabric.(interconnect.ProtocolModel); ok {
+		c.regCaches = make([]*interconnect.RegCache, n)
+		for i := range c.regCaches {
+			c.regCaches[i] = interconnect.NewRegCache(pm.RegCacheCapacity())
+		}
+	}
+	return c, nil
 }
 
 // N reports the process count.
@@ -302,6 +327,16 @@ func (c *Cluster) Recorder() *trace.Recorder { return c.rec }
 
 // Hops reports the mesh hop distance between two ranks' nodes.
 func (c *Cluster) Hops(a, b int) int { return c.params.Hops(a, b) }
+
+// RegCache returns node's memory-registration cache, or nil when the
+// fabric has no eager/rendezvous protocol model.
+func (c *Cluster) RegCache(node int) *interconnect.RegCache {
+	if c.regCaches == nil {
+		return nil
+	}
+	c.check(node)
+	return c.regCaches[node]
+}
 
 func (c *Cluster) check(rank int) {
 	if rank < 0 || rank >= c.n {
@@ -523,7 +558,8 @@ func (c *Cluster) Snapshot() Report {
 	return r
 }
 
-// Reset zeroes all clocks and accounting.
+// Reset zeroes all clocks and accounting, and empties the
+// registration caches (a fresh run starts with nothing pinned).
 func (c *Cluster) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -535,5 +571,8 @@ func (c *Cluster) Reset() {
 		c.commBytes[i] = 0
 		c.commOps[i] = 0
 		c.opsSeen[i] = 0
+	}
+	for _, rc := range c.regCaches {
+		rc.Reset()
 	}
 }

@@ -191,6 +191,34 @@ func TestEstimateMatchesMeasured(t *testing.T) {
 	}
 }
 
+// The estimator must stay exact on the protocol-switched rdma fabric
+// too: its simulated registration caches have to replay the runtime's
+// eager/rendezvous decisions — including the coalesce stage's
+// rendezvous stamps — transfer for transfer.
+func TestEstimateMatchesMeasuredRdma(t *testing.T) {
+	params, err := cluster.ParamsForFabric("rdma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, coalesce := range []bool{false, true} {
+		for _, grain := range []lmad.Grain{lmad.Fine, lmad.Middle, lmad.Coarse} {
+			c, err := Compile(testSrc, Options{NumProcs: 4, Grain: grain, Fabric: "rdma", Coalesce: coalesce})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.RunParallel(Timing)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := postpass.EstimateCommCost(c.SPMD, params)
+			if est != res.Report.TotalXferTime() {
+				t.Fatalf("grain %v coalesce %v: estimate %v != measured %v",
+					grain, coalesce, est, res.Report.TotalXferTime())
+			}
+		}
+	}
+}
+
 func TestAutoGrainPicksCheapest(t *testing.T) {
 	params := cluster.DefaultParams()
 	var costs []struct {

@@ -8,11 +8,11 @@ import (
 	"vbuscluster/internal/sim"
 )
 
-// TestRegistry checks that the three shipped backends are registered
-// and constructible, and that unknown names fail with a useful error.
+// TestRegistry checks that the shipped backends are registered and
+// constructible, and that unknown names fail with a useful error.
 func TestRegistry(t *testing.T) {
 	names := interconnect.Names()
-	want := map[string]bool{"vbus": false, "ethernet": false, "ideal": false}
+	want := map[string]bool{"vbus": false, "vbus3d": false, "ethernet": false, "ideal": false, "rdma": false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true
@@ -98,6 +98,39 @@ func TestContract(t *testing.T) {
 			}
 			if got := ic.Caps().String(); got == "" {
 				t.Error("empty Caps().String()")
+			}
+
+			// Protocol-switched backends: the EagerRendezvous flag and
+			// the ProtocolModel interface must agree, and both priced
+			// paths obey the non-negativity/monotonicity contract.
+			pm, hasProto := ic.(interconnect.ProtocolModel)
+			if ic.Caps().EagerRendezvous != hasProto {
+				t.Fatalf("EagerRendezvous cap %v but ProtocolModel implemented = %v",
+					ic.Caps().EagerRendezvous, hasProto)
+			}
+			if hasProto {
+				if pm.RegCacheCapacity() < 1 {
+					t.Errorf("RegCacheCapacity() = %d, want >= 1", pm.RegCacheCapacity())
+				}
+				for _, hops := range []int{0, 1, 4} {
+					var prevE, prevC, prevW sim.Time
+					for i, bytes := range []int{0, 8, 64, 4096, 1 << 20} {
+						e := pm.EagerTime(bytes, hops)
+						cold := pm.RendezvousTime(bytes, hops, false)
+						warm := pm.RendezvousTime(bytes, hops, true)
+						nonNeg("EagerTime", e)
+						nonNeg("RendezvousTime(cold)", cold)
+						nonNeg("RendezvousTime(warm)", warm)
+						if warm > cold {
+							t.Errorf("RendezvousTime(%d, %d, registered) = %v > unregistered %v",
+								bytes, hops, warm, cold)
+						}
+						if i > 0 && (e < prevE || cold < prevC || warm < prevW) {
+							t.Errorf("protocol times not monotone at %d bytes, %d hops", bytes, hops)
+						}
+						prevE, prevC, prevW = e, cold, warm
+					}
+				}
 			}
 		})
 	}

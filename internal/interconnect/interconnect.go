@@ -23,6 +23,7 @@ package interconnect
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"vbuscluster/internal/sim"
@@ -49,6 +50,12 @@ type Caps struct {
 	// distance. False models a shared medium (Ethernet) or an idealized
 	// fabric where placement is irrelevant.
 	HopSensitive bool
+	// EagerRendezvous reports that the contiguous path is protocol
+	// switched between an eager bounce-buffer copy and a rendezvous
+	// registration + zero-copy DMA (the backend implements
+	// ProtocolModel and the runtime charges whichever path is chosen
+	// per message).
+	EagerRendezvous bool
 }
 
 // String renders the capability flags compactly, e.g. "dma+pio+hwbcast+hops".
@@ -67,6 +74,7 @@ func (c Caps) String() string {
 	add(c.PIOStrided, "pio")
 	add(c.HardwareBroadcast, "hwbcast")
 	add(c.HopSensitive, "hops")
+	add(c.EagerRendezvous, "rndv")
 	if out == "" {
 		out = "none"
 	}
@@ -116,6 +124,42 @@ type GeometryHinter interface {
 	PreferredGeometry(n int) (dims []int, torus bool)
 }
 
+// ProtocolModel is an optional Interconnect extension for RDMA-class
+// fabrics whose contiguous path is protocol switched (the rdma card).
+// Two paths are priced per transfer: eager copies the payload into a
+// pre-registered bounce buffer (per-byte copy cost, no handshake) and
+// rendezvous runs an RTS/CTS handshake plus on-demand memory
+// registration before a zero-copy DMA. The runtime charges whichever
+// path is chosen per message; the compiler's coalesce stage and the
+// static estimator consult the same model, so compile-time stamps and
+// runtime charges agree by construction.
+//
+// Both time functions are full origin-side costs (send setup included,
+// unlike ContigTime) and must be non-negative and monotone
+// non-decreasing in bytes, with the eager path's per-byte slope
+// strictly above the rendezvous path's so a crossover, if it exists,
+// is unique (the contract tests sweep every registered backend).
+type ProtocolModel interface {
+	// EagerTime is the origin-side cost of moving bytes over the eager
+	// path: post + bounce-buffer copies + wire.
+	EagerTime(bytes, hops int) sim.Time
+	// RendezvousTime is the origin-side cost of the rendezvous path:
+	// post + RTS/CTS handshake + memory registration (skipped when the
+	// source region is already registered) + zero-copy wire.
+	RendezvousTime(bytes, hops int, registered bool) sim.Time
+	// ProtocolCrossoverBytes is the smallest payload at which the
+	// rendezvous path beats eager, with the registration cost blended
+	// by the expected registration-cache hit rate in [0,1] (0 = every
+	// transfer registers, 1 = registration always cached). Returns 0
+	// when rendezvous never wins within the search cap. Found by the
+	// same doubling + binary-search machinery as
+	// nic.PackModel.CrossoverElems.
+	ProtocolCrossoverBytes(hops int, hitRate float64) int64
+	// RegCacheCapacity is the per-node registration-cache capacity in
+	// entries; the machine layer sizes each node's RegCache with it.
+	RegCacheCapacity() int
+}
+
 // Factory builds a fresh backend instance with its default calibration.
 type Factory func() (Interconnect, error)
 
@@ -139,16 +183,37 @@ func Register(name string, f Factory) {
 	registry.m[name] = f
 }
 
-// New builds the named backend. The error lists the registered names
-// so a mistyped -fabric flag is self-explaining.
+// New builds the named backend. The error lists the registered
+// backends with their capability flags so a mistyped -fabric flag is
+// self-explaining. The listing is snapshotted under the same lock hold
+// as the failed lookup, so it is deterministic even when New races a
+// concurrent Register.
 func New(name string) (Interconnect, error) {
 	registry.Lock()
 	f, ok := registry.m[name]
+	var snapshot map[string]Factory
+	if !ok {
+		snapshot = make(map[string]Factory, len(registry.m))
+		for n, fac := range registry.m {
+			snapshot[n] = fac
+		}
+	}
 	registry.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("interconnect: unknown backend %q (registered: %v)", name, Names())
+		return nil, fmt.Errorf("interconnect: unknown backend %q (registered: %s)",
+			name, strings.Join(describe(snapshot), ", "))
 	}
 	return f()
+}
+
+// MustNew is New for tests and init-time wiring: it panics on an
+// unknown backend or a factory error.
+func MustNew(name string) Interconnect {
+	ic, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return ic
 }
 
 // Names lists the registered backends in sorted order.
@@ -160,5 +225,39 @@ func Names() []string {
 		out = append(out, n)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Describe lists the registered backends with their capability flags —
+// "rdma [dma+hops+rndv]" — the rendering registry errors and -fabric
+// validation messages print.
+func Describe() []string {
+	registry.Lock()
+	snapshot := make(map[string]Factory, len(registry.m))
+	for n, f := range registry.m {
+		snapshot[n] = f
+	}
+	registry.Unlock()
+	return describe(snapshot)
+}
+
+// describe renders a factory snapshot as sorted "name [caps]" entries.
+// Factories are invoked outside the registry lock; one that errors
+// lists its bare name.
+func describe(snapshot map[string]Factory) []string {
+	names := make([]string, 0, len(snapshot))
+	for n := range snapshot {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		ic, err := snapshot[n]()
+		if err != nil {
+			out[i] = n
+			continue
+		}
+		out[i] = fmt.Sprintf("%s [%s]", n, ic.Caps())
+	}
 	return out
 }

@@ -1,0 +1,77 @@
+package interconnect_test
+
+import (
+	"testing"
+
+	"vbuscluster/internal/interconnect"
+)
+
+// protocolModels lists every registered backend that prices an
+// eager/rendezvous protocol switch.
+func protocolModels(t *testing.T) map[string]interconnect.ProtocolModel {
+	t.Helper()
+	out := map[string]interconnect.ProtocolModel{}
+	for _, name := range interconnect.Names() {
+		if pm, ok := interconnect.MustNew(name).(interconnect.ProtocolModel); ok {
+			out[name] = pm
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no registered backend implements ProtocolModel (rdma missing?)")
+	}
+	return out
+}
+
+// TestProtocolCrossoverExact is the property test of the crossover
+// search: at hitRate 0 and 1 the blend is the exact integer comparison
+// the runtime charges, so eager must win (weakly) strictly below the
+// returned byte count and rendezvous strictly at and above it.
+func TestProtocolCrossoverExact(t *testing.T) {
+	for name, pm := range protocolModels(t) {
+		for _, hops := range []int{1, 3} {
+			for _, tc := range []struct {
+				hitRate    float64
+				registered bool
+			}{{0, false}, {1, true}} {
+				b := pm.ProtocolCrossoverBytes(hops, tc.hitRate)
+				if b <= 0 {
+					t.Fatalf("%s: ProtocolCrossoverBytes(%d, %v) = %d, want > 0",
+						name, hops, tc.hitRate, b)
+				}
+				below := int(b - 1)
+				if pm.RendezvousTime(below, hops, tc.registered) < pm.EagerTime(below, hops) {
+					t.Errorf("%s: rendezvous already wins at %d bytes, below crossover %d (hops %d, hit %v)",
+						name, below, b, hops, tc.hitRate)
+				}
+				at := int(b)
+				if pm.RendezvousTime(at, hops, tc.registered) >= pm.EagerTime(at, hops) {
+					t.Errorf("%s: rendezvous does not win at the crossover %d bytes (hops %d, hit %v)",
+						name, b, hops, tc.hitRate)
+				}
+			}
+		}
+	}
+}
+
+// TestProtocolCrossoverMonotoneInHitRate checks that a better
+// registration-cache hit rate never moves the crossover up: caching
+// only discounts the rendezvous path, so the switch point can only
+// come down (or stay) as the hit rate rises.
+func TestProtocolCrossoverMonotoneInHitRate(t *testing.T) {
+	for name, pm := range protocolModels(t) {
+		for _, hops := range []int{1, 3} {
+			prev := int64(-1)
+			for _, hit := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				b := pm.ProtocolCrossoverBytes(hops, hit)
+				if b <= 0 {
+					t.Fatalf("%s: no crossover at hops %d, hit %v", name, hops, hit)
+				}
+				if prev >= 0 && b > prev {
+					t.Errorf("%s: crossover grew from %d to %d bytes as hit rate rose to %v (hops %d)",
+						name, prev, b, hit, hops)
+				}
+				prev = b
+			}
+		}
+	}
+}

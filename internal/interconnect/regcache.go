@@ -1,0 +1,121 @@
+package interconnect
+
+// The memory-registration cache of an RDMA-class fabric. Registering
+// (pinning) a user buffer with the NIC is the expensive part of the
+// rendezvous path; real MPI implementations over RDMA keep an LRU
+// cache of registered regions so repeated transfers from the same
+// buffer skip the registration syscall. The machine layer keeps one
+// RegCache per physical node (sender-side state, like opsSeen — it
+// survives communicator rebuilds and is cleared by Cluster.Reset);
+// the static estimator replays the same cache to predict runtime
+// charges exactly.
+//
+// The eager path never touches the cache: eager payloads ride
+// pre-registered bounce buffers, so an eager transfer neither warms
+// nor consults the registration state.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// RegKey identifies one registered source region: the named buffer
+// (array symbol or window) plus the element run within it. An empty
+// Space marks an anonymous buffer, which is never cached — callers
+// must not insert such keys.
+type RegKey struct {
+	// Space names the buffer the region lives in (the compiler uses
+	// the array symbol name).
+	Space string
+	// Offset and Elems delimit the element run.
+	Offset, Elems int64
+}
+
+// RegCacheStats counts cache traffic for profiling and sweeps.
+type RegCacheStats struct {
+	// Hits and Misses count Use calls that found / did not find the
+	// region registered.
+	Hits, Misses int64
+	// Evictions counts regions dropped to make room.
+	Evictions int64
+	// Size and Cap are the current and maximum entry counts.
+	Size, Cap int
+}
+
+// RegCache is a fixed-capacity LRU set of registered regions. It is
+// safe for concurrent use; each rank normally touches only its own
+// node's cache, but recovery paths may charge from other goroutines.
+type RegCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are RegKey
+	entries map[RegKey]*list.Element
+	stats   RegCacheStats
+}
+
+// NewRegCache builds a cache holding up to capacity regions; a
+// capacity below 1 is raised to 1 (a cache that can hold nothing would
+// make the rendezvous path silently re-register forever).
+func NewRegCache(capacity int) *RegCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RegCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[RegKey]*list.Element, capacity),
+	}
+}
+
+// Lookup peeks whether k is registered without touching recency order
+// or statistics — the protocol decision reads the state before the
+// runtime commits to a path.
+func (c *RegCache) Lookup(k RegKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[k]
+	return ok
+}
+
+// Use records a rendezvous transfer from region k: a present region is
+// touched (hit), an absent one is registered (miss), evicting the
+// least recently used entry when full. It reports whether the region
+// was already registered — the cost the caller charges follows this.
+func (c *RegCache) Use(k RegKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	if c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(RegKey))
+		c.stats.Evictions++
+	}
+	c.entries[k] = c.order.PushFront(k)
+	return false
+}
+
+// Stats snapshots the cache counters.
+func (c *RegCache) Stats() RegCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Size = c.order.Len()
+	st.Cap = c.cap
+	return st
+}
+
+// Reset drops every registration and zeroes the counters (the cluster
+// reuses it between runs).
+func (c *RegCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[RegKey]*list.Element, c.cap)
+	c.stats = RegCacheStats{}
+}

@@ -1,0 +1,86 @@
+package interconnect
+
+import "testing"
+
+func key(space string, off int64) RegKey {
+	return RegKey{Space: space, Offset: off, Elems: 64}
+}
+
+func TestRegCacheHitMissEvict(t *testing.T) {
+	c := NewRegCache(2)
+	if c.Use(key("a", 0)) {
+		t.Fatal("first Use of a region reported registered")
+	}
+	if !c.Use(key("a", 0)) {
+		t.Fatal("second Use of a region reported unregistered")
+	}
+	c.Use(key("b", 0)) // miss, cache now {b, a} (b MRU)
+	c.Use(key("a", 0)) // hit, cache now {a, b}
+	c.Use(key("c", 0)) // miss: evicts b, the LRU entry
+	if c.Lookup(key("b", 0)) {
+		t.Error("LRU entry b survived eviction")
+	}
+	if !c.Lookup(key("a", 0)) || !c.Lookup(key("c", 0)) {
+		t.Error("recently used entries were evicted")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 3 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 hits, 3 misses, 1 eviction", st)
+	}
+	if st.Size != 2 || st.Cap != 2 {
+		t.Errorf("stats size/cap = %d/%d, want 2/2", st.Size, st.Cap)
+	}
+}
+
+func TestRegCacheLookupDoesNotTouch(t *testing.T) {
+	c := NewRegCache(2)
+	c.Use(key("a", 0))
+	c.Use(key("b", 0))
+	// A peek at a must not refresh it: the next insertion still evicts
+	// a as the least recently *used* entry.
+	if !c.Lookup(key("a", 0)) {
+		t.Fatal("a not registered")
+	}
+	c.Use(key("c", 0))
+	if c.Lookup(key("a", 0)) {
+		t.Error("Lookup refreshed recency; a should have been evicted")
+	}
+	if st := c.Stats(); st.Hits != 0 {
+		t.Errorf("Lookup counted as a hit: %+v", st)
+	}
+}
+
+func TestRegCacheKeyIdentity(t *testing.T) {
+	c := NewRegCache(8)
+	c.Use(RegKey{Space: "a", Offset: 0, Elems: 64})
+	for _, k := range []RegKey{
+		{Space: "a", Offset: 8, Elems: 64}, // different run
+		{Space: "a", Offset: 0, Elems: 32}, // different length
+		{Space: "b", Offset: 0, Elems: 64}, // different buffer
+	} {
+		if c.Lookup(k) {
+			t.Errorf("distinct region %+v reported registered", k)
+		}
+	}
+}
+
+func TestRegCacheReset(t *testing.T) {
+	c := NewRegCache(4)
+	c.Use(key("a", 0))
+	c.Use(key("a", 0))
+	c.Reset()
+	if c.Lookup(key("a", 0)) {
+		t.Error("registration survived Reset")
+	}
+	if st := c.Stats(); st != (RegCacheStats{Cap: 4}) {
+		t.Errorf("stats after Reset = %+v, want zeroes", st)
+	}
+}
+
+func TestRegCacheMinimumCapacity(t *testing.T) {
+	c := NewRegCache(0)
+	c.Use(key("a", 0))
+	if !c.Lookup(key("a", 0)) {
+		t.Error("capacity floor of 1 not applied")
+	}
+}

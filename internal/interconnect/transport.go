@@ -50,6 +50,16 @@ const (
 	// APENet-style remedy for the per-element PIO penalty. The charge
 	// covers memcpy + DMA setup + wire in one interval.
 	TransportPack
+	// TransportEager is the eager protocol of an RDMA-class fabric: the
+	// sender copies the payload into a pre-registered bounce buffer and
+	// ships it in one message, paying a per-byte copy to avoid the
+	// registration handshake. Small contiguous transfers ride here.
+	TransportEager
+	// TransportRndv is the rendezvous protocol of an RDMA-class fabric:
+	// an RTS/CTS handshake, on-demand memory registration (skipped on a
+	// registration-cache hit) and a zero-copy DMA of the user buffer.
+	// Large contiguous transfers ride here.
+	TransportRndv
 	// NumTransports sizes per-transport counter arrays.
 	NumTransports
 )
@@ -79,6 +89,10 @@ func (t Transport) String() string {
 		return "recovery"
 	case TransportPack:
 		return "pack"
+	case TransportEager:
+		return "eager"
+	case TransportRndv:
+		return "rndv"
 	default:
 		return "invalid"
 	}

@@ -15,6 +15,8 @@ func TestTransportStrings(t *testing.T) {
 		TransportCkpt:     "ckpt",
 		TransportRecovery: "recovery",
 		TransportPack:     "pack",
+		TransportEager:    "eager",
+		TransportRndv:     "rndv",
 	}
 	if len(want) != int(NumTransports) {
 		t.Fatalf("test covers %d transports, NumTransports is %d", len(want), NumTransports)

@@ -591,9 +591,26 @@ func (env *Env) transferOps(p *mpi.Proc, wins map[*f77.Symbol]*mpi.Win, par *pos
 		}
 		env.execTransfers(p, wins[op.Sym], op.Sym, plan, target)
 	}
+	thr := rndvThreshold(ops)
 	for _, sym := range coarseOrder {
-		env.execTransfers(p, wins[sym], sym, lmad.MergeContiguous(coarse[sym]), target)
+		env.execTransfers(p, wins[sym], sym,
+			lmad.MarkRendezvous(lmad.MergeContiguous(coarse[sym]), thr), target)
 	}
+}
+
+// rndvThreshold is the eager/rendezvous stamp threshold to re-apply
+// after coarse plans merge across ops: merging can grow a transfer past
+// its pre-merge stamp, so the merged plan is re-stamped. The threshold
+// is machine-global (every op of a coalesced compile carries the same
+// value; unstamped ops carry 0), so the max over the list recovers it.
+func rndvThreshold(ops []*postpass.CommOp) int64 {
+	var thr int64
+	for _, op := range ops {
+		if op.RndvThreshold > thr {
+			thr = op.RndvThreshold
+		}
+	}
+	return thr
 }
 
 // rankPlans enumerates the per-op plans of one rank in deterministic
@@ -624,11 +641,12 @@ func rankPlans(p *mpi.Proc, par *postpass.ParInfo, ops []*postpass.CommOp, rank 
 			plan []lmad.Transfer
 		}{op.Sym, plan})
 	}
+	thr := rndvThreshold(ops)
 	for _, sym := range coarseOrder {
 		out = append(out, struct {
 			sym  *f77.Symbol
 			plan []lmad.Transfer
-		}{sym, lmad.MergeContiguous(coarse[sym])})
+		}{sym, lmad.MarkRendezvous(lmad.MergeContiguous(coarse[sym]), thr)})
 	}
 	return out
 }
@@ -684,6 +702,7 @@ func (env *Env) pullOps(p *mpi.Proc, wins map[*f77.Symbol]*mpi.Win, par *postpas
 		win := wins[pl.sym]
 		for _, tr := range pl.plan {
 			d := mpi.DescFromTransfer(tr)
+			d.Region = pl.sym.Name
 			if env.mode == Timing {
 				p.ChargePutD(0, d)
 				continue
@@ -705,6 +724,7 @@ func (env *Env) pullOps(p *mpi.Proc, wins map[*f77.Symbol]*mpi.Win, par *postpas
 func (env *Env) execTransfers(p *mpi.Proc, win *mpi.Win, sym *f77.Symbol, plan []lmad.Transfer, target int) {
 	for _, tr := range plan {
 		d := mpi.DescFromTransfer(tr)
+		d.Region = sym.Name
 		if env.mode == Timing {
 			p.ChargePutD(target, d)
 			continue

@@ -35,6 +35,18 @@ type AccessDesc struct {
 	// the burst beats per-element PIO; ignored for contiguous accesses
 	// and rank-local copies (no NIC is involved).
 	Packed bool
+	// Region names the source buffer the access reads from (the
+	// compiler uses the array symbol name) — the registration-cache key
+	// space on protocol-switched fabrics. Empty marks an anonymous
+	// buffer, which is never cached: its rendezvous transfers always
+	// pay registration. Ignored on fabrics without a protocol model.
+	Region string
+	// Proto is the compiler's eager/rendezvous stamp for contiguous
+	// accesses on protocol-switched fabrics. ProtoAuto (the zero value)
+	// lets the runtime pick per message by consulting the live
+	// registration cache. Ignored on other fabrics, for strided
+	// accesses and for rank-local copies.
+	Proto lmad.Protocol
 }
 
 // ContigDesc describes a contiguous run of elems elements at offset.
@@ -51,7 +63,7 @@ func StridedDesc(offset, elems, stride int64) AccessDesc {
 // LMAD's innermost dimension, possibly marked packed by the coalesce
 // stage) into its access descriptor.
 func DescFromTransfer(t lmad.Transfer) AccessDesc {
-	return AccessDesc{Offset: t.Offset, Elems: t.Elems, Stride: t.Stride, Packed: t.Packed}
+	return AccessDesc{Offset: t.Offset, Elems: t.Elems, Stride: t.Stride, Packed: t.Packed, Proto: t.Proto}
 }
 
 // Contig reports whether the descriptor is a contiguous run.
@@ -92,10 +104,53 @@ func getOp(local bool, d AccessDesc) string {
 // compiler's coalesce stage and static estimator so runtime charges
 // and compile-time decisions agree by construction.
 func (p *Proc) packModel() nic.PackModel {
-	return nic.PackModel{
-		Card:           p.w.cl.Fabric(),
-		MemCopyPerByte: p.w.cl.Params().CPU.MemCopyPerByte,
+	return nic.PackModelFor(p.w.cl.Params())
+}
+
+// regKey is the access's registration-cache key; ok is false for
+// anonymous (unnamed) source buffers, which are never cached.
+func (d AccessDesc) regKey() (interconnect.RegKey, bool) {
+	if d.Region == "" {
+		return interconnect.RegKey{}, false
 	}
+	return interconnect.RegKey{Space: d.Region, Offset: d.Offset, Elems: d.Elems}, true
+}
+
+// contigCost prices a remote contiguous access and names its traced
+// transport. On fabrics without a protocol model it is the classic
+// DMA charge (setup + wire on the capability-derived transport). On a
+// protocol-switched fabric (interconnect.ProtocolModel) the access
+// rides the eager or rendezvous path: a compiler stamp (d.Proto) is
+// followed as-is; an unstamped access picks whichever path the model
+// prices cheaper given the origin node's live registration-cache
+// state. Only a charged rendezvous transfer touches the cache —
+// eager payloads ride pre-registered bounce buffers, so the eager
+// path neither warms nor consults registration state.
+func (p *Proc) contigCost(target int, d AccessDesc) (sim.Time, interconnect.Transport) {
+	card := p.w.cl.Fabric()
+	pm, ok := card.(interconnect.ProtocolModel)
+	if !ok {
+		return card.SendSetup() + card.ContigTime(d.Bytes(), p.hops(target)),
+			card.Caps().ContigTransport()
+	}
+	bytes, hops := d.Bytes(), p.hops(target)
+	cache := p.w.cl.RegCache(p.node())
+	key, cacheable := d.regKey()
+	cacheable = cacheable && cache != nil
+	proto := d.Proto
+	if proto == lmad.ProtoAuto {
+		registered := cacheable && cache.Lookup(key)
+		if pm.RendezvousTime(bytes, hops, registered) < pm.EagerTime(bytes, hops) {
+			proto = lmad.ProtoRndv
+		} else {
+			proto = lmad.ProtoEager
+		}
+	}
+	if proto == lmad.ProtoEager {
+		return pm.EagerTime(bytes, hops), interconnect.TransportEager
+	}
+	registered := cacheable && cache.Use(key)
+	return pm.RendezvousTime(bytes, hops, registered), interconnect.TransportRndv
 }
 
 // validateAccess is the single validation site of the one-sided layer
@@ -136,7 +191,9 @@ func (p *Proc) validateAccess(name string, win *Win, target int, d AccessDesc, d
 // chargeAccessE is the single charge site of the one-sided layer: it
 // prices moving the described region to/from target and charges the
 // origin rank. Rank-local accesses cost a memory copy; remote
-// contiguous accesses cost DMA setup + wire; remote strided accesses
+// contiguous accesses cost DMA setup + wire (or the eager/rendezvous
+// protocol path on fabrics with a protocol model — contigCost); remote
+// strided accesses
 // cost the per-element PIO path; remote packed accesses cost the
 // pack/unpack copies plus one contiguous DMA burst, charged to the
 // dedicated pack transport class. The traced transport otherwise
@@ -168,8 +225,7 @@ func (p *Proc) chargeAccessE(op string, target int, d AccessDesc) *Error {
 		cost = card.SendSetup() + card.StridedTime(int(d.Elems), WordBytes, p.hops(target))
 		tr = caps.StridedTransport()
 	default:
-		cost = card.SendSetup() + card.ContigTime(bytes, p.hops(target))
-		tr = caps.ContigTransport()
+		cost, tr = p.contigCost(target, d)
 	}
 	p.w.cl.ChargeComm(p.node(), cost, bytes)
 	p.traceEnd(rec, begin, op, target, int64(bytes), int64(bytes), tr)

@@ -236,7 +236,7 @@ func TestDescPackedClassificationAndCost(t *testing.T) {
 		}
 	})
 	params := cl.Params()
-	pm := nic.PackModel{Card: cl.Fabric(), MemCopyPerByte: params.CPU.MemCopyPerByte}
+	pm := nic.PackModelFor(params)
 	hops := params.Hops(0, 1)
 	var sawPutPacked, sawGetPacked, sawLocal bool
 	for _, e := range rec.Events() {

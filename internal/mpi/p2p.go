@@ -66,9 +66,9 @@ func (p *Proc) SendE(dst, tag int, data []float64) error {
 	if dst == p.rank {
 		w.cl.ChargeComm(p.node(), p.localCopyCost(bytes), bytes)
 	} else {
-		card := w.cl.Fabric()
-		tr = interconnect.TransportP2P
-		w.cl.ChargeComm(p.node(), card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
+		cost, sendTr := p.sendCost(dst, int64(len(data)))
+		tr = sendTr
+		w.cl.ChargeComm(p.node(), cost, bytes)
 	}
 	p.traceEnd(rec, begin, trace.OpSend, dst, int64(bytes), int64(bytes), tr)
 	if err := p.chargeReliability(trace.OpSend, dst, bytes, entry); err != nil {
@@ -76,6 +76,21 @@ func (p *Proc) SendE(dst, tag int, data []float64) error {
 	}
 	p.post(dst, tag, append([]float64(nil), data...))
 	return nil
+}
+
+// sendCost prices a remote two-sided send of elems words. Classic
+// fabrics charge setup + contiguous wire on the p2p transport class,
+// exactly as before protocol switching existed. A protocol-switched
+// fabric routes the message body through contigCost — the payload is
+// an anonymous message buffer (no Region), so its rendezvous path
+// always re-registers and never warms the cache.
+func (p *Proc) sendCost(dst int, elems int64) (sim.Time, interconnect.Transport) {
+	card := p.w.cl.Fabric()
+	if _, ok := card.(interconnect.ProtocolModel); ok {
+		return p.contigCost(dst, ContigDesc(0, elems))
+	}
+	bytes := int(elems) * WordBytes
+	return card.SendSetup() + card.ContigTime(bytes, p.hops(dst)), interconnect.TransportP2P
 }
 
 // post delivers a ready message into dst's mailbox, stamped with the
@@ -273,9 +288,9 @@ func (p *Proc) SendRegion(dst, tag, elems int, data []float64) {
 	if dst == p.rank {
 		w.cl.ChargeComm(p.node(), p.localCopyCost(bytes), bytes)
 	} else {
-		card := w.cl.Fabric()
-		tr = interconnect.TransportP2P
-		w.cl.ChargeComm(p.node(), card.SendSetup()+card.ContigTime(bytes, p.hops(dst)), bytes)
+		cost, sendTr := p.sendCost(dst, int64(elems))
+		tr = sendTr
+		w.cl.ChargeComm(p.node(), cost, bytes)
 	}
 	p.traceEnd(rec, begin, trace.OpSend, dst, int64(bytes), int64(bytes), tr)
 	if err := p.chargeReliability(trace.OpSend, dst, bytes, entry); err != nil {

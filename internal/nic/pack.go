@@ -28,6 +28,35 @@ import (
 // coalescing (an idealized fabric with free PIO, for example).
 const packCrossoverCap = 1 << 20
 
+// Machine is the narrow view of the cluster parameterization the NIC
+// cost models need: the fabric card and the CPU's memory-copy rate.
+// cluster.Params implements it (passed in, not imported: cluster sits
+// above nic in the dependency order).
+type Machine interface {
+	// FabricCard returns the machine's interconnect cost model.
+	FabricCard() interconnect.Interconnect
+	// MemCopyCost returns the charged time per byte of a local memory
+	// copy.
+	MemCopyCost() sim.Time
+}
+
+// PackModelFor builds the machine's pack-vs-PIO cost model — the
+// single construction point shared by the MPI runtime's charge site,
+// the compiler's coalesce stage, the static estimator and the
+// benchmark sweeps, so every layer prices the same crossover by
+// construction.
+func PackModelFor(m Machine) PackModel {
+	return PackModel{Card: m.FabricCard(), MemCopyPerByte: m.MemCopyCost()}
+}
+
+// ProtocolModelFor returns the machine's eager/rendezvous protocol
+// model when its card prices one (the rdma card), following the same
+// single-construction-point discipline as PackModelFor.
+func ProtocolModelFor(m Machine) (interconnect.ProtocolModel, bool) {
+	pm, ok := m.FabricCard().(interconnect.ProtocolModel)
+	return pm, ok
+}
+
 // PackModel prices the strided-PIO path against the
 // pack→contiguous-DMA→unpack path on one interconnect.
 type PackModel struct {

@@ -27,7 +27,11 @@ const wordBytes = 8
 // scatter/collect op. Runs after grain-opt (so it sees the effective
 // grains — a race-demoted fine collect is exactly the strided traffic
 // that profits most) and before the AVPG (which only removes ops, never
-// reshapes them).
+// reshapes them). On a protocol-switched fabric
+// (interconnect.ProtocolModel) the stage also stamps the
+// eager/rendezvous crossover in elements — the cold-cache hops-1
+// figure, ceil(ProtocolCrossoverBytes / wordBytes) — so rank plans
+// carry the compiler's protocol decision per contiguous transfer.
 func (t *translator) coalesce() string {
 	if !t.p.Opts.Coalesce {
 		return "off"
@@ -36,9 +40,15 @@ func (t *translator) coalesce() string {
 	if t.p.Opts.Machine != nil {
 		params = *t.p.Opts.Machine
 	}
-	pm := nic.PackModel{Card: params.Fabric, MemCopyPerByte: params.CPU.MemCopyPerByte}
+	pm := nic.PackModelFor(params)
 	threshold := pm.CrossoverElems(wordBytes, 1)
-	if threshold == 0 {
+	var rndvElems int64
+	if proto, ok := nic.ProtocolModelFor(params); ok {
+		if b := proto.ProtocolCrossoverBytes(1, 0); b > 0 {
+			rndvElems = (b + wordBytes - 1) / wordBytes
+		}
+	}
+	if threshold == 0 && rndvElems == 0 {
 		return fmt.Sprintf("packing never beats PIO on %s", params.Fabric.Name())
 	}
 	ops := 0
@@ -48,9 +58,20 @@ func (t *translator) coalesce() string {
 		}
 		for _, op := range append(append([]*CommOp{}, r.Par.Scatters...), r.Par.Collects...) {
 			op.PackThreshold = threshold
+			op.RndvThreshold = rndvElems
 			ops++
 		}
 	}
-	return fmt.Sprintf("crossover %d elems on %s, %d comm ops eligible",
-		threshold, params.Fabric.Name(), ops)
+	var note string
+	if threshold > 0 {
+		note = fmt.Sprintf("crossover %d elems on %s, %d comm ops eligible",
+			threshold, params.Fabric.Name(), ops)
+	} else {
+		note = fmt.Sprintf("packing never beats PIO on %s, %d comm ops eligible",
+			params.Fabric.Name(), ops)
+	}
+	if rndvElems > 0 {
+		note += fmt.Sprintf("; rendezvous at %d elems", rndvElems)
+	}
+	return note
 }

@@ -2,6 +2,7 @@ package postpass
 
 import (
 	"vbuscluster/internal/cluster"
+	"vbuscluster/internal/interconnect"
 	"vbuscluster/internal/lmad"
 	"vbuscluster/internal/nic"
 	"vbuscluster/internal/sim"
@@ -16,11 +17,59 @@ import (
 // performs all scatters, each slave its own collects, rank-local moves
 // are skipped), so the estimate equals the measured TotalXferTime for
 // any program whose region structure is execution-independent.
+//
+// On a protocol-switched fabric (interconnect.ProtocolModel) the
+// estimator replays a simulated registration cache per origin node —
+// the master's for scatters, each slave's own for collects — applying
+// the same per-transfer eager/rendezvous decision the MPI runtime
+// makes, so warm-cache discounts are predicted, not averaged. The
+// replay assumes the runtime's default push-mode scattering; pull-mode
+// and two-sided runs shift which node's cache warms and the estimate
+// stays an approximation there, as it always has for those modes.
 func EstimateCommCost(p *Program, params cluster.Params) sim.Time {
 	card := params.Fabric
 	procs := p.Opts.NumProcs
-	pm := nic.PackModel{Card: card, MemCopyPerByte: params.CPU.MemCopyPerByte}
-	pricePlan := func(plan []lmad.Transfer, target int) sim.Time {
+	pm := nic.PackModelFor(params)
+	proto, hasProto := nic.ProtocolModelFor(params)
+	// caches holds the per-origin-node simulated registration caches,
+	// shared across regions like the runtime's per-node state.
+	var caches map[int]*interconnect.RegCache
+	if hasProto {
+		caches = map[int]*interconnect.RegCache{}
+	}
+	cacheFor := func(origin int) *interconnect.RegCache {
+		if c, ok := caches[origin]; ok {
+			return c
+		}
+		c := interconnect.NewRegCache(proto.RegCacheCapacity())
+		caches[origin] = c
+		return c
+	}
+	// contigTime mirrors mpi's contigCost decision switch: follow the
+	// compiler stamp when present, otherwise pick the cheaper path
+	// against the origin's current cache state; only a charged
+	// rendezvous transfer touches the cache.
+	contigTime := func(tr lmad.Transfer, sym string, hops, origin int) sim.Time {
+		if !hasProto {
+			return card.SendSetup() + card.ContigTime(int(tr.Elems)*8, hops)
+		}
+		bytes := int(tr.Elems) * 8
+		cache := cacheFor(origin)
+		key := interconnect.RegKey{Space: sym, Offset: tr.Offset, Elems: tr.Elems}
+		choice := tr.Proto
+		if choice == lmad.ProtoAuto {
+			if proto.RendezvousTime(bytes, hops, cache.Lookup(key)) < proto.EagerTime(bytes, hops) {
+				choice = lmad.ProtoRndv
+			} else {
+				choice = lmad.ProtoEager
+			}
+		}
+		if choice == lmad.ProtoEager {
+			return proto.EagerTime(bytes, hops)
+		}
+		return proto.RendezvousTime(bytes, hops, cache.Use(key))
+	}
+	pricePlan := func(plan []lmad.Transfer, sym string, target, origin int) sim.Time {
 		var t sim.Time
 		for _, tr := range plan {
 			switch {
@@ -31,7 +80,7 @@ func EstimateCommCost(p *Program, params cluster.Params) sim.Time {
 			case tr.Stride > 1:
 				t += card.SendSetup() + card.StridedTime(int(tr.Elems), 8, params.Hops(0, target))
 			default:
-				t += card.SendSetup() + card.ContigTime(int(tr.Elems)*8, params.Hops(0, target))
+				t += contigTime(tr, sym, params.Hops(0, target), origin)
 			}
 		}
 		return t
@@ -41,11 +90,15 @@ func EstimateCommCost(p *Program, params cluster.Params) sim.Time {
 		if r.Par == nil {
 			continue
 		}
-		price := func(ops []*CommOp, rank int, target int) sim.Time {
+		price := func(ops []*CommOp, rank, target, origin int) sim.Time {
 			var t sim.Time
 			coarse := map[string][]lmad.Transfer{}
 			var order []string
+			var thr int64 // re-stamp threshold for merged coarse plans
 			for _, op := range ops {
+				if op.RndvThreshold > thr {
+					thr = op.RndvThreshold
+				}
 				plan := RankPlan(op, r.Par.Ctx, rank, procs, r.Par.Schedule)
 				if op.Grain == lmad.Coarse {
 					if _, ok := coarse[op.Sym.Name]; !ok {
@@ -54,18 +107,19 @@ func EstimateCommCost(p *Program, params cluster.Params) sim.Time {
 					coarse[op.Sym.Name] = append(coarse[op.Sym.Name], plan...)
 					continue
 				}
-				t += pricePlan(plan, target)
+				t += pricePlan(plan, op.Sym.Name, target, origin)
 			}
 			for _, name := range order {
-				t += pricePlan(lmad.MergeContiguous(coarse[name]), target)
+				t += pricePlan(lmad.MarkRendezvous(lmad.MergeContiguous(coarse[name]), thr),
+					name, target, origin)
 			}
 			return t
 		}
 		for dst := 1; dst < procs; dst++ {
-			total += price(r.Par.Scatters, dst, dst)
+			total += price(r.Par.Scatters, dst, dst, 0)
 		}
 		for rank := 1; rank < procs; rank++ {
-			total += price(r.Par.Collects, rank, rank)
+			total += price(r.Par.Collects, rank, rank, rank)
 		}
 	}
 	return total

@@ -37,9 +37,13 @@ func RankTrips(trips int64, rank, procs int, sched f77.Schedule) []int64 {
 // the op's effective granularity. A replicated op (ParallelDim == -1)
 // plans the whole region for every rank. An empty plan means the rank
 // moves nothing. When the coalesce stage stamped a pack threshold on
-// the op, qualifying strided transfers come back marked Packed.
+// the op, qualifying strided transfers come back marked Packed; a
+// rendezvous threshold likewise stamps contiguous transfers with the
+// compiler's eager/rendezvous protocol choice.
 func RankPlan(op *CommOp, ctx analysis.LoopCtx, rank, procs int, sched f77.Schedule) []lmad.Transfer {
-	return lmad.MarkPacked(rankPlan(op, ctx, rank, procs, sched), op.PackThreshold)
+	return lmad.MarkRendezvous(
+		lmad.MarkPacked(rankPlan(op, ctx, rank, procs, sched), op.PackThreshold),
+		op.RndvThreshold)
 }
 
 func rankPlan(op *CommOp, ctx analysis.LoopCtx, rank, procs int, sched f77.Schedule) []lmad.Transfer {

@@ -114,6 +114,13 @@ type CommOp struct {
 	// in the op's rank plans are marked Packed. 0 (the default) leaves
 	// every transfer on the per-element PIO path.
 	PackThreshold int64
+	// RndvThreshold is the machine's eager/rendezvous crossover in
+	// elements, stamped by the coalesce stage on protocol-switched
+	// fabrics (the cold-cache hops-1 figure): contiguous transfers of
+	// at least this many elements in the op's rank plans are stamped
+	// rendezvous, smaller ones eager. 0 (the default) leaves every
+	// transfer unstamped (ProtoAuto — the runtime decides per message).
+	RndvThreshold int64
 }
 
 // Region is one schedulable unit of the SPMD program.
